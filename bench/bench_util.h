@@ -1,0 +1,91 @@
+// Shared measurement helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+#include "soc/soc.h"
+#include "soc/verified_run.h"
+#include "workloads/nzdc.h"
+#include "workloads/profile.h"
+#include "workloads/program_builder.h"
+
+namespace flexstep::bench {
+
+struct SlowdownModes {
+  bool dual = true;
+  bool triple = false;
+  bool nzdc = false;
+};
+
+struct SlowdownResult {
+  std::string name;
+  double base_cpi = 0.0;
+  double dual = 1.0;    ///< Slowdown (>= 1.0) under one-to-one verification.
+  double triple = 1.0;  ///< Under one-to-two verification.
+  double nzdc = 0.0;    ///< 0 when the workload does not build under nZDC.
+  bool nzdc_ok = false;
+  u64 backpressure_events = 0;
+};
+
+inline Cycle run_once(const isa::Program& program, const soc::SocConfig& soc_config,
+                      std::vector<CoreId> checkers, u64* backpressure = nullptr) {
+  soc::Soc soc(soc_config);
+  soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, std::move(checkers)});
+  exec.prepare(program);
+  const auto stats = exec.run();
+  if (backpressure != nullptr) *backpressure = stats.backpressure_events;
+  return stats.main_cycles;
+}
+
+/// Measure the Fig. 4 / Fig. 6 slowdowns for one workload. LockStep's
+/// slowdown is 1.0 by construction (the checker mirrors cycle-by-cycle and
+/// never perturbs the main core), so it is not separately simulated.
+inline SlowdownResult measure_workload(const workloads::WorkloadProfile& profile,
+                                       const SlowdownModes& modes, u32 iterations = 3500,
+                                       u64 seed = 7) {
+  const soc::SocConfig soc_config = soc::SocConfig::paper_default(4);
+  workloads::BuildOptions build;
+  build.seed = seed;
+  build.iterations_override = iterations;
+  const isa::Program program = workloads::build_workload(profile, build);
+
+  SlowdownResult result;
+  result.name = profile.name;
+
+  soc::Soc base_soc(soc_config);
+  soc::VerifiedExecution base_exec(base_soc, soc::VerifiedRunConfig{0, {}});
+  base_exec.prepare(program);
+  const auto base = base_exec.run();
+  result.base_cpi =
+      static_cast<double>(base.main_cycles) / static_cast<double>(base.main_instructions);
+
+  if (modes.dual) {
+    const Cycle c = run_once(program, soc_config, {1}, &result.backpressure_events);
+    result.dual = static_cast<double>(c) / static_cast<double>(base.main_cycles);
+  }
+  if (modes.triple) {
+    const Cycle c = run_once(program, soc_config, {1, 2});
+    result.triple = static_cast<double>(c) / static_cast<double>(base.main_cycles);
+  }
+  if (modes.nzdc) {
+    result.nzdc_ok = profile.nzdc_compiles;
+    if (result.nzdc_ok) {
+      const isa::Program transformed = workloads::nzdc_transform(program);
+      const Cycle c = run_once(transformed, soc_config, {});
+      result.nzdc = static_cast<double>(c) / static_cast<double>(base.main_cycles);
+    }
+  }
+  return result;
+}
+
+/// Environment-variable override for experiment scale (e.g. FLEX_FAULTS=5000).
+inline u64 env_u64(const char* name, u64 fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+}  // namespace flexstep::bench

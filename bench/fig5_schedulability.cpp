@@ -1,0 +1,64 @@
+// Fig. 5(a)-(f): percentage of schedulable task sets under LockStep, HMR and
+// FlexStep partitioning, vs. normalised task-set utilisation, across the six
+// (m, n, α, β) configurations of the paper.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/table.h"
+#include "sched/experiment.h"
+
+using namespace flexstep;
+
+namespace {
+
+struct Subplot {
+  const char* label;
+  u32 m;
+  u32 n;
+  double alpha;
+  double beta;
+};
+
+constexpr Subplot kSubplots[] = {
+    {"(a)", 8, 160, 0.0625, 0.0625},
+    {"(b)", 8, 160, 0.125, 0.125},
+    {"(c)", 8, 160, 0.25, 0.25},
+    {"(d)", 8, 160, 0.25, 0.0},
+    {"(e)", 16, 160, 0.125, 0.125},
+    {"(f)", 8, 80, 0.25, 0.25},
+};
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 5: %% of schedulable task sets (LockStep / HMR / FlexStep) ==\n");
+  const auto sets = static_cast<u32>(bench::env_u64("FLEX_SETS", 1000));
+  std::printf("(%u random UUnifast task sets per point)\n", sets);
+
+  for (const auto& subplot : kSubplots) {
+    std::printf("\n-- Fig. 5%s: m=%u, n=%u, alpha=%.4g%%, beta=%.4g%% --\n", subplot.label,
+                subplot.m, subplot.n, subplot.alpha * 100.0, subplot.beta * 100.0);
+    sched::SchedExperimentConfig config;
+    config.m = subplot.m;
+    config.n = subplot.n;
+    config.alpha = subplot.alpha;
+    config.beta = subplot.beta;
+    config.sets_per_point = sets;
+
+    const auto curve = sched::run_sched_experiment(config);
+    Table table({"utilisation", "LockStep", "HMR", "FlexStep"});
+    for (const auto& point : curve) {
+      table.add_row({Table::num(point.utilization, 2), Table::num(point.lockstep, 1),
+                     Table::num(point.hmr, 1), Table::num(point.flexstep, 1)});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\npaper shape: FlexStep dominates at every utilisation; LockStep drops\n"
+      "sharply (statically-bound checker cores); HMR sits between (blocking by\n"
+      "non-preemptible synchronous checking); the FlexStep advantage grows with\n"
+      "fewer verification tasks ((a) vs (c)) and persists with more cores (e)\n"
+      "and fewer, heavier tasks (f).\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 6: Parsec slowdown in dual-core vs triple-core verification mode.
+//
+// Paper result: dual geomean +1.07%, triple +1.77% — the extra checker
+// exacerbates execution inconsistency between cores, causing more frequent
+// backpressure on the main core.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+using namespace flexstep;
+
+int main() {
+  std::printf("== Fig. 6: slowdown in dual-core vs triple-core mode (Parsec) ==\n\n");
+  const auto iterations = static_cast<u32>(bench::env_u64("FLEX_ITERS", 3500));
+
+  Table table({"workload", "dual-core mode", "triple-core mode"});
+  std::vector<double> dual;
+  std::vector<double> triple;
+
+  for (const auto& profile : workloads::parsec_profiles()) {
+    bench::SlowdownModes modes;
+    modes.dual = true;
+    modes.triple = true;
+    const auto r = bench::measure_workload(profile, modes, iterations);
+    dual.push_back(r.dual);
+    triple.push_back(r.triple);
+    table.add_row({r.name, Table::num(r.dual, 4), Table::num(r.triple, 4)});
+  }
+  table.add_row({"geomean", Table::num(geomean(dual), 4), Table::num(geomean(triple), 4)});
+  table.print();
+
+  std::printf(
+      "\npaper: dual 1.0107 (+1.07%%), triple 1.0177 (+1.77%%).\n"
+      "measured: dual %.4f (%+.2f%%), triple %.4f (%+.2f%%).\n",
+      geomean(dual), (geomean(dual) - 1.0) * 100.0, geomean(triple),
+      (geomean(triple) - 1.0) * 100.0);
+  return 0;
+}

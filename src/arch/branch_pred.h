@@ -1,0 +1,56 @@
+// Rocket-like branch prediction state (paper Tab. II: 512-entry BHT,
+// 28-entry BTB, 6-entry RAS). Used purely for timing: mispredictions add a
+// front-end refill penalty in the 5-stage pipeline.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexstep::arch {
+
+struct BranchPredictorConfig {
+  u32 bht_entries = 512;  ///< 2-bit saturating counters.
+  u32 btb_entries = 28;
+  u32 ras_entries = 6;
+  Cycle mispredict_penalty = 3;  ///< Redirect cost in a 5-stage in-order pipe.
+};
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(const BranchPredictorConfig& config);
+
+  /// Conditional branch direction prediction.
+  bool predict_taken(Addr pc) const;
+  void update(Addr pc, bool taken);
+
+  /// BTB target lookup/insert (for jal/jalr timing).
+  std::optional<Addr> btb_lookup(Addr pc) const;
+  void btb_insert(Addr pc, Addr target);
+
+  /// Return-address stack.
+  void ras_push(Addr return_addr);
+  std::optional<Addr> ras_pop();
+
+  void reset();
+
+  const BranchPredictorConfig& config() const { return config_; }
+
+ private:
+  struct BtbEntry {
+    Addr pc = 0;
+    Addr target = 0;
+    bool valid = false;
+    u64 lru = 0;
+  };
+
+  BranchPredictorConfig config_;
+  std::vector<u8> bht_;  ///< 2-bit counters, weakly-taken initial state.
+  std::vector<BtbEntry> btb_;
+  std::vector<Addr> ras_;
+  u32 ras_top_ = 0;   ///< Number of valid entries (wraps by overwrite).
+  u64 btb_tick_ = 0;
+};
+
+}  // namespace flexstep::arch

@@ -1,0 +1,81 @@
+#include "arch/cache.h"
+
+#include <bit>
+
+#include "common/check.h"
+
+namespace flexstep::arch {
+
+Cache::Cache(const CacheConfig& config, std::string name)
+    : config_(config), name_(std::move(name)) {
+  FLEX_CHECK(config.line_bytes > 0 && std::has_single_bit(config.line_bytes));
+  FLEX_CHECK(config.ways > 0);
+  FLEX_CHECK(config.size_bytes % (config.line_bytes * config.ways) == 0);
+  num_sets_ = config.size_bytes / (config.line_bytes * config.ways);
+  FLEX_CHECK(std::has_single_bit(num_sets_));
+  line_shift_ = static_cast<u32>(std::countr_zero(config.line_bytes));
+  ways_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
+}
+
+bool Cache::access(Addr addr) {
+  const u64 line = addr >> line_shift_;
+  const u32 set = static_cast<u32>(line & (num_sets_ - 1));
+  const u64 tag = line >> std::countr_zero(num_sets_);
+  Way* base = &ways_[static_cast<std::size_t>(set) * config_.ways];
+  ++tick_;
+
+  for (u32 w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+  }
+  ++misses_;
+  // Victim: first invalid way, otherwise least-recently-used.
+  Way* victim = nullptr;
+  for (u32 w = 0; w < config_.ways; ++w) {
+    Way& way = base[w];
+    if (!way.valid) {
+      victim = &way;
+      break;
+    }
+    if (victim == nullptr || way.lru < victim->lru) victim = &way;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+void Cache::invalidate_all() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+double Cache::miss_rate() const {
+  const u64 total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+}
+
+CacheHierarchy::CacheHierarchy(const CacheConfig& l1i, const CacheConfig& l1d,
+                               Cache* shared_l2, Cycle memory_latency)
+    : l1i_(l1i, "L1I"), l1d_(l1d, "L1D"), l2_(shared_l2), memory_latency_(memory_latency) {}
+
+Cycle CacheHierarchy::beyond_l1(Addr addr) {
+  if (l2_ == nullptr) return memory_latency_;
+  if (l2_->access(addr)) return l2_->config().latency;
+  return l2_->config().latency + memory_latency_;
+}
+
+Cycle CacheHierarchy::fetch(Addr pc) {
+  if (l1i_.access(pc)) return 0;  // hit latency hidden by the pipelined front end
+  return beyond_l1(pc);
+}
+
+Cycle CacheHierarchy::data(Addr addr) {
+  if (l1d_.access(addr)) return 0;  // hit path pipelined
+  return beyond_l1(addr);
+}
+
+}  // namespace flexstep::arch

@@ -1,0 +1,80 @@
+// Set-associative tag-array cache model (timing only — data lives in Memory).
+//
+// Matches the paper's Tab. II hierarchy: blocking L1 I/D caches (16 KB,
+// 4-way, 2-cycle latency) and a shared 512 KB 8-way L2 with 40-cycle latency.
+// The model tracks tags + LRU so hit/miss behaviour reflects the workload's
+// true address stream; miss penalties feed the core's cycle accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexstep::arch {
+
+struct CacheConfig {
+  u32 size_bytes = 16 * 1024;
+  u32 ways = 4;
+  u32 line_bytes = 64;
+  Cycle latency = 2;  ///< Access latency on hit (paper "LatencyCycles").
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config, std::string name = {});
+
+  /// Probe (and fill on miss). Returns true on hit.
+  bool access(Addr addr);
+
+  /// Invalidate everything (context-switch cold-start modelling, tests).
+  void invalidate_all();
+
+  const CacheConfig& config() const { return config_; }
+  u64 hits() const { return hits_; }
+  u64 misses() const { return misses_; }
+  double miss_rate() const;
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Way {
+    u64 tag = 0;
+    bool valid = false;
+    u64 lru = 0;  ///< Higher = more recently used.
+  };
+
+  CacheConfig config_;
+  std::string name_;
+  u32 num_sets_;
+  u32 line_shift_;
+  std::vector<Way> ways_;  ///< num_sets_ × config_.ways, row-major.
+  u64 tick_ = 0;
+  u64 hits_ = 0;
+  u64 misses_ = 0;
+};
+
+/// Per-core view of the memory hierarchy: private L1I/L1D over a shared L2.
+/// Returns *extra* stall cycles beyond the pipelined L1-hit path.
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const CacheConfig& l1i, const CacheConfig& l1d, Cache* shared_l2,
+                 Cycle memory_latency);
+
+  /// Instruction fetch probe for the line containing `pc`.
+  Cycle fetch(Addr pc);
+  /// Data access probe.
+  Cycle data(Addr addr);
+
+  Cache& l1i() { return l1i_; }
+  Cache& l1d() { return l1d_; }
+
+ private:
+  Cycle beyond_l1(Addr addr);
+
+  Cache l1i_;
+  Cache l1d_;
+  Cache* l2_;  ///< Shared, owned by the SoC; may be null (then miss goes to memory).
+  Cycle memory_latency_;
+};
+
+}  // namespace flexstep::arch

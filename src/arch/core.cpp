@@ -1,0 +1,624 @@
+#include "arch/core.h"
+
+#include "common/check.h"
+
+namespace flexstep::arch {
+
+using isa::Instruction;
+using isa::MemKind;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// Default data-memory port: real memory + cache-hierarchy timing + LR/SC
+// reservation handling.
+// ---------------------------------------------------------------------------
+class Core::CachePort final : public MemPort {
+ public:
+  explicit CachePort(Core& core) : core_(core) {}
+
+  MemResult load(Opcode, Addr addr, u32 bytes) override {
+    MemResult r;
+    r.stall = core_.caches_.data(addr) + core_.config_.load_use_penalty;
+    r.data = core_.memory_.read(addr, bytes);
+    return r;
+  }
+
+  MemResult store(Opcode, Addr addr, u32 bytes, u64 data) override {
+    MemResult r;
+    r.stall = core_.caches_.data(addr);
+    core_.memory_.write(addr, bytes, data);
+    // A store to the reserved line breaks this core's own reservation too
+    // (conservative but simple; cross-core invalidation handled in sc()).
+    if (core_.reservation_valid_ && (addr & ~Addr{7}) == core_.reservation_addr_) {
+      core_.reservation_valid_ = false;
+    }
+    return r;
+  }
+
+  MemResult amo(Opcode op, Addr addr, u64 operand) override {
+    MemResult r;
+    r.stall = core_.caches_.data(addr) + 1;  // read-modify-write occupies an extra cycle
+    const u64 old = core_.memory_.read(addr, 8);
+    u64 next = 0;
+    switch (op) {
+      case Opcode::kAmoaddD: next = old + operand; break;
+      case Opcode::kAmoswapD: next = operand; break;
+      case Opcode::kAmoxorD: next = old ^ operand; break;
+      case Opcode::kAmoandD: next = old & operand; break;
+      case Opcode::kAmoorD: next = old | operand; break;
+      default: FLEX_CHECK_MSG(false, "not an AMO opcode");
+    }
+    core_.memory_.write(addr, 8, next);
+    r.data = old;
+    return r;
+  }
+
+  MemResult load_reserved(Addr addr) override {
+    MemResult r;
+    r.stall = core_.caches_.data(addr) + 1;
+    r.data = core_.memory_.read(addr, 8);
+    core_.reservation_addr_ = addr & ~Addr{7};
+    core_.reservation_valid_ = true;
+    return r;
+  }
+
+  MemResult store_conditional(Addr addr, u64 data) override {
+    MemResult r;
+    r.stall = core_.caches_.data(addr) + 1;
+    const bool ok = core_.reservation_valid_ && core_.reservation_addr_ == (addr & ~Addr{7});
+    if (ok) core_.memory_.write(addr, 8, data);
+    core_.reservation_valid_ = false;
+    r.data = ok ? 0 : 1;
+    return r;
+  }
+
+ private:
+  Core& core_;
+};
+
+// ---------------------------------------------------------------------------
+
+Core::Core(CoreId id, const CoreConfig& config, Memory& memory, const ImageRegistry& images,
+           Cache* shared_l2)
+    : id_(id),
+      config_(config),
+      memory_(memory),
+      images_(images),
+      caches_(config.l1i, config.l1d, shared_l2, config.memory_latency),
+      bpred_(config.bpred),
+      cache_port_(std::make_unique<CachePort>(*this)) {
+  port_ = cache_port_.get();
+}
+
+void Core::set_mem_port(MemPort* port) { port_ = port != nullptr ? port : cache_port_.get(); }
+
+MemPort& Core::cache_mem_port() { return *cache_port_; }
+
+ArchState Core::capture_state() const {
+  ArchState s;
+  s.pc = pc_;
+  s.regs = regs_;
+  s.regs[0] = 0;
+  return s;
+}
+
+void Core::restore_state(const ArchState& state) {
+  pc_ = state.pc;
+  regs_ = state.regs;
+  regs_[0] = 0;
+  image_ = nullptr;  // force image re-lookup
+}
+
+u64 Core::read_csr(u16 csr) const {
+  switch (csr) {
+    case isa::kCsrMhartid: return id_;
+    case isa::kCsrCycle: return cycle_;
+    case isa::kCsrInstret: return instret_;
+    case isa::kCsrMstatus: return user_mode_ ? 0 : 1;
+    case isa::kCsrMepc: return csr_mepc_;
+    case isa::kCsrMcause: return csr_mcause_;
+    case isa::kCsrMscratch: return csr_mscratch_;
+    default: return 0;
+  }
+}
+
+void Core::write_csr(u16 csr, u64 value) {
+  switch (csr) {
+    case isa::kCsrMepc: csr_mepc_ = value; break;
+    case isa::kCsrMcause: csr_mcause_ = value; break;
+    case isa::kCsrMscratch: csr_mscratch_ = value; break;
+    default: break;  // read-only / unimplemented CSRs ignore writes
+  }
+}
+
+void Core::unblock_at(Cycle at) {
+  FLEX_CHECK(status_ == Status::kBlocked);
+  status_ = Status::kRunning;
+  advance_to(at);
+}
+
+void Core::cancel_block() {
+  if (status_ == Status::kBlocked) status_ = Status::kRunning;
+}
+
+void Core::wake(Cycle at) {
+  if (status_ == Status::kWaitingInterrupt) {
+    status_ = Status::kRunning;
+    advance_to(at);
+  }
+}
+
+void Core::deliver_interrupt(TrapCause cause, Cycle at) {
+  FLEX_CHECK(status_ == Status::kBlocked || status_ == Status::kWaitingInterrupt ||
+             status_ == Status::kRunning || status_ == Status::kIdle);
+  advance_to(at);
+  if (status_ == Status::kBlocked) cancel_block();
+  if (status_ == Status::kWaitingInterrupt) status_ = Status::kRunning;
+  take_trap(cause);
+}
+
+bool Core::poll_interrupts() {
+  if (!user_mode_) return false;  // kernel excursions are modelled atomic
+  if (swi_pending_) {
+    swi_pending_ = false;
+    take_trap(TrapCause::kSoftware);
+    return true;
+  }
+  if (timer_armed_ && cycle_ >= timer_at_) {
+    timer_armed_ = false;
+    take_trap(TrapCause::kTimer);
+    return true;
+  }
+  return false;
+}
+
+void Core::take_trap(TrapCause cause) {
+  // ECALL and HALT commit before trapping, so user execution resumes (or the
+  // checking-segment boundary sits) just past them.
+  csr_mepc_ =
+      (cause == TrapCause::kEcall || cause == TrapCause::kTaskExit) ? pc_ + 4 : pc_;
+  csr_mcause_ = static_cast<u64>(cause);
+  const bool was_user = user_mode_;
+  user_mode_ = false;
+  if (was_user && hooks_ != nullptr) hooks_->on_enter_kernel(*this);
+
+  TrapAction action;
+  if (handler_ != nullptr) {
+    action = handler_->on_trap(*this, cause);
+  } else {
+    action.kind = (cause == TrapCause::kTaskExit || cause == TrapCause::kIllegal ||
+                   cause == TrapCause::kFetchFault)
+                      ? TrapAction::Kind::kHalt
+                      : TrapAction::Kind::kResumeUser;
+  }
+  cycle_ += action.kernel_cycles;
+
+  switch (action.kind) {
+    case TrapAction::Kind::kResumeUser:
+      user_mode_ = true;
+      pc_ = csr_mepc_;
+      if (hooks_ != nullptr) hooks_->on_exit_kernel(*this);
+      break;
+    case TrapAction::Kind::kHalt:
+      status_ = Status::kHalted;
+      break;
+    case TrapAction::Kind::kContextSwitched:
+      // The handler installed the next context (and, per Alg. 1, handled the
+      // FlexStep reconfiguration itself). Nothing more to do here.
+      break;
+  }
+}
+
+Core::Status Core::run(u64 max_instructions) {
+  const u64 budget_end = instret_ + max_instructions;
+  while (status_ == Status::kRunning && instret_ < budget_end) step();
+  return status_;
+}
+
+Core::Status Core::step() {
+  if (status_ != Status::kRunning) return status_;
+  if (poll_interrupts()) return status_;
+
+  // ---- fetch ----
+  if (image_ == nullptr || !image_->contains(pc_)) {
+    image_ = images_.find(pc_);
+    if (image_ == nullptr) {
+      take_trap(TrapCause::kFetchFault);
+      return status_;
+    }
+  }
+  const Instruction& inst = image_->at(pc_);
+
+  Cycle cost = 1;
+  const Addr fetch_line = pc_ >> 6;
+  if (fetch_line != last_fetch_line_) {
+    cost += caches_.fetch(pc_);
+    last_fetch_line_ = fetch_line;
+  }
+
+  // ---- DBC backpressure pre-check (FlexStep main core, Sec. III-C) ----
+  if (isa::is_memory(inst.op) && hooks_ != nullptr &&
+      !hooks_->memory_can_commit(*this, inst)) {
+    status_ = Status::kBlocked;
+    return status_;
+  }
+
+  Addr next_pc = pc_ + 4;
+  u64 rd_value = 0;
+  bool write_rd = false;
+  bool is_trap_op = false;
+  TrapCause trap_cause = TrapCause::kEcall;
+
+  CommitInfo info;
+  info.pc = pc_;
+  info.inst = &inst;
+  info.user_mode = user_mode_;
+
+  const u64 a = regs_[inst.rs1];  // NOLINT: x0 reads as 0 by invariant
+  const u64 b = regs_[inst.rs2];
+  const auto imm = static_cast<i64>(inst.imm);
+
+  switch (inst.op) {
+    // ---- ALU register-register ----
+    case Opcode::kAdd: rd_value = a + b; write_rd = true; break;
+    case Opcode::kSub: rd_value = a - b; write_rd = true; break;
+    case Opcode::kSll: rd_value = a << (b & 63); write_rd = true; break;
+    case Opcode::kSrl: rd_value = a >> (b & 63); write_rd = true; break;
+    case Opcode::kSra:
+      rd_value = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+      write_rd = true;
+      break;
+    case Opcode::kAnd: rd_value = a & b; write_rd = true; break;
+    case Opcode::kOr: rd_value = a | b; write_rd = true; break;
+    case Opcode::kXor: rd_value = a ^ b; write_rd = true; break;
+    case Opcode::kSlt:
+      rd_value = static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0;
+      write_rd = true;
+      break;
+    case Opcode::kSltu: rd_value = a < b ? 1 : 0; write_rd = true; break;
+    case Opcode::kMul:
+      rd_value = a * b;
+      write_rd = true;
+      cost += isa::opcode_latency(inst.op) - 1;
+      break;
+    case Opcode::kMulh:
+      rd_value = static_cast<u64>(
+          (static_cast<__int128>(static_cast<i64>(a)) * static_cast<i64>(b)) >> 64);
+      write_rd = true;
+      cost += isa::opcode_latency(inst.op) - 1;
+      break;
+    case Opcode::kDiv:
+      rd_value = (b == 0) ? ~u64{0}
+                          : static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+      write_rd = true;
+      cost += isa::opcode_latency(inst.op) - 1;
+      break;
+    case Opcode::kDivu:
+      rd_value = (b == 0) ? ~u64{0} : a / b;
+      write_rd = true;
+      cost += isa::opcode_latency(inst.op) - 1;
+      break;
+    case Opcode::kRem:
+      rd_value =
+          (b == 0) ? a : static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+      write_rd = true;
+      cost += isa::opcode_latency(inst.op) - 1;
+      break;
+    case Opcode::kRemu:
+      rd_value = (b == 0) ? a : a % b;
+      write_rd = true;
+      cost += isa::opcode_latency(inst.op) - 1;
+      break;
+
+    // ---- ALU register-immediate ----
+    case Opcode::kAddi: rd_value = a + static_cast<u64>(imm); write_rd = true; break;
+    case Opcode::kAndi: rd_value = a & static_cast<u64>(imm); write_rd = true; break;
+    case Opcode::kOri: rd_value = a | static_cast<u64>(imm); write_rd = true; break;
+    case Opcode::kXori: rd_value = a ^ static_cast<u64>(imm); write_rd = true; break;
+    case Opcode::kSlli: rd_value = a << (inst.imm & 63); write_rd = true; break;
+    case Opcode::kSrli: rd_value = a >> (inst.imm & 63); write_rd = true; break;
+    case Opcode::kSrai:
+      rd_value = static_cast<u64>(static_cast<i64>(a) >> (inst.imm & 63));
+      write_rd = true;
+      break;
+    case Opcode::kSlti:
+      rd_value = static_cast<i64>(a) < imm ? 1 : 0;
+      write_rd = true;
+      break;
+    case Opcode::kSltiu:
+      rd_value = a < static_cast<u64>(imm) ? 1 : 0;
+      write_rd = true;
+      break;
+    case Opcode::kLui:
+      rd_value = static_cast<u64>(static_cast<i64>(inst.imm) << isa::kLuiShift);
+      write_rd = true;
+      break;
+
+    // ---- conditional branches ----
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (inst.op) {
+        case Opcode::kBeq: taken = a == b; break;
+        case Opcode::kBne: taken = a != b; break;
+        case Opcode::kBlt: taken = static_cast<i64>(a) < static_cast<i64>(b); break;
+        case Opcode::kBge: taken = static_cast<i64>(a) >= static_cast<i64>(b); break;
+        case Opcode::kBltu: taken = a < b; break;
+        case Opcode::kBgeu: taken = a >= b; break;
+        default: break;
+      }
+      const bool predicted = bpred_.predict_taken(pc_);
+      if (predicted != taken) {
+        cost += bpred_.config().mispredict_penalty;
+        ++mispredicts_;
+      }
+      bpred_.update(pc_, taken);
+      if (taken) next_pc = pc_ + static_cast<Addr>(static_cast<i64>(inst.imm));
+      break;
+    }
+
+    // ---- jumps ----
+    case Opcode::kJal: {
+      rd_value = pc_ + 4;
+      write_rd = inst.rd != 0;
+      next_pc = pc_ + static_cast<Addr>(static_cast<i64>(inst.imm));
+      const auto hit = bpred_.btb_lookup(pc_);
+      if (!hit.has_value() || *hit != next_pc) {
+        cost += 1;  // decode-stage redirect bubble
+        bpred_.btb_insert(pc_, next_pc);
+      }
+      if (inst.rd == 1) bpred_.ras_push(pc_ + 4);
+      break;
+    }
+    case Opcode::kJalr: {
+      const Addr target = (a + static_cast<u64>(imm)) & ~u64{1};
+      rd_value = pc_ + 4;
+      write_rd = inst.rd != 0;
+      if (inst.rd == 0 && inst.rs1 == 1) {
+        // Return: predicted through the RAS.
+        const auto predicted = bpred_.ras_pop();
+        if (!predicted.has_value() || *predicted != target) {
+          cost += bpred_.config().mispredict_penalty;
+          ++mispredicts_;
+        }
+      } else {
+        const auto hit = bpred_.btb_lookup(pc_);
+        if (!hit.has_value() || *hit != target) {
+          cost += bpred_.config().mispredict_penalty;
+          ++mispredicts_;
+          bpred_.btb_insert(pc_, target);
+        }
+        if (inst.rd == 1) bpred_.ras_push(pc_ + 4);
+      }
+      next_pc = target;
+      break;
+    }
+
+    // ---- loads ----
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLw:
+    case Opcode::kLwu:
+    case Opcode::kLd: {
+      const Addr addr = a + static_cast<u64>(imm);
+      const u32 bytes = isa::mem_access_bytes(inst.op);
+      const MemResult r = port_->load(inst.op, addr, bytes);
+      if (!r.ready) {
+        status_ = Status::kBlocked;
+        return status_;
+      }
+      cost += r.stall;
+      u64 value = r.data;
+      switch (inst.op) {  // sign extension
+        case Opcode::kLb: value = static_cast<u64>(static_cast<i64>(static_cast<i8>(value))); break;
+        case Opcode::kLh: value = static_cast<u64>(static_cast<i64>(static_cast<i16>(value))); break;
+        case Opcode::kLw: value = static_cast<u64>(static_cast<i64>(static_cast<i32>(value))); break;
+        default: break;
+      }
+      rd_value = value;
+      write_rd = true;
+      info.mem_valid = true;
+      info.mem_addr = addr;
+      info.mem_rdata = r.data;
+      info.mem_bytes = bytes;
+      break;
+    }
+
+    // ---- stores ----
+    case Opcode::kSb:
+    case Opcode::kSh:
+    case Opcode::kSw:
+    case Opcode::kSd: {
+      const Addr addr = a + static_cast<u64>(imm);
+      const u32 bytes = isa::mem_access_bytes(inst.op);
+      const u64 data = b & (bytes == 8 ? ~u64{0} : ((u64{1} << (bytes * 8)) - 1));
+      const MemResult r = port_->store(inst.op, addr, bytes, data);
+      if (!r.ready) {
+        status_ = Status::kBlocked;
+        return status_;
+      }
+      cost += r.stall;
+      info.mem_valid = true;
+      info.mem_addr = addr;
+      info.mem_wdata = data;
+      info.mem_bytes = bytes;
+      break;
+    }
+
+    // ---- atomics ----
+    case Opcode::kLrD: {
+      const Addr addr = a;
+      const MemResult r = port_->load_reserved(addr);
+      if (!r.ready) {
+        status_ = Status::kBlocked;
+        return status_;
+      }
+      cost += r.stall;
+      rd_value = r.data;
+      write_rd = true;
+      info.mem_valid = true;
+      info.mem_addr = addr;
+      info.mem_rdata = r.data;
+      info.mem_bytes = 8;
+      break;
+    }
+    case Opcode::kScD: {
+      const Addr addr = a;
+      const MemResult r = port_->store_conditional(addr, b);
+      if (!r.ready) {
+        status_ = Status::kBlocked;
+        return status_;
+      }
+      cost += r.stall;
+      rd_value = r.data;  // 0 = success
+      write_rd = true;
+      info.mem_valid = true;
+      info.mem_addr = addr;
+      info.mem_wdata = b;
+      info.mem_rdata = r.data;
+      info.mem_bytes = 8;
+      info.sc_success = r.data == 0;
+      break;
+    }
+    case Opcode::kAmoaddD:
+    case Opcode::kAmoswapD:
+    case Opcode::kAmoxorD:
+    case Opcode::kAmoandD:
+    case Opcode::kAmoorD: {
+      const Addr addr = a;
+      const MemResult r = port_->amo(inst.op, addr, b);
+      if (!r.ready) {
+        status_ = Status::kBlocked;
+        return status_;
+      }
+      cost += r.stall;
+      rd_value = r.data;  // old value
+      write_rd = true;
+      info.mem_valid = true;
+      info.mem_addr = addr;
+      info.mem_wdata = b;
+      info.mem_rdata = r.data;
+      info.mem_bytes = 8;
+      break;
+    }
+
+    // ---- system ----
+    case Opcode::kEcall:
+      if (!suppress_traps_) {
+        is_trap_op = true;
+        trap_cause = TrapCause::kEcall;
+      }
+      break;
+    case Opcode::kHalt:
+      if (!suppress_traps_) {
+        is_trap_op = true;
+        trap_cause = TrapCause::kTaskExit;
+      }
+      break;
+    case Opcode::kMret:
+      // Guest-level trap return (the host kernel model normally bypasses this).
+      user_mode_ = true;
+      next_pc = csr_mepc_;
+      if (hooks_ != nullptr) hooks_->on_exit_kernel(*this);
+      break;
+    case Opcode::kWfi:
+      cycle_ += cost;
+      ++instret_;
+      if (user_mode_) ++user_instret_;
+      pc_ = next_pc;
+      status_ = Status::kWaitingInterrupt;
+      return status_;
+    case Opcode::kFence:
+      cost += 1;
+      break;
+    case Opcode::kCsrrw:
+      rd_value = read_csr(static_cast<u16>(inst.imm));
+      write_rd = inst.rd != 0;
+      write_csr(static_cast<u16>(inst.imm), a);
+      break;
+    case Opcode::kCsrrs:
+      rd_value = read_csr(static_cast<u16>(inst.imm));
+      write_rd = inst.rd != 0;
+      if (inst.rs1 != 0) write_csr(static_cast<u16>(inst.imm), rd_value | a);
+      break;
+
+    // ---- FlexStep custom ISA ----
+    case Opcode::kGIdsContain:
+    case Opcode::kGConfigure:
+    case Opcode::kMAssociate:
+    case Opcode::kMCheck:
+    case Opcode::kCCheckState:
+    case Opcode::kCRecord:
+    case Opcode::kCApply:
+    case Opcode::kCJal:
+    case Opcode::kCResult:
+      if (hooks_ == nullptr) {
+        take_trap(TrapCause::kIllegal);
+        return status_;
+      }
+      rd_value = hooks_->exec_custom(*this, inst);
+      write_rd = isa::opcode_format(inst.op) == isa::Format::kR && inst.rd != 0;
+      // A hook may redirect the PC (C.jal jumps to the SCP's npc). Detect the
+      // redirect and route it through the normal commit path.
+      if (pc_ != info.pc) {
+        next_pc = pc_;
+        pc_ = info.pc;
+      }
+      break;
+
+    case Opcode::kCount_:
+      take_trap(TrapCause::kIllegal);
+      return status_;
+  }
+
+  // ---- commit ----
+  if (write_rd && inst.rd != 0) regs_[inst.rd] = rd_value;
+  regs_[0] = 0;
+  stall_cycles_ += cost - 1;
+  cycle_ += cost;
+  ++instret_;
+  if (user_mode_) ++user_instret_;
+  if (hooks_ != nullptr) {
+    info.next_pc = is_trap_op ? pc_ + 4 : next_pc;
+    const Addr pc_before_hooks = pc_;
+    const Cycle extra = hooks_->on_commit(*this, info);
+    stall_cycles_ += extra;
+    cycle_ += extra;
+    if (pc_ != pc_before_hooks) {
+      // The hook installed a new context (checker replay completed and the
+      // thread context was restored, possibly followed by the next segment's
+      // C.apply/C.jal). Honour the hook's PC instead of the fall-through.
+      return status_;
+    }
+  }
+
+  if (is_trap_op) {
+    // pc_ still addresses the trapping instruction (mepc = pc_+4 for ecall).
+    take_trap(trap_cause);
+    return status_;
+  }
+
+  pc_ = next_pc;
+  return status_;
+}
+
+u64 Core::exec_kernel_instruction(const Instruction& inst) {
+  FLEX_CHECK_MSG(!user_mode_, "kernel instruction executed in user mode");
+  FLEX_CHECK_MSG(hooks_ != nullptr, "FlexStep custom ISA requires attached hooks");
+  FLEX_CHECK_MSG(isa::is_flexstep_custom(inst.op), "only FlexStep ops via this path");
+  const u64 value = hooks_->exec_custom(*this, inst);
+  if (isa::opcode_format(inst.op) == isa::Format::kR && inst.rd != 0) {
+    regs_[inst.rd] = value;
+  }
+  cycle_ += 1;
+  ++instret_;
+  return value;
+}
+
+}  // namespace flexstep::arch

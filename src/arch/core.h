@@ -1,0 +1,184 @@
+// In-order scalar core modelled after Rocket (paper Tab. II): 5-stage pipeline
+// timing, private L1 caches over a shared L2, BHT/BTB/RAS branch prediction,
+// user/kernel privilege, traps and a local timer.
+//
+// The core is FlexStep-agnostic: the FlexStep per-core unit attaches through
+// CoreHooks (commit observation, custom ISA) and MemPort (checker replay).
+#pragma once
+
+#include <array>
+
+#include "arch/arch_state.h"
+#include "arch/config.h"
+#include "arch/memory.h"
+#include "arch/ports.h"
+#include "arch/program_image.h"
+#include "arch/trap.h"
+#include "common/types.h"
+#include "isa/csr.h"
+
+namespace flexstep::arch {
+
+class Core {
+ public:
+  enum class Status : u8 {
+    kIdle,              ///< Parked by the kernel; nothing to run.
+    kRunning,
+    kBlocked,           ///< Stalled on DBC backpressure / empty replay log.
+    kWaitingInterrupt,  ///< WFI retired; waiting for timer/software interrupt.
+    kHalted,            ///< HALT retired with no scheduler attached.
+  };
+
+  Core(CoreId id, const CoreConfig& config, Memory& memory, const ImageRegistry& images,
+       Cache* shared_l2);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  // ---- execution ----
+
+  /// Execute (at most) one instruction; advances the local clock.
+  Status step();
+
+  /// Step until the status leaves kRunning or `max_instructions` commit.
+  Status run(u64 max_instructions);
+
+  // ---- identity & time ----
+
+  CoreId id() const { return id_; }
+  Cycle cycle() const { return cycle_; }
+  /// Move the local clock forward (never backward).
+  void advance_to(Cycle c) { if (c > cycle_) cycle_ = c; }
+  void add_cycles(Cycle c) { cycle_ += c; }
+  u64 instret() const { return instret_; }
+  u64 user_instret() const { return user_instret_; }
+
+  // ---- extension seams ----
+
+  void set_hooks(CoreHooks* hooks) { hooks_ = hooks; }
+  CoreHooks* hooks() const { return hooks_; }
+  void set_trap_handler(TrapHandler* handler) { handler_ = handler; }
+  /// Install a replacement data-memory port (nullptr restores the cache port).
+  void set_mem_port(MemPort* port);
+  MemPort& cache_mem_port();
+
+  // ---- privileged API (kernel model & FlexStep units) ----
+
+  ArchState capture_state() const;
+  void restore_state(const ArchState& state);
+
+  Addr pc() const { return pc_; }
+  void set_pc(Addr pc) { pc_ = pc; }
+  u64 reg(u8 index) const { return regs_[index]; }
+  void set_reg(u8 index, u64 value) {
+    if (index != 0) regs_[index] = value;
+  }
+  bool user_mode() const { return user_mode_; }
+  void set_user_mode(bool user) { user_mode_ = user; }
+
+  u64 read_csr(u16 csr) const;
+  void write_csr(u16 csr, u64 value);
+
+  void set_timer(Cycle at) {
+    timer_at_ = at;
+    timer_armed_ = true;
+  }
+  void clear_timer() { timer_armed_ = false; }
+  bool timer_armed() const { return timer_armed_; }
+  Cycle timer_at() const { return timer_at_; }
+  void raise_software_interrupt() { swi_pending_ = true; }
+
+  // ---- status transitions ----
+
+  Status status() const { return status_; }
+  /// Producer/consumer unblocking: resume no earlier than `at`.
+  void unblock_at(Cycle at);
+  /// Kernel preemption of a blocked core: resume immediately (the pending
+  /// instruction never committed and will re-execute under the new context).
+  void cancel_block();
+  /// Wake from WFI at cycle `at`.
+  void wake(Cycle at);
+  void set_idle() { status_ = Status::kIdle; }
+  void activate() { status_ = Status::kRunning; }
+  void halt() { status_ = Status::kHalted; }
+
+  /// Invoked by hooks from inside a memory pre-check to stall the core.
+  void block() { status_ = Status::kBlocked; }
+
+  /// Checker replay: ECALL/HALT were committed by the main core as ordinary
+  /// user instructions (the kernel excursion itself is not replayed), so the
+  /// replaying core must treat them as no-ops instead of trapping.
+  void set_trap_suppression(bool on) { suppress_traps_ = on; }
+  bool trap_suppression() const { return suppress_traps_; }
+
+  /// Deliver a pending trap to a non-running core (kernel tick on a blocked /
+  /// waiting core). Sets the clock to `at`, cancels the block, and traps.
+  void deliver_interrupt(TrapCause cause, Cycle at);
+
+  // ---- kernel-mode instruction execution ----
+
+  /// Execute one instruction in kernel mode through the normal decode/execute
+  /// path (used by the kernel model for the FlexStep custom ISA, Alg. 1/2).
+  /// Returns the rd value (0 for instructions without a result).
+  u64 exec_kernel_instruction(const isa::Instruction& inst);
+
+  // ---- microarchitectural state & stats ----
+
+  CacheHierarchy& caches() { return caches_; }
+  BranchPredictor& bpred() { return bpred_; }
+  u64 stall_cycles() const { return stall_cycles_; }
+  u64 mispredicts() const { return mispredicts_; }
+
+ private:
+  class CachePort;  // default MemPort through the cache hierarchy
+
+  void take_trap(TrapCause cause);
+  /// Returns true if an interrupt was taken (step must return).
+  bool poll_interrupts();
+
+  CoreId id_;
+  CoreConfig config_;
+  Memory& memory_;
+  const ImageRegistry& images_;
+
+  // Architectural state.
+  std::array<u64, 32> regs_{};
+  Addr pc_ = 0;
+  bool user_mode_ = true;
+  u64 csr_mepc_ = 0;
+  u64 csr_mcause_ = 0;
+  u64 csr_mscratch_ = 0;
+
+  // Microarchitectural state.
+  CacheHierarchy caches_;
+  BranchPredictor bpred_;
+  Addr last_fetch_line_ = ~Addr{0};
+  Addr reservation_addr_ = 0;
+  bool reservation_valid_ = false;
+
+  // Time & counters.
+  Cycle cycle_ = 0;
+  u64 instret_ = 0;
+  u64 user_instret_ = 0;
+  u64 stall_cycles_ = 0;
+  u64 mispredicts_ = 0;
+
+  // Interrupts.
+  Cycle timer_at_ = 0;
+  bool timer_armed_ = false;
+  bool swi_pending_ = false;
+  bool suppress_traps_ = false;
+
+  Status status_ = Status::kRunning;
+
+  // Extension seams.
+  CoreHooks* hooks_ = nullptr;
+  TrapHandler* handler_ = nullptr;
+  MemPort* port_ = nullptr;  ///< Active port (defaults to cache_port_).
+  std::unique_ptr<MemPort> cache_port_;
+
+  // Fetch fast path.
+  const LoadedImage* image_ = nullptr;
+};
+
+}  // namespace flexstep::arch

@@ -1,0 +1,77 @@
+#include "arch/memory.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace flexstep::arch {
+
+u8* Memory::page_data(Addr addr) {
+  const u64 id = addr >> kPageBits;
+  if (id == last_page_id_) return last_page_;
+  auto it = pages_.find(id);
+  if (it == pages_.end()) {
+    auto page = std::make_unique<Page>();
+    page->fill(0);
+    it = pages_.emplace(id, std::move(page)).first;
+  }
+  last_page_id_ = id;
+  last_page_ = it->second->data();
+  return last_page_;
+}
+
+u64 Memory::read(Addr addr, u32 bytes) {
+  FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  const Addr offset = addr & (kPageSize - 1);
+  if (offset + bytes <= kPageSize) {
+    const u8* p = page_data(addr) + offset;
+    u64 value = 0;
+    std::memcpy(&value, p, bytes);  // little-endian host assumed (linux/x86-64 & aarch64)
+    return value;
+  }
+  u64 value = 0;
+  for (u32 i = 0; i < bytes; ++i) {
+    value |= static_cast<u64>(*(page_data(addr + i) + ((addr + i) & (kPageSize - 1)))) << (8 * i);
+  }
+  return value;
+}
+
+void Memory::write(Addr addr, u32 bytes, u64 value) {
+  FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  const Addr offset = addr & (kPageSize - 1);
+  if (offset + bytes <= kPageSize) {
+    u8* p = page_data(addr) + offset;
+    std::memcpy(p, &value, bytes);
+    return;
+  }
+  for (u32 i = 0; i < bytes; ++i) {
+    *(page_data(addr + i) + ((addr + i) & (kPageSize - 1))) =
+        static_cast<u8>(value >> (8 * i));
+  }
+}
+
+void Memory::write_block(Addr addr, const void* src, std::size_t n) {
+  const auto* bytes = static_cast<const u8*>(src);
+  while (n > 0) {
+    const Addr offset = addr & (kPageSize - 1);
+    const std::size_t chunk = std::min<std::size_t>(n, kPageSize - offset);
+    std::memcpy(page_data(addr) + offset, bytes, chunk);
+    addr += chunk;
+    bytes += chunk;
+    n -= chunk;
+  }
+}
+
+void Memory::read_block(Addr addr, void* dst, std::size_t n) {
+  auto* bytes = static_cast<u8*>(dst);
+  while (n > 0) {
+    const Addr offset = addr & (kPageSize - 1);
+    const std::size_t chunk = std::min<std::size_t>(n, kPageSize - offset);
+    std::memcpy(bytes, page_data(addr) + offset, chunk);
+    addr += chunk;
+    bytes += chunk;
+    n -= chunk;
+  }
+}
+
+}  // namespace flexstep::arch

@@ -1,0 +1,53 @@
+// Sparse flat physical memory for the simulated SoC.
+//
+// Backing store is allocated in 4 KiB pages on first touch so multi-megabyte
+// working sets cost only what they use. All cores share one Memory instance
+// (the simulated SoC has a single physical address space).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace flexstep::arch {
+
+class Memory {
+ public:
+  static constexpr unsigned kPageBits = 12;
+  static constexpr Addr kPageSize = Addr{1} << kPageBits;
+
+  Memory() = default;
+  Memory(const Memory&) = delete;
+  Memory& operator=(const Memory&) = delete;
+
+  /// Aligned little-endian accessors; `bytes` in {1,2,4,8}. Unaligned accesses
+  /// that straddle a page fall back to a byte loop.
+  u64 read(Addr addr, u32 bytes);
+  void write(Addr addr, u32 bytes, u64 value);
+
+  u64 read_u64(Addr a) { return read(a, 8); }
+  u32 read_u32(Addr a) { return static_cast<u32>(read(a, 4)); }
+  void write_u64(Addr a, u64 v) { write(a, 8, v); }
+  void write_u32(Addr a, u32 v) { write(a, 4, v); }
+
+  /// Bulk helpers (program loading, test fixtures).
+  void write_block(Addr addr, const void* src, std::size_t n);
+  void read_block(Addr addr, void* dst, std::size_t n);
+
+  /// Number of materialised pages (tests / footprint accounting).
+  std::size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<u8, kPageSize>;
+
+  u8* page_data(Addr addr);
+
+  std::unordered_map<u64, std::unique_ptr<Page>> pages_;
+  // One-entry cache: most accesses hit the same page as the previous one.
+  u64 last_page_id_ = ~u64{0};
+  u8* last_page_ = nullptr;
+};
+
+}  // namespace flexstep::arch

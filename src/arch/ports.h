@@ -1,0 +1,77 @@
+// Extension points between the generic core and the FlexStep units.
+//
+// The core stays free of FlexStep knowledge; src/flexstep implements these
+// interfaces. Three seams exist, mirroring the paper's microarchitecture:
+//   * CoreHooks   — commit/privilege observation (CPC instruction counting,
+//                   MAL logging) and the custom-ISA execution path.
+//   * MemPort     — the data-memory path. The default port goes through the
+//                   cache hierarchy; a checker core in replay mode installs a
+//                   port that serves loads from the Memory Access Log and
+//                   verifies stores against it ("the checker core halts
+//                   memory access", Sec. II).
+#pragma once
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace flexstep::arch {
+
+class Core;
+
+/// What the core reports for each committed instruction.
+struct CommitInfo {
+  Addr pc = 0;
+  Addr next_pc = 0;  ///< PC of the next instruction (post branch resolution).
+  const isa::Instruction* inst = nullptr;
+  bool user_mode = true;
+
+  // Memory side (valid when inst is a memory op that committed).
+  bool mem_valid = false;
+  Addr mem_addr = 0;
+  u64 mem_wdata = 0;   ///< Store data / AMO operand value written.
+  u64 mem_rdata = 0;   ///< Load result / AMO old value / SC status.
+  u32 mem_bytes = 0;
+  bool sc_success = false;
+};
+
+/// Result of a data-memory operation.
+struct MemResult {
+  bool ready = true;  ///< false: operand not available yet — core blocks & retries.
+  Cycle stall = 0;    ///< Extra cycles beyond the pipelined hit path.
+  u64 data = 0;       ///< Load value / AMO old value / SC status (0 = success).
+};
+
+class MemPort {
+ public:
+  virtual ~MemPort() = default;
+  virtual MemResult load(isa::Opcode op, Addr addr, u32 bytes) = 0;
+  virtual MemResult store(isa::Opcode op, Addr addr, u32 bytes, u64 data) = 0;
+  /// AMO read-modify-write; returns the old memory value in .data.
+  virtual MemResult amo(isa::Opcode op, Addr addr, u64 operand) = 0;
+  virtual MemResult load_reserved(Addr addr) = 0;
+  /// Store-conditional; .data = 0 on success, 1 on failure.
+  virtual MemResult store_conditional(Addr addr, u64 data) = 0;
+};
+
+class CoreHooks {
+ public:
+  virtual ~CoreHooks() = default;
+
+  /// Called before a memory instruction executes (checking active only
+  /// matters to FlexStep): return false to stall the core until buffer space
+  /// exists (DBC backpressure). The instruction has NOT executed yet.
+  virtual bool memory_can_commit(Core& core, const isa::Instruction& inst) = 0;
+
+  /// Called after each commit. Returns extra stall cycles charged to the core
+  /// (e.g. checkpoint extraction at a segment boundary).
+  virtual Cycle on_commit(Core& core, const CommitInfo& info) = 0;
+
+  /// Privilege transitions (CPC privilege monitor, Sec. III-A).
+  virtual void on_enter_kernel(Core& core) = 0;
+  virtual void on_exit_kernel(Core& core) = 0;
+
+  /// Execute a FlexStep custom instruction; returns the rd result value.
+  virtual u64 exec_custom(Core& core, const isa::Instruction& inst) = 0;
+};
+
+}  // namespace flexstep::arch

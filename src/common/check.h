@@ -1,0 +1,33 @@
+// Internal invariant checking. FLEX_CHECK is always on (simulation correctness
+// beats the negligible cost); FLEX_DCHECK compiles out in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace flexstep::detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "FLEX_CHECK failed: %s\n  at %s:%d\n  %s\n", cond, file, line,
+               msg != nullptr ? msg : "");
+  std::abort();
+}
+}  // namespace flexstep::detail
+
+#define FLEX_CHECK(cond)                                                        \
+  do {                                                                          \
+    if (!(cond)) ::flexstep::detail::check_failed(#cond, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define FLEX_CHECK_MSG(cond, msg)                                               \
+  do {                                                                          \
+    if (!(cond)) ::flexstep::detail::check_failed(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef NDEBUG
+#define FLEX_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define FLEX_DCHECK(cond) FLEX_CHECK(cond)
+#endif

@@ -1,0 +1,65 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace flexstep {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  FLEX_CHECK(hi > lo);
+  FLEX_CHECK(bins > 0);
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, u64 n) {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += n;
+  total_ += n;
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo_ + (static_cast<double>(i) + 0.5) * width_;
+}
+
+double Histogram::density(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[i]) / (static_cast<double>(total_) * width_);
+}
+
+double Histogram::cdf(double x) const {
+  if (total_ == 0) return 0.0;
+  u64 below = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double upper = lo_ + static_cast<double>(i + 1) * width_;
+    if (upper <= x) {
+      below += counts_[i];
+    } else {
+      break;
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  u64 peak = 0;
+  for (u64 c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::size_t bar =
+        peak == 0 ? 0 : static_cast<std::size_t>(counts_[i] * width / peak);
+    std::snprintf(line, sizeof line, "%10.2f | %-*s %llu\n", bin_center(i),
+                  static_cast<int>(width), std::string(bar, '#').c_str(),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace flexstep

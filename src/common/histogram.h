@@ -1,0 +1,50 @@
+// Fixed-bin histogram with density output and ASCII rendering.
+//
+// Fig. 7 of the paper plots the *density* of error-detection latency per
+// workload; benches use this class to produce the same series.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexstep {
+
+class Histogram {
+ public:
+  /// Uniform bins covering [lo, hi); samples outside are clamped to the edge bins.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_n(double x, u64 n);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  u64 total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double bin_width() const { return width_; }
+
+  /// Center of bin i.
+  double bin_center(std::size_t i) const;
+  u64 bin(std::size_t i) const { return counts_[i]; }
+
+  /// Probability density at bin i (integrates to ~1 over the range).
+  double density(std::size_t i) const;
+
+  /// Fraction of samples with value <= x (empirical CDF at bin resolution).
+  double cdf(double x) const;
+
+  /// Multi-line ASCII bar chart of the density, `width` columns wide.
+  std::string render(std::size_t width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<u64> counts_;
+  u64 total_ = 0;
+};
+
+}  // namespace flexstep

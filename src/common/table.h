@@ -1,0 +1,33 @@
+// Console table printer. Benches print paper tables/figure series with it so
+// the output is directly comparable with the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace flexstep {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have the same arity as the header row.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 2);
+  /// Format as percentage with sign, e.g. "+2.21%".
+  static std::string pct(double fraction, int prec = 2);
+
+  /// Render with aligned columns and a header rule.
+  std::string render() const;
+
+  /// Render directly to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexstep

@@ -1,0 +1,40 @@
+// Fundamental types and global constants shared by every FlexStep module.
+#pragma once
+
+#include <cstdint>
+
+namespace flexstep {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Simulated clock cycles. All core-local and SoC-global timestamps use this.
+using Cycle = std::uint64_t;
+
+/// Physical/virtual address in the simulated flat address space.
+using Addr = std::uint64_t;
+
+/// Identifies a core inside an SoC. Cores are numbered 0..n-1.
+using CoreId = std::uint32_t;
+
+inline constexpr CoreId kInvalidCore = ~CoreId{0};
+
+/// Paper, Tab. II: all cores run at 1.6 GHz.
+inline constexpr double kClockHz = 1.6e9;
+
+/// Cycles per microsecond at the paper's clock (1600).
+inline constexpr double kCyclesPerUs = kClockHz / 1e6;
+
+/// Convert a cycle count to microseconds of simulated time.
+constexpr double cycles_to_us(Cycle c) { return static_cast<double>(c) / kCyclesPerUs; }
+
+/// Convert microseconds of simulated time to cycles.
+constexpr Cycle us_to_cycles(double us) { return static_cast<Cycle>(us * kCyclesPerUs); }
+
+}  // namespace flexstep

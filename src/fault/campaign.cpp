@@ -1,0 +1,144 @@
+#include "fault/campaign.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "workloads/program_builder.h"
+
+namespace flexstep::fault {
+
+using fs::Channel;
+using fs::ErrorReporter;
+using soc::Soc;
+using soc::VerifiedExecution;
+using soc::VerifiedRunConfig;
+
+std::vector<double> CampaignStats::latencies_us() const {
+  std::vector<double> out;
+  out.reserve(outcomes.size());
+  for (const auto& o : outcomes) {
+    if (o.detected) out.push_back(o.latency_us);
+  }
+  return out;
+}
+
+namespace {
+
+/// One workload execution hosting a sequence of injections.
+class Session {
+ public:
+  Session(const workloads::WorkloadProfile& profile, const soc::SocConfig& soc_config,
+          const CampaignConfig& campaign, u64 seed)
+      : soc_(soc_config), exec_(soc_, VerifiedRunConfig{0, {1}}) {
+    workloads::BuildOptions build;
+    build.seed = seed;
+    // Long-running program so one session hosts many injections.
+    build.iterations_override = campaign.workload_iterations != 0
+                                    ? campaign.workload_iterations
+                                    : profile.iterations * 40;
+    program_ = workloads::build_workload(profile, build);
+    exec_.prepare(program_);
+  }
+
+  /// Steps the co-sim `rounds` times; returns false if execution finished.
+  bool advance(u64 rounds) {
+    for (u64 i = 0; i < rounds; ++i) {
+      if (!exec_.step_round()) return false;
+    }
+    return true;
+  }
+
+  Channel* channel() {
+    auto channels = soc_.fabric().channels();
+    return channels.empty() ? nullptr : channels.front();
+  }
+
+  ErrorReporter& reporter() { return soc_.fabric().reporter(); }
+  Soc& soc() { return soc_; }
+  VerifiedExecution& exec() { return exec_; }
+
+ private:
+  Soc soc_;
+  isa::Program program_;
+  VerifiedExecution exec_;
+};
+
+}  // namespace
+
+CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
+                                 const soc::SocConfig& soc_config,
+                                 const CampaignConfig& campaign) {
+  CampaignStats stats;
+  Rng rng(campaign.seed);
+  u64 session_seed = campaign.seed;
+
+  while (stats.injected < campaign.target_faults) {
+    Session session(profile, soc_config, campaign, ++session_seed);
+    if (!session.advance(campaign.warmup_rounds)) continue;  // too short; retry
+
+    while (stats.injected < campaign.target_faults) {
+      Channel* ch = session.channel();
+      if (ch == nullptr) break;
+
+      // Corrupt at the forwarding path (the most recently produced item), as
+      // the paper's campaign does — latency then spans the full buffering and
+      // replay pipeline.
+      const auto fault = ch->inject_fault_at_tail(rng, session.soc().max_cycle());
+      if (!fault.has_value()) {
+        // Queue momentarily empty — let the main core produce more stream.
+        if (!session.advance(512)) break;
+        continue;
+      }
+      ++stats.injected;
+      const std::size_t events_before = session.reporter().events().size();
+
+      // Run until the fault resolves: detected (attributed event) or the
+      // checker consumed past the fault's segment without complaint.
+      FaultOutcome outcome;
+      outcome.target_kind = fault->item_kind;
+      bool resolved = false;
+      bool session_alive = true;
+      while (!resolved) {
+        session_alive = session.exec().step_round();
+        const auto& events = session.reporter().events();
+        for (std::size_t i = events_before; i < events.size(); ++i) {
+          if (events[i].attributed) {
+            outcome.detected = true;
+            outcome.latency_us = cycles_to_us(events[i].latency);
+            outcome.detect_kind = events[i].kind;
+            resolved = true;
+            break;
+          }
+        }
+        if (!resolved && !ch->fault_pending()) {
+          // Cleared without an attributed event cannot happen (only the
+          // reporter clears); guard anyway.
+          resolved = true;
+        }
+        if (!resolved && ch->fault_pending() &&
+            ch->pending_fault().segment_end_seq != fs::kUnresolvedSegmentEnd &&
+            ch->last_popped_seq() > ch->pending_fault().segment_end_seq) {
+          // The segment containing the corruption verified clean: masked.
+          ch->clear_fault();
+          resolved = true;
+        }
+        if (!session_alive) {
+          // Execution drained with the fault still pending: if the stream is
+          // fully consumed, the fault was masked.
+          if (ch->fault_pending()) ch->clear_fault();
+          resolved = true;
+        }
+      }
+      if (outcome.detected) {
+        ++stats.detected;
+      } else {
+        ++stats.undetected;
+      }
+      stats.outcomes.push_back(outcome);
+
+      if (!session_alive || !session.advance(campaign.gap_rounds)) break;
+    }
+  }
+  return stats;
+}
+
+}  // namespace flexstep::fault

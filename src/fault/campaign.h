@@ -1,0 +1,54 @@
+// Fault-injection campaigns (paper Sec. VI-C).
+//
+// Faults are bit flips in the *forwarded* data — MAL entries and ASS
+// checkpoint words queued in a DBC channel — exactly the paper's methodology,
+// which perturbs the verification stream without disturbing the main core.
+// Detection latency is the simulated time from corruption to the checker's
+// mismatch report. One long run hosts many sequential injections.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "flexstep/error.h"
+#include "flexstep/stream.h"
+#include "soc/verified_run.h"
+#include "workloads/profile.h"
+
+namespace flexstep::fault {
+
+struct CampaignConfig {
+  u32 target_faults = 2000;     ///< Injections to perform.
+  u64 warmup_rounds = 50'000;   ///< Co-sim steps before the first injection.
+  u64 gap_rounds = 3'000;       ///< Steps between fault resolution and next injection.
+  u64 seed = 0xF417;
+  u32 workload_iterations = 0;  ///< Override profile iterations (0 = default).
+};
+
+struct FaultOutcome {
+  bool detected = false;
+  double latency_us = 0.0;                  ///< Valid when detected.
+  fs::DetectKind detect_kind{};             ///< Valid when detected.
+  fs::StreamItem::Kind target_kind{};       ///< What was corrupted.
+};
+
+struct CampaignStats {
+  std::vector<FaultOutcome> outcomes;
+  u32 injected = 0;
+  u32 detected = 0;
+  u32 undetected = 0;  ///< Masked faults (e.g. flip in a dead SCP register).
+
+  double coverage() const {
+    return injected == 0 ? 0.0 : static_cast<double>(detected) / injected;
+  }
+  std::vector<double> latencies_us() const;
+};
+
+/// Run a campaign on `profile` under dual-core (or the given) verification.
+/// Fresh SoCs are instantiated as needed until `target_faults` injections
+/// resolve.
+CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
+                                 const soc::SocConfig& soc_config,
+                                 const CampaignConfig& campaign);
+
+}  // namespace flexstep::fault

@@ -1,0 +1,140 @@
+#include "flexstep/channel.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace flexstep::fs {
+
+bool Channel::producer_can_push(u32 entries) const {
+  if (items_.size() + entries <= config_.channel_capacity) return true;
+  // DMA-spill rule: while the checker has no complete segment to chew on,
+  // stalling the producer could never be relieved — spill instead.
+  return segments_.empty();
+}
+
+StreamItem& Channel::push_raw(StreamItem::Kind kind, Cycle now) {
+  FLEX_CHECK_MSG(!closed_, "push on closed channel");
+  items_.emplace_back();
+  StreamItem& item = items_.back();
+  item.kind = kind;
+  item.seq = next_seq_++;
+  item.visible_at = now + config_.channel_latency;
+  max_occupancy_ = std::max<u64>(max_occupancy_, items_.size());
+  return item;
+}
+
+void Channel::push_scp(const arch::ArchState& scp, Cycle now) {
+  push_raw(StreamItem::Kind::kScp, now).state = scp;
+}
+
+void Channel::push_mem(const MemLogEntry& entry, Cycle now) {
+  push_raw(StreamItem::Kind::kMem, now).mem = entry;
+}
+
+void Channel::push_segment_end(const arch::ArchState& ecp, u64 inst_count, Cycle now) {
+  StreamItem& item = push_raw(StreamItem::Kind::kSegmentEnd, now);
+  item.state = ecp;
+  item.inst_count = inst_count;
+  segments_.push_back({inst_count, item.visible_at, item.seq});
+  // A fault injected into a then-open segment resolves against this boundary.
+  if (fault_.has_value() && fault_->segment_end_seq == kUnresolvedSegmentEnd) {
+    fault_->segment_end_seq = item.seq;
+  }
+}
+
+bool Channel::segment_ready(Cycle now) const {
+  return !segments_.empty() && segments_.front().ready_at <= now;
+}
+
+Cycle Channel::next_segment_ready_at() const {
+  return segments_.empty() ? kNever : segments_.front().ready_at;
+}
+
+u64 Channel::front_segment_ic() const {
+  FLEX_CHECK(!segments_.empty());
+  return segments_.front().inst_count;
+}
+
+StreamItem Channel::pop(Cycle now) {
+  FLEX_CHECK_MSG(!items_.empty(), "pop on empty channel");
+  StreamItem item = items_.front();
+  items_.pop_front();
+  last_popped_seq_ = item.seq;
+  last_pop_cycle_ = now;
+  if (item.kind == StreamItem::Kind::kSegmentEnd) {
+    FLEX_CHECK(!segments_.empty());
+    segments_.pop_front();
+  }
+  return item;
+}
+
+std::optional<InjectedFault> Channel::corrupt_item(std::size_t index, Rng& rng,
+                                                   Cycle now) {
+  StreamItem& item = items_[index];
+
+  InjectedFault fault;
+  fault.seq = item.seq;
+  fault.injected_at = now;
+  fault.item_kind = item.kind;
+
+  switch (item.kind) {
+    case StreamItem::Kind::kMem: {
+      // Corrupt address (low 32 bits — stays in the plausible address range)
+      // or data with equal probability.
+      if (rng.next_bool(0.5)) {
+        fault.bit = static_cast<u8>(rng.next_below(32));
+        item.mem.addr ^= u64{1} << fault.bit;
+      } else {
+        const u32 width_bits = item.mem.bytes == 0 ? 64 : item.mem.bytes * 8;
+        fault.bit = static_cast<u8>(rng.next_below(width_bits));
+        item.mem.data ^= u64{1} << fault.bit;
+      }
+      break;
+    }
+    case StreamItem::Kind::kScp:
+    case StreamItem::Kind::kSegmentEnd: {
+      // Corrupt one architectural word: a register (x1..x31) or the PC.
+      const u64 which = rng.next_below(32);
+      if (which == 0) {
+        // PC corruption restricted to bits 2..17: a misaligned or wildly
+        // out-of-range PC would be caught trivially by the fetch stage.
+        fault.bit = static_cast<u8>(2 + rng.next_below(16));
+        item.state.pc ^= u64{1} << fault.bit;
+      } else {
+        fault.bit = static_cast<u8>(rng.next_below(64));
+        item.state.regs[which] ^= u64{1} << fault.bit;
+      }
+      break;
+    }
+  }
+
+  // Locate the SegmentEnd that closes the segment containing this item (for
+  // undetected-fault resolution by the campaign driver). When the segment is
+  // still open, push_segment_end() fills it in later.
+  fault.segment_end_seq = kUnresolvedSegmentEnd;
+  for (std::size_t i = index; i < items_.size(); ++i) {
+    if (items_[i].kind == StreamItem::Kind::kSegmentEnd) {
+      fault.segment_end_seq = items_[i].seq;
+      break;
+    }
+  }
+  fault_ = fault;
+  return fault;
+}
+
+std::optional<InjectedFault> Channel::inject_random_fault(Rng& rng, Cycle now) {
+  if (items_.empty() || fault_.has_value()) return std::nullopt;
+  const auto index = static_cast<std::size_t>(rng.next_below(items_.size()));
+  return corrupt_item(index, rng, now);
+}
+
+std::optional<InjectedFault> Channel::inject_fault_at_tail(Rng& rng, Cycle now) {
+  if (items_.empty() || fault_.has_value()) return std::nullopt;
+  // The corruption physically happens in the forwarding path, i.e. when the
+  // producer pushed the item — not at the campaign's (later) wall time.
+  const Cycle pushed_at = items_.back().visible_at - config_.channel_latency;
+  return corrupt_item(items_.size() - 1, rng, std::min(now, pushed_at));
+}
+
+}  // namespace flexstep::fs

@@ -1,0 +1,131 @@
+// Data Buffering and Channelling (DBC, paper Sec. III-C).
+//
+// A Channel is one configured link of the System Interconnect: an SPSC,
+// segment-ordered stream from a main core's Data Buffer FIFO to a checker
+// core. Capacity combines the 64-entry SRAM FIFO with main-memory DMA spill;
+// pushes beyond `channel_capacity` assert backpressure (the main core stalls)
+// — except while the checker is starved of complete segments, in which case
+// the DMA spill absorbs the overflow (deadlock freedom by construction).
+//
+// Segments are forwarded store-and-forward: a checker begins replaying a
+// segment only once its SegmentEnd is queued, so replay never starves
+// mid-segment. This conservatively lengthens detection latency by one
+// segment, which the paper's µs-scale latency distribution absorbs.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "flexstep/config.h"
+#include "flexstep/stream.h"
+
+namespace flexstep::fs {
+
+inline constexpr Cycle kNever = ~Cycle{0};
+
+/// segment_end_seq value while the corrupted item's segment is still open
+/// (resolved when the SegmentEnd is eventually pushed).
+inline constexpr u64 kUnresolvedSegmentEnd = ~u64{0};
+
+/// An injected fault pending detection (campaign bookkeeping).
+struct InjectedFault {
+  u64 seq = 0;           ///< Sequence number of the corrupted item.
+  u64 segment_end_seq = kUnresolvedSegmentEnd;  ///< Seq of the closing SegmentEnd.
+  Cycle injected_at = 0;
+  StreamItem::Kind item_kind = StreamItem::Kind::kMem;
+  u8 bit = 0;            ///< Which bit was flipped.
+};
+
+class Channel {
+ public:
+  Channel(CoreId main_id, CoreId checker_id, const FlexStepConfig& config)
+      : config_(config), main_id_(main_id), checker_id_(checker_id) {}
+
+  CoreId main_id() const { return main_id_; }
+  CoreId checker_id() const { return checker_id_; }
+
+  // ---- producer (main core) side ----
+
+  /// Backpressure decision: can `entries` more items be pushed without
+  /// stalling? Always true while the consumer has no complete segment queued
+  /// (DMA spill rule; see header comment).
+  bool producer_can_push(u32 entries) const;
+
+  void push_scp(const arch::ArchState& scp, Cycle now);
+  void push_mem(const MemLogEntry& entry, Cycle now);
+  void push_segment_end(const arch::ArchState& ecp, u64 inst_count, Cycle now);
+
+  /// Producer will push nothing more (verification job finished / dissociated).
+  void close() { closed_ = true; }
+  bool closed() const { return closed_; }
+
+  // ---- consumer (checker core) side ----
+
+  /// A complete segment (SCP..SegmentEnd) is queued and visible at `now`.
+  bool segment_ready(Cycle now) const;
+  /// Visibility time of the oldest complete queued segment (kNever if none).
+  Cycle next_segment_ready_at() const;
+  /// Instruction count of the oldest complete queued segment.
+  u64 front_segment_ic() const;
+
+  bool empty() const { return items_.empty(); }
+  std::size_t size() const { return items_.size(); }
+  bool drained() const { return closed_ && items_.empty(); }
+  const StreamItem& front() const { return items_.front(); }
+  StreamItem pop(Cycle now);
+
+  /// Cycle at which the consumer last freed space (producer resume time).
+  Cycle last_pop_cycle() const { return last_pop_cycle_; }
+  u64 last_popped_seq() const { return last_popped_seq_; }
+
+  // ---- statistics ----
+  u64 pushed() const { return next_seq_; }
+  u64 complete_segments_queued() const { return static_cast<u64>(segments_.size()); }
+  u64 max_occupancy() const { return max_occupancy_; }
+  u64 backpressure_events() const { return backpressure_events_; }
+  void count_backpressure_event() { ++backpressure_events_; }
+
+  // ---- fault injection (Sec. VI-C) ----
+
+  /// Flip one random payload bit of one random queued item. Fails (nullopt)
+  /// if the queue is empty or a fault is already pending.
+  std::optional<InjectedFault> inject_random_fault(Rng& rng, Cycle now);
+
+  /// Corrupt the *most recently forwarded* item (the paper's fault model:
+  /// the flip happens in the forwarding path as the main core produces the
+  /// data, so detection latency spans the full buffering + replay pipeline).
+  std::optional<InjectedFault> inject_fault_at_tail(Rng& rng, Cycle now);
+  bool fault_pending() const { return fault_.has_value(); }
+  const InjectedFault& pending_fault() const { return *fault_; }
+  void clear_fault() { fault_.reset(); }
+
+ private:
+  struct SegmentMeta {
+    u64 inst_count = 0;
+    Cycle ready_at = 0;     ///< SegmentEnd visible_at.
+    u64 end_seq = 0;
+  };
+
+  StreamItem& push_raw(StreamItem::Kind kind, Cycle now);
+  std::optional<InjectedFault> corrupt_item(std::size_t index, Rng& rng, Cycle now);
+
+  FlexStepConfig config_;
+  CoreId main_id_;
+  CoreId checker_id_;
+
+  std::deque<StreamItem> items_;
+  std::deque<SegmentMeta> segments_;  ///< One per queued SegmentEnd, FIFO order.
+  u64 next_seq_ = 0;
+  u64 last_popped_seq_ = 0;
+  Cycle last_pop_cycle_ = 0;
+  bool closed_ = false;
+
+  u64 max_occupancy_ = 0;
+  u64 backpressure_events_ = 0;
+
+  std::optional<InjectedFault> fault_;
+};
+
+}  // namespace flexstep::fs

@@ -1,0 +1,44 @@
+// FlexStep hardware-unit configuration (defaults match the paper).
+#pragma once
+
+#include "common/types.h"
+
+namespace flexstep::fs {
+
+struct FlexStepConfig {
+  /// CPC instruction-count limit per checking segment (paper default: 5000).
+  u32 segment_limit = 5000;
+
+  /// DBC backpressure threshold in stream entries. The SRAM FIFO holds 64
+  /// entries (1088 B at 17 B/entry, Sec. VI-E); the paper extends buffering
+  /// into main memory via DMA, so the effective channel depth is much larger.
+  /// Backpressure (main-core stall) applies beyond this threshold.
+  u64 channel_capacity = 2048;
+
+  /// Cycles from a push until the item is visible to the checker (crossbar +
+  /// FIFO traversal).
+  Cycle channel_latency = 4;
+
+  /// Main-core stall for extracting an SCP/ECP pair into the ASS at a segment
+  /// boundary (register-file snapshot + formatting, Sec. III-A).
+  Cycle checkpoint_stall = 24;
+
+  /// Replay runaway guard: abandon a segment after this multiple of
+  /// segment_limit replayed instructions (covers corrupted IC values).
+  u32 max_replay_factor = 4;
+};
+
+/// Per-core storage added by FlexStep (paper Sec. VI-E): used by the
+/// power/area model and printed by the Table III bench.
+inline constexpr u32 kCpcStorageBytes = 8;
+inline constexpr u32 kAssStorageBytes = 518;
+inline constexpr u32 kDbcStorageBytes = 1088;
+inline constexpr u32 kTotalStorageBytesPerCore =
+    kCpcStorageBytes + kAssStorageBytes + kDbcStorageBytes;  // 1614 B
+
+/// DBC SRAM FIFO geometry implied by the storage budget: 17 B per entry
+/// (8 B address + 8 B data + 1 B metadata) × 64 entries = 1088 B.
+inline constexpr u32 kFifoEntryBytes = 17;
+inline constexpr u32 kFifoSramEntries = kDbcStorageBytes / kFifoEntryBytes;
+
+}  // namespace flexstep::fs

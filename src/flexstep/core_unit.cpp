@@ -1,0 +1,614 @@
+#include "flexstep/core_unit.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "isa/csr.h"
+
+namespace flexstep::fs {
+
+using arch::ArchState;
+using arch::CommitInfo;
+using arch::MemResult;
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// Replay memory port: "the checker core halts memory access and sequentially
+// replays the checking segments" (Sec. II). Loads are served from the MAL log
+// (address verified); stores/AMO results are verified against the log.
+// ---------------------------------------------------------------------------
+class CoreUnit::ReplayPort final : public arch::MemPort {
+ public:
+  explicit ReplayPort(CoreUnit& unit) : unit_(unit) {}
+
+  MemResult load(Opcode, Addr addr, u32) override {
+    MemResult r;
+    const auto entry = next_entry(MemEntryKind::kLoadData);
+    if (!entry.has_value()) return r;  // structural abort already flagged
+    if (entry->addr != addr) {
+      unit_.report(DetectKind::kLoadAddr);
+      unit_.segment_verify_failed_ = true;
+    }
+    r.data = entry->data;  // replay uses the logged value
+    r.stall = kFifoReadStall;
+    return r;
+  }
+
+  MemResult store(Opcode, Addr addr, u32, u64 data) override {
+    MemResult r;
+    const auto entry = next_entry(MemEntryKind::kStoreAddrData);
+    if (!entry.has_value()) return r;
+    if (entry->addr != addr) {
+      unit_.report(DetectKind::kStoreAddr);
+      unit_.segment_verify_failed_ = true;
+    } else if (entry->data != data) {
+      unit_.report(DetectKind::kStoreData);
+      unit_.segment_verify_failed_ = true;
+    }
+    r.stall = kFifoReadStall;
+    return r;
+  }
+
+  MemResult amo(Opcode op, Addr addr, u64 operand) override {
+    MemResult r;
+    const auto load_part = next_entry(MemEntryKind::kAmoLoad);
+    if (!load_part.has_value()) return r;
+    if (load_part->addr != addr) {
+      unit_.report(DetectKind::kLoadAddr);
+      unit_.segment_verify_failed_ = true;
+    }
+    const u64 old = load_part->data;
+    u64 next = 0;
+    switch (op) {
+      case Opcode::kAmoaddD: next = old + operand; break;
+      case Opcode::kAmoswapD: next = operand; break;
+      case Opcode::kAmoxorD: next = old ^ operand; break;
+      case Opcode::kAmoandD: next = old & operand; break;
+      case Opcode::kAmoorD: next = old | operand; break;
+      default: FLEX_CHECK_MSG(false, "not an AMO opcode");
+    }
+    const auto store_part = next_entry(MemEntryKind::kAmoStore);
+    if (!store_part.has_value()) return r;
+    if (store_part->addr != addr || store_part->data != next) {
+      unit_.report(DetectKind::kAmoStore);
+      unit_.segment_verify_failed_ = true;
+    }
+    r.data = old;
+    r.stall = kFifoReadStall + 1;
+    return r;
+  }
+
+  MemResult load_reserved(Addr addr) override {
+    MemResult r;
+    const auto entry = next_entry(MemEntryKind::kLrLoad);
+    if (!entry.has_value()) return r;
+    if (entry->addr != addr) {
+      unit_.report(DetectKind::kLoadAddr);
+      unit_.segment_verify_failed_ = true;
+    }
+    r.data = entry->data;
+    r.stall = kFifoReadStall;
+    return r;
+  }
+
+  MemResult store_conditional(Addr addr, u64 data) override {
+    MemResult r;
+    // The success flag is microarchitectural (reservation state cannot be
+    // reproduced asynchronously) — trusted for replay, per Sec. III-B.
+    const auto flag = next_entry(MemEntryKind::kScFlag);
+    if (!flag.has_value()) return r;
+    const bool success = flag->data == 0;
+    if (success) {
+      const auto store_part = next_entry(MemEntryKind::kScStore);
+      if (!store_part.has_value()) return r;
+      if (store_part->addr != addr || store_part->data != data) {
+        unit_.report(DetectKind::kScMismatch);
+        unit_.segment_verify_failed_ = true;
+      }
+    }
+    r.data = flag->data;
+    r.stall = kFifoReadStall + 1;
+    return r;
+  }
+
+ private:
+  /// FIFO read latency: local SRAM, comparable to an L1 hit (Tab. II).
+  static constexpr Cycle kFifoReadStall = 2;
+
+  /// Pop the next log entry; structural mismatch aborts the segment.
+  std::optional<MemLogEntry> next_entry(MemEntryKind expected) {
+    Channel* ch = unit_.in_channel_;
+    if (ch == nullptr || ch->empty() ||
+        ch->front().kind != StreamItem::Kind::kMem ||
+        ch->front().mem.kind != expected) {
+      unit_.report(DetectKind::kStructural);
+      unit_.segment_verify_failed_ = true;
+      unit_.segment_abort_ = true;
+      return std::nullopt;
+    }
+    return ch->pop(unit_.core_.cycle()).mem;
+  }
+
+  CoreUnit& unit_;
+};
+
+// ---------------------------------------------------------------------------
+
+CoreUnit::CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& reporter,
+                   InterconnectControl* interconnect, const FlexStepConfig& config)
+    : core_(core),
+      global_(global),
+      reporter_(reporter),
+      interconnect_(interconnect),
+      config_(config),
+      replay_port_(std::make_unique<ReplayPort>(*this)) {
+  core_.set_hooks(this);
+}
+
+CoreUnit::~CoreUnit() = default;
+
+// ---------------------------------------------------------------------------
+// Main-core (producer) side
+// ---------------------------------------------------------------------------
+
+u32 CoreUnit::entries_for(Opcode op) {
+  switch (isa::opcode_mem_kind(op)) {
+    case isa::MemKind::kLoad:
+    case isa::MemKind::kLoadReserved: return 1;
+    case isa::MemKind::kStore: return 1;
+    case isa::MemKind::kAmo:
+    case isa::MemKind::kStoreConditional: return 2;
+    case isa::MemKind::kNone: return 0;
+  }
+  return 0;
+}
+
+bool CoreUnit::out_channels_have_space() const {
+  for (const Channel* ch : out_channels_) {
+    if (!ch->producer_can_push(2)) return false;
+  }
+  return true;
+}
+
+Cycle CoreUnit::out_channel_space_available_at() const {
+  Cycle at = 0;
+  for (const Channel* ch : out_channels_) at = std::max(at, ch->last_pop_cycle());
+  return at;
+}
+
+bool CoreUnit::memory_can_commit(arch::Core& core, const Instruction& inst) {
+  if (!checking_enabled_ || !segment_active_ || out_channels_.empty()) return true;
+  const u32 need = entries_for(inst.op);
+  if (need == 0) return true;
+  for (Channel* ch : out_channels_) {
+    if (!ch->producer_can_push(need)) {
+      ch->count_backpressure_event();
+      (void)core;
+      return false;  // core blocks; SoC driver resumes it once space appears
+    }
+  }
+  return true;
+}
+
+void CoreUnit::start_segment(Addr start_pc) {
+  ArchState scp = core_.capture_state();
+  scp.pc = start_pc;
+  segment_start_pc_ = start_pc;
+  segment_ic_ = 0;
+  segment_active_ = true;
+  ++checkpoints_captured_;
+  for (Channel* ch : out_channels_) ch->push_scp(scp, core_.cycle());
+}
+
+Cycle CoreUnit::end_segment(Addr resume_pc) {
+  FLEX_CHECK(segment_active_);
+  segment_active_ = false;
+  // Zero-length segments (e.g. two back-to-back kernel entries) carry no
+  // information; retract rather than ship an empty segment.
+  if (segment_ic_ == 0) {
+    // The SCP was already pushed; ship a matching empty SegmentEnd so the
+    // stream stays structurally regular. Checkers verify it trivially.
+  }
+  ArchState ecp = core_.capture_state();
+  ecp.pc = resume_pc;
+  ++checkpoints_captured_;
+  ++segments_produced_;
+  for (Channel* ch : out_channels_) ch->push_segment_end(ecp, segment_ic_, core_.cycle());
+  return config_.checkpoint_stall;
+}
+
+Cycle CoreUnit::log_memory(const CommitInfo& info) {
+  const Opcode op = info.inst->op;
+  const Cycle now = core_.cycle();
+  MemLogEntry entry;
+  entry.addr = info.mem_addr;
+  entry.bytes = static_cast<u8>(info.mem_bytes);
+
+  u32 entries = 1;
+  switch (isa::opcode_mem_kind(op)) {
+    case isa::MemKind::kLoad:
+      entry.kind = MemEntryKind::kLoadData;
+      entry.data = info.mem_rdata;
+      break;
+    case isa::MemKind::kStore:
+      entry.kind = MemEntryKind::kStoreAddrData;
+      entry.data = info.mem_wdata;
+      break;
+    case isa::MemKind::kLoadReserved:
+      entry.kind = MemEntryKind::kLrLoad;
+      entry.data = info.mem_rdata;
+      break;
+    case isa::MemKind::kStoreConditional: {
+      // Flag entry first; store part only when the SC succeeded.
+      MemLogEntry flag;
+      flag.kind = MemEntryKind::kScFlag;
+      flag.data = info.mem_rdata;  // 0 = success
+      flag.bytes = 1;
+      for (Channel* ch : out_channels_) ch->push_mem(flag, now);
+      ++mem_entries_logged_;
+      if (info.sc_success) {
+        entry.kind = MemEntryKind::kScStore;
+        entry.data = info.mem_wdata;
+        entries = 2;
+      } else {
+        return 1;  // flag only; extra micro-op latency
+      }
+      break;
+    }
+    case isa::MemKind::kAmo: {
+      MemLogEntry load_part;
+      load_part.kind = MemEntryKind::kAmoLoad;
+      load_part.addr = info.mem_addr;
+      load_part.data = info.mem_rdata;  // old value
+      load_part.bytes = 8;
+      for (Channel* ch : out_channels_) ch->push_mem(load_part, now);
+      ++mem_entries_logged_;
+      // New value = f(old, operand); recompute exactly as the core did.
+      const u64 old = info.mem_rdata;
+      const u64 operand = info.mem_wdata;
+      u64 next = 0;
+      switch (op) {
+        case Opcode::kAmoaddD: next = old + operand; break;
+        case Opcode::kAmoswapD: next = operand; break;
+        case Opcode::kAmoxorD: next = old ^ operand; break;
+        case Opcode::kAmoandD: next = old & operand; break;
+        case Opcode::kAmoorD: next = old | operand; break;
+        default: FLEX_CHECK_MSG(false, "not an AMO opcode");
+      }
+      entry.kind = MemEntryKind::kAmoStore;
+      entry.data = next;
+      entries = 2;
+      break;
+    }
+    case isa::MemKind::kNone: return 0;
+  }
+
+  for (Channel* ch : out_channels_) ch->push_mem(entry, now);
+  ++mem_entries_logged_;
+  // Multi-entry instructions add a cycle of packaging latency (Sec. III-B).
+  return entries > 1 ? 1 : 0;
+}
+
+Cycle CoreUnit::on_main_commit(const CommitInfo& info) {
+  ++segment_ic_;
+  Cycle stall = 0;
+  if (info.mem_valid) stall += log_memory(info);
+  if (checking_budget_ > 0 && --checking_budget_ == 0) {
+    // Selective-checking budget exhausted: close the segment and switch the
+    // checking function off for the rest of the job.
+    stall += end_segment(info.next_pc);
+    checking_enabled_ = false;
+    return stall;
+  }
+  if (segment_ic_ >= config_.segment_limit) {
+    stall += end_segment(info.next_pc);
+    start_segment(info.next_pc);
+  }
+  return stall;
+}
+
+// ---------------------------------------------------------------------------
+// Checker-core (consumer) side
+// ---------------------------------------------------------------------------
+
+bool CoreUnit::segment_ready(Cycle now) const {
+  return in_channel_ != nullptr && in_channel_->segment_ready(now);
+}
+
+Cycle CoreUnit::next_segment_ready_at() const {
+  return in_channel_ == nullptr ? kNever : in_channel_->next_segment_ready_at();
+}
+
+void CoreUnit::apply_scp() {
+  FLEX_CHECK_MSG(segment_ready(core_.cycle()), "C.apply with no ready SCP");
+  FLEX_CHECK(in_channel_->front().kind == StreamItem::Kind::kScp);
+  const StreamItem scp = in_channel_->pop(core_.cycle());
+  pending_scp_ = scp.state;
+  expected_ic_ = in_channel_->front_segment_ic();
+  for (u8 r = 1; r < isa::kNumRegs; ++r) core_.set_reg(r, scp.state.regs[r]);
+}
+
+void CoreUnit::enter_replay() {
+  replay_active_ = true;
+  replayed_ = 0;
+  segment_verify_failed_ = false;
+  segment_abort_ = false;
+  if (expected_ic_ == 0) {
+    // Zero-length segment (back-to-back kernel entries on the main core):
+    // nothing to execute; verify the ECP against the just-applied SCP state.
+    finish_segment(pending_scp_.pc);
+    return;
+  }
+  core_.set_pc(pending_scp_.pc);
+  core_.set_user_mode(true);
+  core_.set_mem_port(replay_port_.get());
+  core_.set_trap_suppression(true);
+  core_.activate();
+}
+
+void CoreUnit::begin_replay() {
+  FLEX_CHECK_MSG(!replay_active_ && !replay_suspended_, "replay already in flight");
+  FLEX_CHECK_MSG(segment_ready(core_.cycle()), "no ready segment");
+
+  // C.record: save the checker thread's context into the ASS (once per
+  // activation; subsequent segments reuse it).
+  if (!have_thread_ctx_) {
+    ass_thread_ctx_ = core_.capture_state();
+    have_thread_ctx_ = true;
+  }
+  core_.add_cycles(4);  // record/apply/jal micro-sequence
+  apply_scp();
+  enter_replay();
+}
+
+void CoreUnit::resume_replay() {
+  FLEX_CHECK_MSG(replay_suspended_, "no suspended replay");
+  replay_suspended_ = false;
+  replay_active_ = true;
+  core_.set_user_mode(true);
+  core_.set_mem_port(replay_port_.get());
+  core_.set_trap_suppression(true);
+}
+
+CoreUnit::ReplayContext CoreUnit::extract_replay_context() {
+  FLEX_CHECK_MSG(!replay_active_, "extract while replay is executing");
+  ReplayContext ctx;
+  ctx.active = replay_suspended_;
+  ctx.replayed = replayed_;
+  ctx.expected_ic = expected_ic_;
+  ctx.pending_scp = pending_scp_;
+  ctx.verify_failed = segment_verify_failed_;
+  ctx.abort = segment_abort_;
+  ctx.have_thread_ctx = have_thread_ctx_;
+  ctx.thread_ctx = ass_thread_ctx_;
+  replay_suspended_ = false;
+  have_thread_ctx_ = false;
+  replayed_ = 0;
+  expected_ic_ = 0;
+  segment_verify_failed_ = false;
+  segment_abort_ = false;
+  return ctx;
+}
+
+void CoreUnit::adopt_replay_context(const ReplayContext& ctx) {
+  FLEX_CHECK_MSG(!replay_active_ && !replay_suspended_, "unit busy with another replay");
+  replayed_ = ctx.replayed;
+  expected_ic_ = ctx.expected_ic;
+  pending_scp_ = ctx.pending_scp;
+  segment_verify_failed_ = ctx.verify_failed;
+  segment_abort_ = ctx.abort;
+  have_thread_ctx_ = ctx.have_thread_ctx;
+  ass_thread_ctx_ = ctx.thread_ctx;
+  replay_suspended_ = ctx.active;
+}
+
+void CoreUnit::cancel_replay() {
+  if (replay_active_ || replay_suspended_) {
+    replay_active_ = false;
+    replay_suspended_ = false;
+    core_.set_mem_port(nullptr);
+    core_.set_trap_suppression(false);
+  }
+}
+
+void CoreUnit::report(DetectKind kind) {
+  FLEX_CHECK(in_channel_ != nullptr);
+  // One error report per failing segment (hardware raises C.result once at
+  // the segment boundary); a diverged replay would otherwise storm reports.
+  if (segment_verify_failed_) return;
+  reporter_.on_detect(*in_channel_, kind, core_.id(), core_.cycle());
+}
+
+void CoreUnit::on_replay_fetch_fault() {
+  report(DetectKind::kStructural);
+  segment_verify_failed_ = true;
+  abandon_segment();
+}
+
+void CoreUnit::abandon_segment() {
+  // Resynchronise: drop everything up to and including the SegmentEnd.
+  while (in_channel_ != nullptr && !in_channel_->empty()) {
+    const StreamItem item = in_channel_->pop(core_.cycle());
+    if (item.kind == StreamItem::Kind::kSegmentEnd) break;
+  }
+  ++segments_failed_;
+  exit_replay_mode(false);
+}
+
+void CoreUnit::finish_segment(Addr checker_next_pc) {
+  // The SegmentEnd must be the next queued item (all entries consumed).
+  if (in_channel_->empty() ||
+      in_channel_->front().kind != StreamItem::Kind::kSegmentEnd) {
+    report(DetectKind::kStructural);
+    segment_verify_failed_ = true;
+    abandon_segment();
+    return;
+  }
+  const StreamItem end = in_channel_->pop(core_.cycle());
+  const ArchState& ecp = end.state;
+
+  // Compare the checker's architectural state with the ECP.
+  bool mismatch_reported = false;
+  if (ecp.pc != checker_next_pc) {
+    report(DetectKind::kEcpPc);
+    mismatch_reported = true;
+  }
+  for (u8 r = 1; r < isa::kNumRegs && !mismatch_reported; ++r) {
+    if (core_.reg(r) != ecp.regs[r]) {
+      report(DetectKind::kEcpReg);
+      mismatch_reported = true;
+    }
+  }
+  const bool ok = !mismatch_reported && !segment_verify_failed_;
+  if (ok) {
+    ++segments_verified_;
+  } else {
+    ++segments_failed_;
+  }
+  core_.add_cycles(4);  // ECP comparison + state swap back
+  exit_replay_mode(ok);
+}
+
+void CoreUnit::exit_replay_mode(bool ok) {
+  segment_result_ok_ = ok;
+  replay_active_ = false;
+  replay_suspended_ = false;
+  core_.set_mem_port(nullptr);
+  core_.set_trap_suppression(false);
+  // Rapid context switch back to the checker thread: restore the C.record
+  // snapshot from the ASS (Sec. III-A).
+  if (have_thread_ctx_) core_.restore_state(ass_thread_ctx_);
+  core_.set_user_mode(false);
+  if (on_segment_done_) on_segment_done_(*this, ok);
+}
+
+Cycle CoreUnit::on_replay_commit(const CommitInfo& info) {
+  ++replayed_;
+  ++replayed_total_;
+  if (segment_abort_) {
+    abandon_segment();
+    return 0;
+  }
+  if (replayed_ >= expected_ic_) {
+    finish_segment(info.next_pc);
+    return 0;
+  }
+  if (replayed_ >= static_cast<u64>(config_.segment_limit) * config_.max_replay_factor) {
+    // Runaway replay (corrupted IC): declare structural failure.
+    report(DetectKind::kStructural);
+    segment_verify_failed_ = true;
+    abandon_segment();
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// CoreHooks dispatch
+// ---------------------------------------------------------------------------
+
+Cycle CoreUnit::on_commit(arch::Core& core, const CommitInfo& info) {
+  (void)core;
+  if (!info.user_mode) return 0;
+  if (replay_active_) return on_replay_commit(info);
+  if (checking_enabled_ && segment_active_) return on_main_commit(info);
+  return 0;
+}
+
+void CoreUnit::on_enter_kernel(arch::Core& core) {
+  if (replay_active_) {
+    // Preemption of a checking segment (FlexStep's headline capability): the
+    // replay context lives in the core's architectural state, which the
+    // kernel saves; the unit keeps counters/channel position for resumption.
+    replay_active_ = false;
+    replay_suspended_ = true;
+    core.set_mem_port(nullptr);
+    core.set_trap_suppression(false);
+    return;
+  }
+  if (checking_enabled_ && segment_active_) {
+    // Premature segment extermination (Fig. 3 case 1): close at the resume PC.
+    const Addr resume_pc = core.read_csr(isa::kCsrMepc);
+    const Cycle stall = end_segment(resume_pc);
+    core.add_cycles(stall);
+  }
+}
+
+void CoreUnit::on_exit_kernel(arch::Core& core) {
+  if (replay_suspended_) {
+    // Kernel excursion on the checker returned straight to the replay thread.
+    resume_replay();
+    return;
+  }
+  if (checking_enabled_ && !segment_active_ && attr() == CoreAttr::kMain) {
+    // Temporary deviation over (Fig. 3 case 2): open the next segment.
+    start_segment(core.pc());
+  }
+}
+
+u64 CoreUnit::exec_custom(arch::Core& core, const Instruction& inst) {
+  switch (inst.op) {
+    case Opcode::kGIdsContain:
+      return static_cast<u64>(global_.attr_of(static_cast<CoreId>(core.reg(inst.rs1))));
+
+    case Opcode::kGConfigure:
+      global_.configure(core.reg(inst.rs1), core.reg(inst.rs2));
+      return 0;
+
+    case Opcode::kMAssociate:
+      FLEX_CHECK_MSG(interconnect_ != nullptr, "M.associate needs an interconnect");
+      interconnect_->associate(core.id(), core.reg(inst.rs1));
+      return 0;
+
+    case Opcode::kMCheck: {
+      const bool enable = inst.imm != 0;
+      if (enable && !checking_enabled_) {
+        checking_enabled_ = true;
+        // Selective checking (Sec. V: checking "performed on specific
+        // portions of a job"): rs1 carries an instruction budget; the CPC
+        // counts it down and switches checking off at zero. rs1 = x0 means
+        // unbounded (full-job checking).
+        checking_budget_ = inst.rs1 != 0 ? core.reg(inst.rs1) : 0;
+        start_segment(core.pc());
+      } else if (!enable && checking_enabled_) {
+        if (segment_active_) {
+          const Cycle stall = end_segment(core.pc());
+          core.add_cycles(stall);
+        }
+        checking_enabled_ = false;
+        checking_budget_ = 0;
+      }
+      return 0;
+    }
+
+    case Opcode::kCCheckState:
+      // The C.record snapshot stays in the ASS across busy/idle transitions;
+      // the kernel extracts it per-job when interleaving checker jobs.
+      checker_busy_ = inst.imm != 0;
+      return 0;
+
+    case Opcode::kCRecord:
+      ass_thread_ctx_ = core.capture_state();
+      have_thread_ctx_ = true;
+      return 0;
+
+    case Opcode::kCApply:
+      // Kernel-driven variant of begin_replay()'s apply step.
+      apply_scp();
+      return 0;
+
+    case Opcode::kCJal:
+      enter_replay();
+      return 0;
+
+    case Opcode::kCResult:
+      return segment_result_ok_ ? 1 : 0;
+
+    default:
+      FLEX_CHECK_MSG(false, "not a FlexStep custom instruction");
+      return 0;
+  }
+}
+
+}  // namespace flexstep::fs

@@ -1,0 +1,184 @@
+// Per-core FlexStep unit: RCPM (CPC instruction counter + privilege monitor,
+// ASS snapshot storage), MAL memory-access logging, and the checker-side
+// replay engine. One unit attaches to every core (homogeneous design, paper
+// Sec. III) and implements the core's CoreHooks seam plus the replay MemPort.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/core.h"
+#include "arch/ports.h"
+#include "common/types.h"
+#include "flexstep/channel.h"
+#include "flexstep/config.h"
+#include "flexstep/error.h"
+#include "flexstep/global_config.h"
+
+namespace flexstep::fs {
+
+/// Interconnect control surface used by the M.associate instruction; the
+/// Fabric (system interconnect + global registers) implements it.
+class InterconnectControl {
+ public:
+  virtual ~InterconnectControl() = default;
+  virtual void associate(CoreId main_id, u64 checker_mask) = 0;
+  virtual void dissociate(CoreId main_id) = 0;
+};
+
+class CoreUnit final : public arch::CoreHooks {
+ public:
+  CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& reporter,
+           InterconnectControl* interconnect, const FlexStepConfig& config);
+  ~CoreUnit() override;
+
+  arch::Core& core() { return core_; }
+  CoreAttr attr() const { return global_.attr_of(core_.id()); }
+  const FlexStepConfig& config() const { return config_; }
+
+  // ---- wiring (Fabric) ----
+  void add_out_channel(Channel* channel) { out_channels_.push_back(channel); }
+  void clear_out_channels() { out_channels_.clear(); }
+  const std::vector<Channel*>& out_channels() const { return out_channels_; }
+  void set_in_channel(Channel* channel) { in_channel_ = channel; }
+  Channel* in_channel() const { return in_channel_; }
+
+  // ---- main-core state ----
+  bool checking_enabled() const { return checking_enabled_; }
+  bool segment_active() const { return segment_active_; }
+  /// Remaining selective-checking budget (0 = unbounded or exhausted).
+  u64 checking_budget() const { return checking_budget_; }
+  /// True when every out-channel currently has push space (SoC loop uses this
+  /// to decide when a backpressure-blocked main core may resume).
+  bool out_channels_have_space() const;
+  /// Latest consumer pop time across out channels (resume timestamp).
+  Cycle out_channel_space_available_at() const;
+
+  // ---- checker-core state ----
+  bool checker_busy() const { return checker_busy_; }
+  bool replay_active() const { return replay_active_; }
+  bool replay_suspended() const { return replay_suspended_; }
+  /// A complete segment is ready for replay at `now`.
+  bool segment_ready(Cycle now) const;
+  Cycle next_segment_ready_at() const;
+
+  /// Drive the checker per Alg. 2 semantics: save the thread context once
+  /// (C.record), then apply the SCP and jump (C.apply + C.jal). Requires
+  /// segment_ready(core cycle). The SoC driver and the kernel's checker
+  /// thread both funnel through here (the kernel via the custom ISA).
+  void begin_replay();
+  /// Resume a replay that was suspended by kernel preemption; the kernel must
+  /// have restored the checker task's architectural context first.
+  void resume_replay();
+  /// Abandon any in-flight replay (verification job cancelled).
+  void cancel_replay();
+
+  /// Per-job replay state, extracted/adopted across kernel context switches
+  /// (EDF may interleave several checker jobs on one checker core; each job
+  /// owns its replay progress, mirroring how the ASS snapshot travels with
+  /// the checker thread).
+  struct ReplayContext {
+    bool active = false;  ///< A segment replay was in flight when suspended.
+    u64 replayed = 0;
+    u64 expected_ic = 0;
+    arch::ArchState pending_scp{};
+    bool verify_failed = false;
+    bool abort = false;
+    bool have_thread_ctx = false;
+    arch::ArchState thread_ctx{};
+  };
+
+  /// Detach the suspended replay state for the outgoing checker job. The unit
+  /// is left clean for the next job. Requires no replay actively executing.
+  ReplayContext extract_replay_context();
+
+  /// Re-install a previously extracted state. If `ctx.active`, the kernel
+  /// must restore the job's architectural context and then call
+  /// resume_replay().
+  void adopt_replay_context(const ReplayContext& ctx);
+
+  /// Invoked by the SoC driver / kernel when a replayed segment completes
+  /// (successfully or not). `ok` is the C.result value.
+  using SegmentDoneFn = std::function<void(CoreUnit&, bool ok)>;
+  void set_on_segment_done(SegmentDoneFn fn) { on_segment_done_ = std::move(fn); }
+
+  /// Fetch fault while replaying (corrupted SCP PC): report + abandon. Called
+  /// by the trap handler that owns the checker core.
+  void on_replay_fetch_fault();
+
+  // ---- statistics ----
+  u64 segments_produced() const { return segments_produced_; }
+  u64 segments_verified() const { return segments_verified_; }
+  u64 segments_failed() const { return segments_failed_; }
+  u64 checkpoints_captured() const { return checkpoints_captured_; }
+  u64 mem_entries_logged() const { return mem_entries_logged_; }
+  u64 replayed_instructions() const { return replayed_total_; }
+
+  // ---- CoreHooks ----
+  bool memory_can_commit(arch::Core& core, const isa::Instruction& inst) override;
+  Cycle on_commit(arch::Core& core, const arch::CommitInfo& info) override;
+  void on_enter_kernel(arch::Core& core) override;
+  void on_exit_kernel(arch::Core& core) override;
+  u64 exec_custom(arch::Core& core, const isa::Instruction& inst) override;
+
+ private:
+  class ReplayPort;
+
+  // Main-core segment management (CPC working mechanism, Sec. III-A).
+  void start_segment(Addr start_pc);
+  Cycle end_segment(Addr resume_pc);
+  Cycle log_memory(const arch::CommitInfo& info);
+  static u32 entries_for(isa::Opcode op);
+
+  // Checker-side replay management.
+  Cycle on_main_commit(const arch::CommitInfo& info);
+  Cycle on_replay_commit(const arch::CommitInfo& info);
+  void apply_scp();
+  void enter_replay();
+  void finish_segment(Addr checker_next_pc);
+  void abandon_segment();
+  void exit_replay_mode(bool ok);
+  void report(DetectKind kind);
+
+  arch::Core& core_;
+  GlobalConfig& global_;
+  ErrorReporter& reporter_;
+  InterconnectControl* interconnect_;
+  FlexStepConfig config_;
+
+  // ---- main-core (producer) state ----
+  std::vector<Channel*> out_channels_;
+  bool checking_enabled_ = false;
+  bool segment_active_ = false;
+  u64 segment_ic_ = 0;           ///< CPC instruction counter.
+  u64 checking_budget_ = 0;      ///< Selective checking: instructions left (0 = unbounded).
+  Addr segment_start_pc_ = 0;
+
+  // ---- checker-core (consumer) state ----
+  Channel* in_channel_ = nullptr;
+  bool checker_busy_ = false;
+  bool replay_active_ = false;
+  bool replay_suspended_ = false;
+  bool have_thread_ctx_ = false;
+  arch::ArchState ass_thread_ctx_{};  ///< C.record context (ASS storage).
+  arch::ArchState pending_scp_{};     ///< Applied SCP (C.apply).
+  u64 expected_ic_ = 0;
+  u64 replayed_ = 0;
+  bool segment_result_ok_ = true;     ///< C.result of the last segment.
+  bool segment_verify_failed_ = false;
+  bool segment_abort_ = false;        ///< Structural failure: abandon at next commit.
+
+  std::unique_ptr<ReplayPort> replay_port_;
+  SegmentDoneFn on_segment_done_;
+
+  // ---- statistics ----
+  u64 segments_produced_ = 0;
+  u64 segments_verified_ = 0;
+  u64 segments_failed_ = 0;
+  u64 checkpoints_captured_ = 0;
+  u64 mem_entries_logged_ = 0;
+  u64 replayed_total_ = 0;
+};
+
+}  // namespace flexstep::fs

@@ -1,0 +1,30 @@
+#include "flexstep/error.h"
+
+#include "common/log.h"
+#include "flexstep/channel.h"
+
+namespace flexstep::fs {
+
+void ErrorReporter::on_detect(Channel& channel, DetectKind kind, CoreId checker,
+                              Cycle now) {
+  DetectionEvent event;
+  event.checker = checker;
+  event.at = now;
+  event.kind = kind;
+  // Attribute only when causally possible (the mismatch is downstream of the
+  // corruption); a detection predating the injection belongs to residue of an
+  // earlier event, not to this fault.
+  if (channel.fault_pending() && now >= channel.pending_fault().injected_at) {
+    const InjectedFault& fault = channel.pending_fault();
+    event.attributed = true;
+    event.latency = now - fault.injected_at;
+    channel.clear_fault();
+    ++attributed_;
+  }
+  FLEX_LOG_DEBUG("error detected by core %u at cycle %llu (%s%s)", checker,
+                 static_cast<unsigned long long>(now), detect_kind_name(kind),
+                 event.attributed ? ", attributed" : "");
+  events_.push_back(event);
+}
+
+}  // namespace flexstep::fs

@@ -1,0 +1,78 @@
+#include "flexstep/fabric.h"
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace flexstep::fs {
+
+CoreUnit& Fabric::attach(arch::Core& core) {
+  FLEX_CHECK_MSG(core.id() == units_.size(), "attach cores in id order");
+  units_.push_back(std::make_unique<CoreUnit>(core, global_, reporter_, this, config_));
+  waitlists_.emplace_back();
+  return *units_.back();
+}
+
+Channel* Fabric::find_open_channel(CoreId main_id, CoreId checker_id) {
+  for (const auto& ch : channels_) {
+    if (!ch->closed() && ch->main_id() == main_id && ch->checker_id() == checker_id) {
+      return ch.get();
+    }
+  }
+  return nullptr;
+}
+
+void Fabric::associate(CoreId main_id, u64 checker_mask) {
+  CoreUnit& main_unit = unit(main_id);
+  main_unit.clear_out_channels();
+  for (CoreId checker = 0; checker < units_.size(); ++checker) {
+    if ((checker_mask & (u64{1} << checker)) == 0) continue;
+    FLEX_CHECK_MSG(checker != main_id, "a core cannot check itself");
+    Channel* ch = find_open_channel(main_id, checker);
+    if (ch == nullptr) {
+      channels_.push_back(std::make_unique<Channel>(main_id, checker, config_));
+      ch = channels_.back().get();
+      CoreUnit& checker_unit = unit(checker);
+      if (checker_unit.in_channel() == nullptr) {
+        checker_unit.set_in_channel(ch);
+      } else {
+        // Conflict: checker occupied — buffer in the main's FIFO until the
+        // checker is released (paper Sec. III-C).
+        waitlists_[checker].push_back(ch);
+      }
+    }
+    main_unit.add_out_channel(ch);
+  }
+  FLEX_LOG_TRACE("associate: main %u -> mask %llx", main_id,
+                 static_cast<unsigned long long>(checker_mask));
+}
+
+void Fabric::dissociate(CoreId main_id) {
+  CoreUnit& main_unit = unit(main_id);
+  for (Channel* ch : main_unit.out_channels()) ch->close();
+  main_unit.clear_out_channels();
+}
+
+void Fabric::pump_assignments() {
+  for (CoreId checker = 0; checker < units_.size(); ++checker) {
+    CoreUnit& checker_unit = unit(checker);
+    Channel* current = checker_unit.in_channel();
+    if (current != nullptr && current->drained() && !checker_unit.replay_active() &&
+        !checker_unit.replay_suspended()) {
+      checker_unit.set_in_channel(nullptr);
+      current = nullptr;
+    }
+    if (current == nullptr && !waitlists_[checker].empty()) {
+      checker_unit.set_in_channel(waitlists_[checker].front());
+      waitlists_[checker].pop_front();
+    }
+  }
+}
+
+std::vector<Channel*> Fabric::channels() const {
+  std::vector<Channel*> out;
+  out.reserve(channels_.size());
+  for (const auto& ch : channels_) out.push_back(ch.get());
+  return out;
+}
+
+}  // namespace flexstep::fs

@@ -1,0 +1,71 @@
+// The FlexStep fabric: per-core units, the global configuration registers and
+// the System Interconnect (paper Sec. III-C) — a full crossbar that routes a
+// main core's Data Buffer FIFO to one or more checker cores, configured at
+// runtime by M.associate.
+//
+// Conflict handling follows the paper: when two main cores target the same
+// checker, only one channel is attached at a time; the other buffers in its
+// own FIFO/DMA space on a waitlist until the checker is released.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "arch/core.h"
+#include "common/types.h"
+#include "flexstep/channel.h"
+#include "flexstep/config.h"
+#include "flexstep/core_unit.h"
+#include "flexstep/error.h"
+#include "flexstep/global_config.h"
+
+namespace flexstep::fs {
+
+class Fabric final : public InterconnectControl {
+ public:
+  explicit Fabric(const FlexStepConfig& config) : config_(config) {}
+
+  /// Create (and attach) the FlexStep unit for `core`. Cores must be attached
+  /// in id order, starting at 0.
+  CoreUnit& attach(arch::Core& core);
+
+  CoreUnit& unit(CoreId id) { return *units_.at(id); }
+  const CoreUnit& unit(CoreId id) const { return *units_.at(id); }
+  std::size_t num_units() const { return units_.size(); }
+
+  GlobalConfig& global() { return global_; }
+  ErrorReporter& reporter() { return reporter_; }
+  const FlexStepConfig& config() const { return config_; }
+
+  // ---- InterconnectControl (M.associate / job teardown) ----
+
+  /// Route `main_id`'s stream to every checker in `checker_mask`, replacing
+  /// the main core's previous out-set. Reuses still-open channels for
+  /// unchanged pairs; creates fresh channels otherwise. Busy checkers queue
+  /// the new channel on their waitlist.
+  void associate(CoreId main_id, u64 checker_mask) override;
+
+  /// Close all of `main_id`'s out channels (verification job finished). The
+  /// checkers keep draining the closed channels asynchronously.
+  void dissociate(CoreId main_id) override;
+
+  /// Give idle checkers their next waitlisted channel and detach drained
+  /// ones. The SoC driver calls this every scheduling round.
+  void pump_assignments();
+
+  /// All live channels (diagnostics / fault-injection targeting).
+  std::vector<Channel*> channels() const;
+
+ private:
+  Channel* find_open_channel(CoreId main_id, CoreId checker_id);
+
+  FlexStepConfig config_;
+  GlobalConfig global_;
+  ErrorReporter reporter_;
+  std::vector<std::unique_ptr<CoreUnit>> units_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::deque<Channel*>> waitlists_;  ///< Per checker core id.
+};
+
+}  // namespace flexstep::fs

@@ -1,0 +1,59 @@
+// The verification stream flowing from a main core to its checker core(s):
+// SCP, memory-access log entries, then IC + ECP per checking segment — the
+// exact order of the paper's Fig. 3.
+#pragma once
+
+#include "arch/arch_state.h"
+#include "common/types.h"
+
+namespace flexstep::fs {
+
+/// MAL entry kinds. Regular LD/ST package into one entry; LR/SC/AMO package
+/// into multiple entries (paper Sec. III-B, "multiple micro-ops").
+enum class MemEntryKind : u8 {
+  kLoadData,       ///< Load: address (verified) + data (used for replay).
+  kStoreAddrData,  ///< Store: address + data (both verified).
+  kLrLoad,         ///< LR.D load part.
+  kScFlag,         ///< SC.D success flag (0 = success; trusted for replay).
+  kScStore,        ///< SC.D store part (present only when the SC succeeded).
+  kAmoLoad,        ///< AMO read part (old value; used for replay).
+  kAmoStore,       ///< AMO write part (new value; verified).
+};
+
+constexpr const char* mem_entry_kind_name(MemEntryKind k) {
+  switch (k) {
+    case MemEntryKind::kLoadData: return "load";
+    case MemEntryKind::kStoreAddrData: return "store";
+    case MemEntryKind::kLrLoad: return "lr";
+    case MemEntryKind::kScFlag: return "sc-flag";
+    case MemEntryKind::kScStore: return "sc-store";
+    case MemEntryKind::kAmoLoad: return "amo-load";
+    case MemEntryKind::kAmoStore: return "amo-store";
+  }
+  return "?";
+}
+
+struct MemLogEntry {
+  MemEntryKind kind = MemEntryKind::kLoadData;
+  u8 bytes = 0;
+  Addr addr = 0;
+  u64 data = 0;
+};
+
+struct StreamItem {
+  enum class Kind : u8 {
+    kScp,         ///< Start Register Checkpoint (state.pc = segment entry PC).
+    kMem,         ///< One MAL entry.
+    kSegmentEnd,  ///< Instruction count + End Register Checkpoint.
+  };
+
+  Kind kind = Kind::kScp;
+  u64 seq = 0;          ///< Channel-monotonic sequence number.
+  Cycle visible_at = 0; ///< Producer push time + channel latency.
+
+  MemLogEntry mem{};            ///< kMem payload.
+  arch::ArchState state{};      ///< kScp: SCP; kSegmentEnd: ECP.
+  u64 inst_count = 0;           ///< kSegmentEnd: user instructions in segment.
+};
+
+}  // namespace flexstep::fs

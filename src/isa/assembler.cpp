@@ -1,0 +1,97 @@
+#include "isa/assembler.h"
+
+#include "common/check.h"
+
+namespace flexstep::isa {
+
+std::vector<u32> Program::encode_all() const {
+  std::vector<u32> words;
+  words.reserve(code.size());
+  for (const auto& inst : code) words.push_back(encode(inst));
+  return words;
+}
+
+Assembler::Label Assembler::new_label() {
+  label_addr_.push_back(-1);
+  return Label{static_cast<u32>(label_addr_.size() - 1)};
+}
+
+void Assembler::bind(Label label) {
+  FLEX_CHECK(label.id < label_addr_.size());
+  FLEX_CHECK_MSG(label_addr_[label.id] < 0, "label already bound");
+  label_addr_[label.id] = static_cast<i64>(here());
+}
+
+void Assembler::branch_to(Opcode op, u8 rs1, u8 rs2, Label target) {
+  FLEX_CHECK(target.id < label_addr_.size());
+  fixups_.push_back({code_.size(), target.id});
+  code_.push_back(make_b(op, rs1, rs2, 0));
+}
+
+void Assembler::beq(u8 rs1, u8 rs2, Label t) { branch_to(Opcode::kBeq, rs1, rs2, t); }
+void Assembler::bne(u8 rs1, u8 rs2, Label t) { branch_to(Opcode::kBne, rs1, rs2, t); }
+void Assembler::blt(u8 rs1, u8 rs2, Label t) { branch_to(Opcode::kBlt, rs1, rs2, t); }
+void Assembler::bge(u8 rs1, u8 rs2, Label t) { branch_to(Opcode::kBge, rs1, rs2, t); }
+void Assembler::bltu(u8 rs1, u8 rs2, Label t) { branch_to(Opcode::kBltu, rs1, rs2, t); }
+void Assembler::bgeu(u8 rs1, u8 rs2, Label t) { branch_to(Opcode::kBgeu, rs1, rs2, t); }
+
+void Assembler::jal(u8 rd, Label target) {
+  FLEX_CHECK(target.id < label_addr_.size());
+  fixups_.push_back({code_.size(), target.id});
+  code_.push_back(make_uj(Opcode::kJal, rd, 0));
+}
+
+void Assembler::li(u8 rd, i64 value) {
+  if (value >= kImm14Min && value <= kImm14Max) {
+    addi(rd, kRegZero, static_cast<i32>(value));
+    return;
+  }
+  // 32-bit path: LUI (imm19 << 13) + ADDI covers most of [-2^31, 2^31).
+  if (value >= INT64_C(-0x80000000) && value < INT64_C(0x80000000)) {
+    const i64 hi = (value + (1 << (kLuiShift - 1))) >> kLuiShift;  // round to nearest
+    const i64 lo = value - (hi << kLuiShift);
+    if (hi >= kImm19Min && hi <= kImm19Max) {
+      FLEX_CHECK(lo >= kImm14Min && lo <= kImm14Max);
+      lui(rd, static_cast<i32>(hi));
+      if (lo != 0) addi(rd, rd, static_cast<i32>(lo));
+      return;
+    }
+    // hi overflows imm19 (values near ±2^31): fall through to the long form.
+  }
+  // Full 64-bit: bits 63..51, then three 13-bit chunks, then the low 12 bits
+  // (13 + 13·3 + 12 = 64), built by shift-and-add.
+  const auto uval = static_cast<u64>(value);
+  lui(rd, static_cast<i32>((uval >> 51) & 0x1FFF));  // top 13 bits at position 13
+  srli(rd, rd, kLuiShift);                           // now rd = bits 63..51
+  for (int pos = 38; pos >= 12; pos -= 13) {
+    slli(rd, rd, 13);
+    const auto chunk = static_cast<i32>((uval >> pos) & 0x1FFF);
+    if (chunk != 0) addi(rd, rd, chunk);
+  }
+  slli(rd, rd, 12);
+  const auto low = static_cast<i32>(uval & 0xFFF);
+  if (low != 0) addi(rd, rd, low);
+}
+
+Program Assembler::finalize(std::string name, Addr data_base, u64 data_size) {
+  FLEX_CHECK_MSG(!finalized_, "assembler already finalized");
+  finalized_ = true;
+  for (const auto& fixup : fixups_) {
+    const i64 target = label_addr_[fixup.label];
+    FLEX_CHECK_MSG(target >= 0, "unbound label referenced");
+    const Addr inst_addr = code_base_ + fixup.index * 4;
+    const i64 offset = target - static_cast<i64>(inst_addr);
+    code_[fixup.index].imm = static_cast<i32>(offset);
+  }
+  Program prog;
+  prog.name = std::move(name);
+  prog.code_base = code_base_;
+  prog.code = std::move(code_);
+  prog.data_base = data_base;
+  prog.data_size = data_size;
+  // Validate that every instruction encodes (range-checks immediates).
+  for (const auto& inst : prog.code) (void)encode(inst);
+  return prog;
+}
+
+}  // namespace flexstep::isa

@@ -1,0 +1,130 @@
+// Programmatic assembler: workload generators build simulator programs with
+// it. Supports forward-referencing labels and multi-instruction pseudo-ops
+// (64-bit `li`, unconditional `j`, ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace flexstep::isa {
+
+/// Default load addresses of generated programs in the simulated flat memory.
+inline constexpr Addr kDefaultCodeBase = 0x0001'0000;
+inline constexpr Addr kDefaultDataBase = 0x0100'0000;
+
+/// A fully assembled program: decoded instruction stream plus its memory image
+/// parameters. Programs are position-dependent (loaded at code_base).
+struct Program {
+  std::string name;
+  Addr code_base = kDefaultCodeBase;
+  std::vector<Instruction> code;
+  Addr data_base = kDefaultDataBase;
+  u64 data_size = 0;  ///< Bytes of zero-initialised working-set data.
+
+  Addr entry() const { return code_base; }
+  Addr code_end() const { return code_base + code.size() * 4; }
+  /// Binary image of the code segment (one 32-bit word per instruction).
+  std::vector<u32> encode_all() const;
+};
+
+class Assembler {
+ public:
+  /// Opaque label handle. Valid until finalize().
+  struct Label {
+    u32 id = ~u32{0};
+  };
+
+  explicit Assembler(Addr code_base = kDefaultCodeBase) : code_base_(code_base) {}
+
+  Label new_label();
+  /// Bind `label` to the next emitted instruction. Each label binds once.
+  void bind(Label label);
+
+  /// Current emission address.
+  Addr here() const { return code_base_ + code_.size() * 4; }
+  std::size_t size() const { return code_.size(); }
+
+  // ---- raw emission ----
+  void emit(const Instruction& inst) { code_.push_back(inst); }
+
+  // ---- ALU ----
+  void add(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kAdd, rd, rs1, rs2)); }
+  void sub(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kSub, rd, rs1, rs2)); }
+  void and_(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kAnd, rd, rs1, rs2)); }
+  void or_(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kOr, rd, rs1, rs2)); }
+  void xor_(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kXor, rd, rs1, rs2)); }
+  void sll(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kSll, rd, rs1, rs2)); }
+  void srl(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kSrl, rd, rs1, rs2)); }
+  void slt(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kSlt, rd, rs1, rs2)); }
+  void sltu(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kSltu, rd, rs1, rs2)); }
+  void mul(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kMul, rd, rs1, rs2)); }
+  void div(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kDiv, rd, rs1, rs2)); }
+  void rem(u8 rd, u8 rs1, u8 rs2) { emit(make_r(Opcode::kRem, rd, rs1, rs2)); }
+  void addi(u8 rd, u8 rs1, i32 imm) { emit(make_i(Opcode::kAddi, rd, rs1, imm)); }
+  void andi(u8 rd, u8 rs1, i32 imm) { emit(make_i(Opcode::kAndi, rd, rs1, imm)); }
+  void ori(u8 rd, u8 rs1, i32 imm) { emit(make_i(Opcode::kOri, rd, rs1, imm)); }
+  void xori(u8 rd, u8 rs1, i32 imm) { emit(make_i(Opcode::kXori, rd, rs1, imm)); }
+  void slli(u8 rd, u8 rs1, i32 shamt) { emit(make_i(Opcode::kSlli, rd, rs1, shamt)); }
+  void srli(u8 rd, u8 rs1, i32 shamt) { emit(make_i(Opcode::kSrli, rd, rs1, shamt)); }
+  void srai(u8 rd, u8 rs1, i32 shamt) { emit(make_i(Opcode::kSrai, rd, rs1, shamt)); }
+  void lui(u8 rd, i32 imm19) { emit(make_uj(Opcode::kLui, rd, imm19)); }
+
+  // ---- memory ----
+  void ld(u8 rd, u8 base, i32 off) { emit(make_i(Opcode::kLd, rd, base, off)); }
+  void lw(u8 rd, u8 base, i32 off) { emit(make_i(Opcode::kLw, rd, base, off)); }
+  void lb(u8 rd, u8 base, i32 off) { emit(make_i(Opcode::kLb, rd, base, off)); }
+  void sd(u8 rs2, u8 base, i32 off) { emit(make_s(Opcode::kSd, rs2, base, off)); }
+  void sw(u8 rs2, u8 base, i32 off) { emit(make_s(Opcode::kSw, rs2, base, off)); }
+  void sb(u8 rs2, u8 base, i32 off) { emit(make_s(Opcode::kSb, rs2, base, off)); }
+  void lr_d(u8 rd, u8 base) { emit(make_i(Opcode::kLrD, rd, base, 0)); }
+  void sc_d(u8 rd, u8 base, u8 rs2) { emit(make_r(Opcode::kScD, rd, base, rs2)); }
+  void amoadd_d(u8 rd, u8 base, u8 rs2) { emit(make_r(Opcode::kAmoaddD, rd, base, rs2)); }
+  void amoswap_d(u8 rd, u8 base, u8 rs2) { emit(make_r(Opcode::kAmoswapD, rd, base, rs2)); }
+
+  // ---- control transfer (label-based) ----
+  void beq(u8 rs1, u8 rs2, Label target);
+  void bne(u8 rs1, u8 rs2, Label target);
+  void blt(u8 rs1, u8 rs2, Label target);
+  void bge(u8 rs1, u8 rs2, Label target);
+  void bltu(u8 rs1, u8 rs2, Label target);
+  void bgeu(u8 rs1, u8 rs2, Label target);
+  void jal(u8 rd, Label target);
+  void j(Label target) { jal(kRegZero, target); }
+  void jalr(u8 rd, u8 rs1, i32 off) { emit(make_i(Opcode::kJalr, rd, rs1, off)); }
+
+  // ---- system ----
+  void ecall() { emit(make_c(Opcode::kEcall)); }
+  void halt() { emit(make_c(Opcode::kHalt)); }
+  void fence() { emit(make_c(Opcode::kFence)); }
+  void nop() { emit(make_nop()); }
+  void csrrw(u8 rd, u16 csr, u8 rs1) { emit(make_i(Opcode::kCsrrw, rd, rs1, csr)); }
+  void csrrs(u8 rd, u16 csr, u8 rs1) { emit(make_i(Opcode::kCsrrs, rd, rs1, csr)); }
+
+  // ---- pseudo-ops ----
+  /// Load an arbitrary 64-bit constant (1..8 instructions).
+  void li(u8 rd, i64 value);
+  void mv(u8 rd, u8 rs) { addi(rd, rs, 0); }
+
+  /// Resolve all label fixups and return the program. The assembler is
+  /// consumed: further emission is invalid.
+  Program finalize(std::string name, Addr data_base = kDefaultDataBase, u64 data_size = 0);
+
+ private:
+  void branch_to(Opcode op, u8 rs1, u8 rs2, Label target);
+
+  struct Fixup {
+    std::size_t index;  ///< Instruction awaiting the label address.
+    u32 label;
+  };
+
+  Addr code_base_;
+  std::vector<Instruction> code_;
+  std::vector<i64> label_addr_;  ///< -1 while unbound.
+  std::vector<Fixup> fixups_;
+  bool finalized_ = false;
+};
+
+}  // namespace flexstep::isa

@@ -1,0 +1,18 @@
+// CSR index assignments for the simulated cores' (deliberately small) CSR file.
+#pragma once
+
+#include "common/types.h"
+
+namespace flexstep::isa {
+
+enum Csr : u16 {
+  kCsrMhartid = 0xF14,  ///< Core id (read-only).
+  kCsrCycle = 0xC00,    ///< Local cycle counter (read-only).
+  kCsrInstret = 0xC02,  ///< Retired instruction counter (read-only).
+  kCsrMstatus = 0x300,  ///< Bit 0: 1 = kernel/machine mode, 0 = user mode.
+  kCsrMepc = 0x341,     ///< Trap return PC.
+  kCsrMcause = 0x342,   ///< Trap cause (see arch/trap.h).
+  kCsrMscratch = 0x340, ///< Kernel scratch register.
+};
+
+}  // namespace flexstep::isa

@@ -1,0 +1,70 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+namespace flexstep::isa {
+
+namespace {
+// Lowercase mnemonic from the enum name ("kAddi" -> "addi", "kLrD" -> "lr.d").
+std::string mnemonic(Opcode op) {
+  std::string name = opcode_name(op);
+  name.erase(0, 1);  // drop 'k'
+  std::string out;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (c >= 'A' && c <= 'Z') {
+      if (i > 0) out += '.';
+      out += static_cast<char>(c - 'A' + 'a');
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+}  // namespace
+
+std::string disasm(const Instruction& inst) {
+  char buf[128];
+  const std::string m = mnemonic(inst.op);
+  switch (opcode_format(inst.op)) {
+    case Format::kR:
+      std::snprintf(buf, sizeof buf, "%-14s x%u, x%u, x%u", m.c_str(), inst.rd, inst.rs1,
+                    inst.rs2);
+      break;
+    case Format::kI:
+      std::snprintf(buf, sizeof buf, "%-14s x%u, x%u, %d", m.c_str(), inst.rd, inst.rs1,
+                    inst.imm);
+      break;
+    case Format::kS:
+      std::snprintf(buf, sizeof buf, "%-14s x%u, %d(x%u)", m.c_str(), inst.rs2, inst.imm,
+                    inst.rs1);
+      break;
+    case Format::kB:
+      std::snprintf(buf, sizeof buf, "%-14s x%u, x%u, %d", m.c_str(), inst.rs1, inst.rs2,
+                    inst.imm);
+      break;
+    case Format::kUJ:
+      std::snprintf(buf, sizeof buf, "%-14s x%u, %d", m.c_str(), inst.rd, inst.imm);
+      break;
+    case Format::kC:
+      std::snprintf(buf, sizeof buf, "%s", m.c_str());
+      break;
+  }
+  return buf;
+}
+
+std::string disasm(const Program& prog) {
+  std::string out;
+  out += prog.name + ":\n";
+  char addr[32];
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    std::snprintf(addr, sizeof addr, "  %08llx:  ",
+                  static_cast<unsigned long long>(prog.code_base + i * 4));
+    out += addr;
+    out += disasm(prog.code[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace flexstep::isa

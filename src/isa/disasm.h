@@ -1,0 +1,17 @@
+// Instruction and program disassembly (debugging / tracing / tests).
+#pragma once
+
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/instruction.h"
+
+namespace flexstep::isa {
+
+/// Single instruction, e.g. "add  x3, x1, x2" or "beq  x1, x2, -16".
+std::string disasm(const Instruction& inst);
+
+/// Whole program with addresses, one instruction per line.
+std::string disasm(const Program& prog);
+
+}  // namespace flexstep::isa

@@ -1,0 +1,108 @@
+#include "common/check.h"
+#include "isa/instruction.h"
+
+namespace flexstep::isa {
+
+namespace {
+
+constexpr u32 kRegMask = 0x1F;
+constexpr u32 kImm14Mask = 0x3FFF;
+constexpr u32 kImm19Mask = 0x7FFFF;
+
+u32 pack_imm14(i32 imm) {
+  FLEX_CHECK_MSG(imm >= kImm14Min && imm <= kImm14Max, "imm14 out of range");
+  return static_cast<u32>(imm) & kImm14Mask;
+}
+
+i32 unpack_imm14(u32 bits) {
+  // Sign-extend from 14 bits.
+  const i32 v = static_cast<i32>(bits & kImm14Mask);
+  return (v << 18) >> 18;
+}
+
+u32 pack_imm19(i32 imm) {
+  FLEX_CHECK_MSG(imm >= kImm19Min && imm <= kImm19Max, "imm19 out of range");
+  return static_cast<u32>(imm) & kImm19Mask;
+}
+
+i32 unpack_imm19(u32 bits) {
+  const i32 v = static_cast<i32>(bits & kImm19Mask);
+  return (v << 13) >> 13;
+}
+
+}  // namespace
+
+u32 encode(const Instruction& inst) {
+  const u32 op = static_cast<u32>(inst.op) << 24;
+  switch (opcode_format(inst.op)) {
+    case Format::kR:
+      return op | (u32{inst.rd} & kRegMask) << 19 | (u32{inst.rs1} & kRegMask) << 14 |
+             (u32{inst.rs2} & kRegMask) << 9;
+    case Format::kI:
+      return op | (u32{inst.rd} & kRegMask) << 19 | (u32{inst.rs1} & kRegMask) << 14 |
+             pack_imm14(inst.imm);
+    case Format::kS:
+      return op | (u32{inst.rs2} & kRegMask) << 19 | (u32{inst.rs1} & kRegMask) << 14 |
+             pack_imm14(inst.imm);
+    case Format::kB: {
+      FLEX_CHECK_MSG(inst.imm % 4 == 0, "branch offset must be 4-byte aligned");
+      return op | (u32{inst.rs1} & kRegMask) << 19 | (u32{inst.rs2} & kRegMask) << 14 |
+             pack_imm14(inst.imm / 4);
+    }
+    case Format::kUJ: {
+      i32 imm = inst.imm;
+      if (inst.op == Opcode::kJal) {
+        FLEX_CHECK_MSG(imm % 4 == 0, "jump offset must be 4-byte aligned");
+        imm /= 4;
+      }
+      return op | (u32{inst.rd} & kRegMask) << 19 | pack_imm19(imm);
+    }
+    case Format::kC:
+      return op;
+  }
+  FLEX_CHECK_MSG(false, "unreachable format");
+  return 0;
+}
+
+std::optional<Instruction> decode(u32 word) {
+  const u32 op_byte = word >> 24;
+  if (op_byte >= kOpcodeCount) return std::nullopt;
+  const auto op = static_cast<Opcode>(op_byte);
+
+  Instruction inst;
+  inst.op = op;
+  switch (opcode_format(op)) {
+    case Format::kR:
+      inst.rd = static_cast<u8>((word >> 19) & kRegMask);
+      inst.rs1 = static_cast<u8>((word >> 14) & kRegMask);
+      inst.rs2 = static_cast<u8>((word >> 9) & kRegMask);
+      if ((word & 0x1FF) != 0) return std::nullopt;
+      break;
+    case Format::kI:
+      inst.rd = static_cast<u8>((word >> 19) & kRegMask);
+      inst.rs1 = static_cast<u8>((word >> 14) & kRegMask);
+      inst.imm = unpack_imm14(word);
+      break;
+    case Format::kS:
+      inst.rs2 = static_cast<u8>((word >> 19) & kRegMask);
+      inst.rs1 = static_cast<u8>((word >> 14) & kRegMask);
+      inst.imm = unpack_imm14(word);
+      break;
+    case Format::kB:
+      inst.rs1 = static_cast<u8>((word >> 19) & kRegMask);
+      inst.rs2 = static_cast<u8>((word >> 14) & kRegMask);
+      inst.imm = unpack_imm14(word) * 4;
+      break;
+    case Format::kUJ:
+      inst.rd = static_cast<u8>((word >> 19) & kRegMask);
+      inst.imm = unpack_imm19(word);
+      if (op == Opcode::kJal) inst.imm *= 4;
+      break;
+    case Format::kC:
+      if ((word & 0x00FFFFFF) != 0) return std::nullopt;
+      break;
+  }
+  return inst;
+}
+
+}  // namespace flexstep::isa

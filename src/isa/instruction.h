@@ -1,0 +1,68 @@
+// Decoded instruction representation and its 32-bit binary encoding.
+//
+// Encoding layout (all formats place the opcode in the top byte):
+//
+//   bits   31..24   23..19   18..14   13..9    8..0
+//   R:     opcode   rd       rs1      rs2      0
+//   I:     opcode   rd       rs1      imm14 (signed, bits 13..0)
+//   S:     opcode   rs2      rs1      imm14 (signed)          [stores]
+//   B:     opcode   rs1      rs2      imm14 (signed, in units of 4 bytes)
+//   UJ:    opcode   rd       imm19 (signed, bits 18..0)
+//             LUI: value = imm19 << 13;  JAL: byte offset = imm19 * 4
+//   C:     opcode   0
+//
+// CSR instructions use I-format with `imm` holding the CSR index.
+#pragma once
+
+#include <optional>
+
+#include "common/types.h"
+#include "isa/opcode.h"
+
+namespace flexstep::isa {
+
+/// Register indices are 0..31; x0 is hardwired to zero.
+inline constexpr u8 kNumRegs = 32;
+inline constexpr u8 kRegZero = 0;
+
+/// LUI materialises imm19 << kLuiShift.
+inline constexpr int kLuiShift = 13;
+
+/// Immediate ranges.
+inline constexpr i32 kImm14Min = -(1 << 13);
+inline constexpr i32 kImm14Max = (1 << 13) - 1;
+inline constexpr i32 kImm19Min = -(1 << 18);
+inline constexpr i32 kImm19Max = (1 << 18) - 1;
+
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  /// I/S: byte immediate. B: byte offset (multiple of 4). UJ: see header note.
+  i32 imm = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// Encode to the 32-bit binary form. Immediates out of range abort (the
+/// assembler validates ranges when building programs).
+u32 encode(const Instruction& inst);
+
+/// Decode a 32-bit word; std::nullopt for an invalid opcode byte or a
+/// malformed encoding (reserved bits set).
+std::optional<Instruction> decode(u32 word);
+
+// ---- Convenience constructors (used by the assembler, tests and kernel) ----
+
+inline Instruction make_r(Opcode op, u8 rd, u8 rs1, u8 rs2) { return {op, rd, rs1, rs2, 0}; }
+inline Instruction make_i(Opcode op, u8 rd, u8 rs1, i32 imm) { return {op, rd, rs1, 0, imm}; }
+inline Instruction make_s(Opcode op, u8 rs2, u8 rs1, i32 imm) { return {op, 0, rs1, rs2, imm}; }
+inline Instruction make_b(Opcode op, u8 rs1, u8 rs2, i32 offset) {
+  return {op, 0, rs1, rs2, offset};
+}
+inline Instruction make_uj(Opcode op, u8 rd, i32 imm) { return {op, rd, 0, 0, imm}; }
+inline Instruction make_c(Opcode op) { return {op, 0, 0, 0, 0}; }
+inline Instruction make_nop() { return make_i(Opcode::kAddi, 0, 0, 0); }
+
+}  // namespace flexstep::isa

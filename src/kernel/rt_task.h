@@ -1,0 +1,49 @@
+// Real-time task specification for the kernel model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/assembler.h"
+#include "sched/task_model.h"
+
+namespace flexstep::kernel {
+
+struct RtTaskSpec {
+  std::string name;
+  isa::Program program;      ///< One job = one full run of the program.
+  Cycle period = 0;          ///< Release period in cycles; implicit deadline.
+  Cycle first_release = 0;
+  u32 max_jobs = 0;          ///< Number of jobs to release (0 = fill horizon).
+
+  sched::TaskType type = sched::TaskType::kNormal;
+  CoreId core = 0;                  ///< Original-computation core (partitioned).
+  std::vector<CoreId> checker_cores;  ///< For T^V2 (1) / T^V3 (2).
+
+  /// Selective checking (paper Sec. V / Fig. 1(c)): verify only the first
+  /// `verify_budget` instructions of each job (0 = verify the whole job).
+  u64 verify_budget = 0;
+};
+
+struct JobRecord {
+  u32 task_id = 0;
+  u32 job_index = 0;
+  bool is_checker = false;
+  Cycle release = 0;
+  Cycle abs_deadline = 0;
+  Cycle completed_at = 0;
+  bool completed = false;
+  bool missed = false;
+};
+
+struct KernelStats {
+  std::vector<JobRecord> jobs;
+  u32 released = 0;
+  u32 completed = 0;
+  u32 missed = 0;
+  u32 preemptions = 0;
+  u32 context_switches = 0;
+};
+
+}  // namespace flexstep::kernel

@@ -1,0 +1,37 @@
+#include "model/power_area.h"
+
+namespace flexstep::model {
+
+u32 PowerAreaModel::storage_bytes(const fs::FlexStepConfig& config) {
+  (void)config;
+  // The SRAM FIFO is fixed at 64 entries × 17 B regardless of the DMA spill
+  // threshold (spill lives in main memory); CPC + ASS are fixed-function.
+  return fs::kCpcStorageBytes + fs::kAssStorageBytes + fs::kDbcStorageBytes;
+}
+
+SocPowerArea PowerAreaModel::vanilla(u32 cores) const {
+  SocPowerArea result;
+  result.area_mm2 = cores * core_area_mm2 + l2_area_mm2;
+  result.power_w = cores * core_power_w + l2_power_w;
+  return result;
+}
+
+SocPowerArea PowerAreaModel::flexstep(u32 cores, const fs::FlexStepConfig& config) const {
+  SocPowerArea result = vanilla(cores);
+  const double kb = storage_bytes(config) / 1024.0;
+  const double per_core_area = kb * sram_mm2_per_kb + flexstep_logic_mm2;
+  const double per_core_power = kb * sram_w_per_kb + flexstep_logic_w;
+  result.area_mm2 += cores * per_core_area;
+  result.power_w += cores * per_core_power;
+  return result;
+}
+
+double PowerAreaModel::area_overhead(u32 cores) const {
+  return flexstep(cores).area_mm2 / vanilla(cores).area_mm2 - 1.0;
+}
+
+double PowerAreaModel::power_overhead(u32 cores) const {
+  return flexstep(cores).power_w / vanilla(cores).power_w - 1.0;
+}
+
+}  // namespace flexstep::model

@@ -1,0 +1,50 @@
+// Analytic 28 nm power/area model (paper Sec. VI-D/E, Fig. 8, Tab. III).
+//
+// The paper's numbers come from Design Compiler + PrimeTime PX runs on TSMC
+// 28 nm; neither tool nor PDK is available here, so this model reproduces the
+// published absolutes from a component-level calibration:
+//   vanilla 4-core SoC  = 2.71 mm² / 0.485 W   (Tab. III)
+//   FlexStep 4-core SoC = 2.77 mm² / 0.499 W   (+2.21% / +2.89%)
+// which decomposes into per-core and shared-L2 contributions that also match
+// the Fig. 8 2-core and 32-core endpoints. FlexStep's adders scale with the
+// configured storage (CPC 8 B + ASS 518 B + DBC 1088 B = 1614 B by default).
+#pragma once
+
+#include "common/types.h"
+#include "flexstep/config.h"
+
+namespace flexstep::model {
+
+struct SocPowerArea {
+  double area_mm2 = 0.0;
+  double power_w = 0.0;
+};
+
+struct PowerAreaModel {
+  // ---- calibrated 28 nm constants (see header) ----
+  double core_area_mm2 = 0.34;   ///< Rocket + L1I + L1D.
+  double core_power_w = 0.094;
+  double l2_area_mm2 = 1.35;     ///< Shared 512 KB L2.
+  double l2_power_w = 0.109;
+
+  /// 28 nm SRAM density / leakage+dynamic for the FlexStep storage macros.
+  double sram_mm2_per_kb = 0.0055;
+  double sram_w_per_kb = 0.0013;
+  /// Fixed comparator/control logic per core (CPC counters, value match,
+  /// MUX-DEMUX slice of the interconnect).
+  double flexstep_logic_mm2 = 0.0061;
+  double flexstep_logic_w = 0.0014;
+
+  /// FlexStep per-core storage in bytes for a given DBC FIFO depth.
+  static u32 storage_bytes(const fs::FlexStepConfig& config);
+
+  SocPowerArea vanilla(u32 cores) const;
+  SocPowerArea flexstep(u32 cores,
+                        const fs::FlexStepConfig& config = fs::FlexStepConfig{}) const;
+
+  /// Relative overhead of FlexStep vs vanilla at `cores`.
+  double area_overhead(u32 cores) const;
+  double power_overhead(u32 cores) const;
+};
+
+}  // namespace flexstep::model

@@ -1,0 +1,80 @@
+// Discrete-event simulator for partitioned-EDF schedules with the features
+// the three error-detection schemes need:
+//   * job dependencies   — FlexStep's asynchronous checking computations are
+//                          released when the original completes;
+//   * non-preemption     — HMR verification cannot be preempted by
+//                          non-verification work;
+//   * gang co-scheduling — an HMR mirror occupies its checker core exactly
+//                          while the original runs (synchronous split-lock).
+// Used to cross-validate the schedulability tests (property: accepted sets
+// run without misses) and to regenerate the Fig. 1 motivation Gantt charts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "sched/partition.h"
+#include "sched/task_model.h"
+
+namespace flexstep::sched {
+
+struct SimJob {
+  u32 task_id = 0;
+  u32 core = 0;
+  double release = 0.0;
+  double wcet = 0.0;
+  double deadline = 0.0;        ///< Absolute; missing it is a failure.
+  double sched_deadline = 0.0;  ///< Absolute; EDF priority (virtual deadlines).
+  bool is_check = false;
+  bool non_preemptive = false;
+  i32 depends_on = -1;   ///< Job index that must complete before this starts.
+  i32 gang_master = -1;  ///< Mirror of job `gang_master`: co-executes with it.
+};
+
+struct GanttSlice {
+  u32 core = 0;
+  u32 task_id = 0;
+  u32 job_index = 0;
+  bool is_check = false;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+struct MissRecord {
+  u32 job_index = 0;
+  u32 task_id = 0;
+  double deadline = 0.0;
+  double completion = 0.0;  ///< +inf if unfinished at horizon.
+};
+
+struct SimResult {
+  bool feasible = true;
+  std::vector<MissRecord> misses;
+  std::vector<GanttSlice> gantt;
+};
+
+SimResult simulate_edf(const std::vector<SimJob>& jobs, u32 num_cores, double horizon);
+
+// ---- per-scheme periodic job expansion from a partitioning ----
+
+/// FlexStep: originals scheduled by virtual deadline; checking computations
+/// depend on the original and use the real deadline (asynchronous model).
+std::vector<SimJob> make_flexstep_jobs(const TaskSet& tasks, const PartitionResult& plan,
+                                       double horizon);
+
+/// LockStep: only main-core jobs exist (checker cores mirror in hardware and
+/// carry no schedulable work of their own).
+std::vector<SimJob> make_lockstep_jobs(const TaskSet& tasks, const PartitionResult& plan,
+                                       double horizon);
+
+/// HMR: verification originals are non-preemptive; mirrors are non-preemptive
+/// gang jobs on their checker cores.
+std::vector<SimJob> make_hmr_jobs(const TaskSet& tasks, const PartitionResult& plan,
+                                  double horizon);
+
+/// ASCII Gantt chart (one row per core), `columns` characters for [0, t_end].
+std::string render_gantt(const SimResult& result, u32 num_cores, double t_end,
+                         u32 columns = 100);
+
+}  // namespace flexstep::sched

@@ -1,0 +1,43 @@
+#include "sched/experiment.h"
+
+#include "common/rng.h"
+#include "sched/flexstep_partition.h"
+#include "sched/hmr_partition.h"
+#include "sched/lockstep_partition.h"
+#include "sched/uunifast.h"
+
+namespace flexstep::sched {
+
+std::vector<SchedCurvePoint> run_sched_experiment(const SchedExperimentConfig& config) {
+  std::vector<SchedCurvePoint> curve;
+  Rng rng(config.seed);
+
+  for (double u = config.u_min; u <= config.u_max + 1e-9; u += config.u_step) {
+    SchedCurvePoint point;
+    point.utilization = u;
+
+    TaskSetParams params;
+    params.n = config.n;
+    params.total_utilization = u * config.m;
+    params.alpha = config.alpha;
+    params.beta = config.beta;
+
+    u32 ok_lockstep = 0;
+    u32 ok_hmr = 0;
+    u32 ok_flexstep = 0;
+    for (u32 s = 0; s < config.sets_per_point; ++s) {
+      const TaskSet tasks = generate_task_set(params, rng);
+      if (lockstep_partition(tasks, config.m).schedulable) ++ok_lockstep;
+      if (hmr_partition(tasks, config.m).schedulable) ++ok_hmr;
+      if (flexstep_schedulable(tasks, config.m)) ++ok_flexstep;
+    }
+    const double denom = config.sets_per_point;
+    point.lockstep = 100.0 * ok_lockstep / denom;
+    point.hmr = 100.0 * ok_hmr / denom;
+    point.flexstep = 100.0 * ok_flexstep / denom;
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace flexstep::sched

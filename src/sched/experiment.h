@@ -1,0 +1,34 @@
+// Schedulability experiment driver (paper Sec. VI-B, Fig. 5): percentage of
+// schedulable random task sets vs. normalised utilisation, under LockStep,
+// HMR and FlexStep partitioning.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "sched/task_model.h"
+
+namespace flexstep::sched {
+
+struct SchedExperimentConfig {
+  u32 m = 8;             ///< Cores.
+  u32 n = 160;           ///< Tasks per set.
+  double alpha = 0.0625; ///< Fraction of double-check (T^V2) tasks.
+  double beta = 0.0625;  ///< Fraction of triple-check (T^V3) tasks.
+  double u_min = 0.35;   ///< Normalised utilisation sweep (per paper x-axis).
+  double u_max = 0.95;
+  double u_step = 0.05;
+  u32 sets_per_point = 500;
+  u64 seed = 2025;
+};
+
+struct SchedCurvePoint {
+  double utilization = 0.0;  ///< Normalised (U_total / m).
+  double lockstep = 0.0;     ///< % of sets schedulable.
+  double hmr = 0.0;
+  double flexstep = 0.0;
+};
+
+std::vector<SchedCurvePoint> run_sched_experiment(const SchedExperimentConfig& config);
+
+}  // namespace flexstep::sched

@@ -1,0 +1,30 @@
+// FlexStep partitioning — Algorithm 3 of the paper, verbatim.
+//
+// Verification tasks are placed first in descending utilisation; each task's
+// original computation (with virtual deadline D') and its duplicated
+// computation(s) (with window D − D') go to distinct minimum-density cores.
+// Non-verification tasks follow, worst-fit by density. The set is accepted
+// iff every core's total density Δ[k] ≤ 1 (partitioned EDF, density-based
+// sufficient test).
+#pragma once
+
+#include "sched/partition.h"
+
+namespace flexstep::sched {
+
+/// Algorithm 3 exactly (virtual-deadline densities; hard guarantee that all
+/// checking completes by the deadline).
+PartitionResult flexstep_partition(const TaskSet& tasks, u32 m);
+
+/// The paper's fallback (Sec. V, last paragraph): when the virtual-deadline
+/// test fails, "remove the virtual deadline and use the verification task's
+/// original deadline and utilisation for scheduling and partitioning" —
+/// original and duplicated computations each contribute plain utilisation.
+PartitionResult flexstep_partition_fallback(const TaskSet& tasks, u32 m);
+
+/// The combined acceptance used for the Fig. 5 experiments: Alg. 3, falling
+/// back to the utilisation-based partition when Alg. 3's sufficient test
+/// rejects.
+bool flexstep_schedulable(const TaskSet& tasks, u32 m);
+
+}  // namespace flexstep::sched

@@ -1,0 +1,19 @@
+// LockStep baseline partitioning (paper Sec. VI-B experiment setup).
+//
+// Cores are statically grouped on demand: a pair (main + 1 checker) serves
+// double-check tasks, a triple (main + 2 checkers) serves triple-check tasks.
+// Checker cores mirror their main cycle-by-cycle and can run nothing else;
+// everything scheduled on a group's main core — including non-verification
+// tasks — is implicitly verified (the Fig. 1(a) inefficiency). New groups are
+// formed only when the current group cannot take the next verification task,
+// minimising checker-core count. Non-verification tasks are then placed
+// worst-fit across group mains and ungrouped cores.
+#pragma once
+
+#include "sched/partition.h"
+
+namespace flexstep::sched {
+
+PartitionResult lockstep_partition(const TaskSet& tasks, u32 m);
+
+}  // namespace flexstep::sched

@@ -1,0 +1,23 @@
+#include "sched/task_model.h"
+
+namespace flexstep::sched {
+
+double total_utilization(const TaskSet& tasks) {
+  double u = 0.0;
+  for (const auto& t : tasks) u += t.utilization();
+  return u;
+}
+
+TypeCounts count_types(const TaskSet& tasks) {
+  TypeCounts counts;
+  for (const auto& t : tasks) {
+    switch (t.type) {
+      case TaskType::kNormal: ++counts.normal; break;
+      case TaskType::kV2: ++counts.v2; break;
+      case TaskType::kV3: ++counts.v3; break;
+    }
+  }
+  return counts;
+}
+
+}  // namespace flexstep::sched

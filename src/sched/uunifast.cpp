@@ -1,0 +1,57 @@
+#include "sched/uunifast.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace flexstep::sched {
+
+std::vector<double> uunifast(u32 n, double total_u, Rng& rng) {
+  FLEX_CHECK(n > 0);
+  std::vector<double> u(n);
+  double sum = total_u;
+  for (u32 i = 0; i < n - 1; ++i) {
+    const double next =
+        sum * std::pow(rng.next_double(), 1.0 / static_cast<double>(n - 1 - i));
+    u[i] = sum - next;
+    sum = next;
+  }
+  u[n - 1] = sum;
+  return u;
+}
+
+TaskSet generate_task_set(const TaskSetParams& params, Rng& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const auto utils = uunifast(params.n, params.total_utilization, rng);
+    bool feasible = true;
+    for (double u : utils) {
+      if (u > 1.0) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) continue;
+
+    // Randomised class assignment matching the α/β fractions by count.
+    const auto n_v2 = static_cast<u32>(std::lround(params.alpha * params.n));
+    const auto n_v3 = static_cast<u32>(std::lround(params.beta * params.n));
+    FLEX_CHECK(n_v2 + n_v3 <= params.n);
+    std::vector<TaskType> types(params.n, TaskType::kNormal);
+    for (u32 i = 0; i < n_v2; ++i) types[i] = TaskType::kV2;
+    for (u32 i = n_v2; i < n_v2 + n_v3; ++i) types[i] = TaskType::kV3;
+    rng.shuffle(types);
+
+    TaskSet tasks(params.n);
+    for (u32 i = 0; i < params.n; ++i) {
+      tasks[i].id = i;
+      tasks[i].period = rng.next_log_uniform(params.period_min, params.period_max);
+      tasks[i].wcet = utils[i] * tasks[i].period;
+      tasks[i].type = types[i];
+    }
+    return tasks;
+  }
+  FLEX_CHECK_MSG(false, "could not generate a feasible task set");
+  return {};
+}
+
+}  // namespace flexstep::sched

@@ -1,0 +1,29 @@
+// Task-set generation for the Fig. 5 schedulability experiments: UUnifast
+// utilisations (Bini & Buttazzo, the paper's cited generator) with
+// log-uniform periods and randomised class assignment by the α (double-check)
+// and β (triple-check) fractions.
+#pragma once
+
+#include "common/rng.h"
+#include "sched/task_model.h"
+
+namespace flexstep::sched {
+
+/// UUnifast: n utilisations summing exactly to `total_u`, unbiased over the
+/// simplex. Individual values may exceed 1 for large total_u/n; the generator
+/// below resamples such sets (they are trivially infeasible).
+std::vector<double> uunifast(u32 n, double total_u, Rng& rng);
+
+struct TaskSetParams {
+  u32 n = 160;
+  double total_utilization = 4.0;  ///< Absolute (not normalised by m).
+  double alpha = 0.0625;           ///< Fraction of T^V2 tasks.
+  double beta = 0.0625;            ///< Fraction of T^V3 tasks.
+  double period_min = 10.0;        ///< ms (units are arbitrary but consistent).
+  double period_max = 1000.0;
+};
+
+/// Generate one random task set. Resamples until every task has u_i ≤ 1.
+TaskSet generate_task_set(const TaskSetParams& params, Rng& rng);
+
+}  // namespace flexstep::sched

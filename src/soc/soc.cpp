@@ -1,0 +1,27 @@
+#include "soc/soc.h"
+
+namespace flexstep::soc {
+
+Soc::Soc(const SocConfig& config)
+    : config_(config),
+      l2_(std::make_unique<arch::Cache>(config.l2, "L2")),
+      fabric_(config.flexstep) {
+  cores_.reserve(config.num_cores);
+  for (CoreId id = 0; id < config.num_cores; ++id) {
+    cores_.push_back(
+        std::make_unique<arch::Core>(id, config.core, memory_, images_, l2_.get()));
+    fabric_.attach(*cores_.back());
+  }
+}
+
+const arch::LoadedImage* Soc::load_program(const isa::Program& program) {
+  return images_.load(memory_, program);
+}
+
+Cycle Soc::max_cycle() const {
+  Cycle max = 0;
+  for (const auto& core : cores_) max = std::max(max, core->cycle());
+  return max;
+}
+
+}  // namespace flexstep::soc

@@ -1,0 +1,50 @@
+// SoC assembly: N homogeneous cores (each with its FlexStep unit) over a
+// shared L2 and flat memory, mirroring the paper's evaluated platform.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/cache.h"
+#include "arch/core.h"
+#include "arch/memory.h"
+#include "arch/program_image.h"
+#include "common/types.h"
+#include "flexstep/fabric.h"
+#include "soc/soc_config.h"
+
+namespace flexstep::soc {
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& config);
+
+  Soc(const Soc&) = delete;
+  Soc& operator=(const Soc&) = delete;
+
+  const SocConfig& config() const { return config_; }
+  u32 num_cores() const { return static_cast<u32>(cores_.size()); }
+
+  arch::Core& core(CoreId id) { return *cores_.at(id); }
+  fs::CoreUnit& unit(CoreId id) { return fabric_.unit(id); }
+  fs::Fabric& fabric() { return fabric_; }
+  arch::Memory& memory() { return memory_; }
+  arch::ImageRegistry& images() { return images_; }
+  arch::Cache& l2() { return *l2_; }
+
+  /// Load a program into simulated memory and register its decoded image.
+  const arch::LoadedImage* load_program(const isa::Program& program);
+
+  /// Highest local clock across all cores (simulated wall time).
+  Cycle max_cycle() const;
+
+ private:
+  SocConfig config_;
+  arch::Memory memory_;
+  arch::ImageRegistry images_;
+  std::unique_ptr<arch::Cache> l2_;
+  fs::Fabric fabric_;
+  std::vector<std::unique_ptr<arch::Core>> cores_;
+};
+
+}  // namespace flexstep::soc

@@ -1,0 +1,232 @@
+#include "soc/verified_run.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "isa/instruction.h"
+
+namespace flexstep::soc {
+
+using arch::Core;
+using arch::TrapAction;
+using arch::TrapCause;
+using fs::CoreUnit;
+
+VerifiedExecution::VerifiedExecution(Soc& soc, VerifiedRunConfig config)
+    : soc_(soc), config_(std::move(config)) {
+  FLEX_CHECK(config_.main_core < soc_.num_cores());
+  for (CoreId checker : config_.checkers) {
+    FLEX_CHECK(checker < soc_.num_cores());
+    FLEX_CHECK(checker != config_.main_core);
+  }
+}
+
+VerifiedExecution::~VerifiedExecution() = default;
+
+void VerifiedExecution::prepare(const isa::Program& program) {
+  FLEX_CHECK_MSG(!prepared_, "prepare called twice");
+  prepared_ = true;
+
+  if (soc_.images().find(program.entry()) == nullptr) soc_.load_program(program);
+
+  Core& main = soc_.core(config_.main_core);
+  main.set_trap_handler(this);
+  main.set_user_mode(false);  // kernel performs the setup
+  main.set_pc(program.entry());
+  // Conventional initial registers: x2 = stack-ish scratch, x10 = data base.
+  main.set_reg(10, program.data_base);
+  if (config_.os_ticks) {
+    // Staggered phases: cores enter kernel mode at different times, the
+    // "execution inconsistency" the paper identifies (Sec. VI-A).
+    main.set_timer(config_.tick_period);
+    u32 phase = 1;
+    for (CoreId id : config_.checkers) {
+      soc_.core(id).set_timer(config_.tick_period +
+                              phase++ * config_.tick_period / 4);
+    }
+  }
+
+  if (!config_.checkers.empty()) {
+    // G.Configure: write the main/checker ID sets into the global registers.
+    u64 checker_mask = 0;
+    for (CoreId c : config_.checkers) checker_mask |= u64{1} << c;
+    main.set_reg(5, u64{1} << config_.main_core);
+    main.set_reg(6, checker_mask);
+    main.exec_kernel_instruction(isa::make_r(isa::Opcode::kGConfigure, 0, 5, 6));
+
+    // Checker side: C.check_state(busy) + C.record, then wait for SCPs.
+    for (CoreId id : config_.checkers) {
+      Core& checker = soc_.core(id);
+      checker.set_trap_handler(this);
+      checker.set_user_mode(false);
+      checker.exec_kernel_instruction(
+          isa::make_i(isa::Opcode::kCCheckState, 0, 0, 1));
+      checker.set_idle();  // parked until a segment is ready
+      soc_.unit(id).set_on_segment_done([](CoreUnit& unit, bool) {
+        // Start the next pending segment immediately, otherwise park.
+        if (unit.segment_ready(unit.core().cycle())) {
+          unit.begin_replay();
+        } else {
+          unit.core().set_idle();
+        }
+      });
+    }
+
+    // M.associate + M.check.enable on the main core. The enable snapshots the
+    // already-installed user context as the first SCP.
+    main.exec_kernel_instruction(isa::make_r(isa::Opcode::kMAssociate, 0, 6, 0));
+    main.exec_kernel_instruction(isa::make_i(isa::Opcode::kMCheck, 0, 0, 1));
+  }
+
+  main.set_user_mode(true);
+  main.activate();
+}
+
+TrapAction VerifiedExecution::on_trap(Core& core, TrapCause cause) {
+  switch (cause) {
+    case TrapCause::kEcall:
+      // Workload kernel excursion (modelled cost), then back to user mode.
+      return {TrapAction::Kind::kResumeUser, config_.ecall_cost};
+
+    case TrapCause::kTaskExit: {
+      if (core.id() == config_.main_core) {
+        if (!config_.checkers.empty()) {
+          // Flush the final (partial) segment and close the stream so the
+          // checkers can finish draining.
+          core.exec_kernel_instruction(isa::make_i(isa::Opcode::kMCheck, 0, 0, 0));
+          soc_.fabric().dissociate(config_.main_core);
+        }
+        main_halted_ = true;
+      }
+      return {TrapAction::Kind::kHalt, 0};
+    }
+
+    case TrapCause::kFetchFault: {
+      CoreUnit& unit = soc_.unit(core.id());
+      // NB: the trap entry already suspended an active replay (the CPC
+      // privilege monitor fires before the handler), so check both states.
+      if (unit.replay_active() || unit.replay_suspended()) {
+        // Corrupted SCP PC steered the replay off the program image: that is
+        // a detection, not a crash.
+        unit.on_replay_fetch_fault();
+        return {TrapAction::Kind::kContextSwitched, 0};
+      }
+      return {TrapAction::Kind::kHalt, 0};
+    }
+
+    case TrapCause::kTimer:
+      // Periodic OS tick: pay the excursion and re-arm.
+      if (config_.os_ticks) {
+        core.set_timer(core.cycle() + config_.tick_period);
+        return {TrapAction::Kind::kResumeUser, config_.tick_cost};
+      }
+      return {TrapAction::Kind::kResumeUser, 0};
+    case TrapCause::kSoftware:
+      return {TrapAction::Kind::kResumeUser, 0};
+
+    case TrapCause::kIllegal:
+      return {TrapAction::Kind::kHalt, 0};
+  }
+  return {TrapAction::Kind::kHalt, 0};
+}
+
+void VerifiedExecution::pump_checkers() {
+  soc_.fabric().pump_assignments();
+  for (CoreId id : config_.checkers) {
+    Core& checker = soc_.core(id);
+    CoreUnit& unit = soc_.unit(id);
+    if (checker.status() != Core::Status::kIdle) continue;
+    if (unit.replay_active() || unit.replay_suspended()) continue;
+    const Cycle ready_at = unit.next_segment_ready_at();
+    if (ready_at == fs::kNever) continue;
+    checker.advance_to(ready_at);
+    checker.activate();
+    unit.begin_replay();
+  }
+  // Resolve backpressure: a blocked main may resume once all its channels
+  // have space again (the consumer pop freed it).
+  Core& main = soc_.core(config_.main_core);
+  if (main.status() == Core::Status::kBlocked) {
+    CoreUnit& unit = soc_.unit(config_.main_core);
+    if (unit.out_channels_have_space()) {
+      main.unblock_at(std::max(main.cycle(), unit.out_channel_space_available_at()));
+    }
+  }
+}
+
+Core* VerifiedExecution::pick_next_core() {
+  Core* best = nullptr;
+  auto consider = [&](CoreId id) {
+    Core& core = soc_.core(id);
+    if (core.status() != Core::Status::kRunning) return;
+    if (best == nullptr || core.cycle() < best->cycle()) best = &core;
+  };
+  consider(config_.main_core);
+  for (CoreId id : config_.checkers) consider(id);
+  return best;
+}
+
+bool VerifiedExecution::finished() const {
+  if (!main_halted_) return false;
+  for (CoreId id : config_.checkers) {
+    const CoreUnit& unit = soc_.fabric().unit(id);
+    if (unit.replay_active() || unit.replay_suspended()) return false;
+    const fs::Channel* in = unit.in_channel();
+    if (in != nullptr && !in->drained()) return false;
+  }
+  return true;
+}
+
+bool VerifiedExecution::step_round() {
+  FLEX_CHECK_MSG(prepared_, "call prepare() first");
+  if (finished()) return false;
+
+  pump_checkers();
+  Core* core = pick_next_core();
+  if (core == nullptr) {
+    // Nobody runnable: either we are done, or checkers are idle waiting on
+    // segments that became ready between pumps.
+    if (finished()) return false;
+    pump_checkers();
+    core = pick_next_core();
+    FLEX_CHECK_MSG(core != nullptr, "co-simulation deadlock");
+  }
+  core->step();
+
+  if (core->id() == config_.main_core) {
+    FLEX_CHECK_MSG(core->instret() <= config_.max_instructions,
+                   "main core exceeded the instruction safety cap");
+  }
+  return true;
+}
+
+RunStats VerifiedExecution::run() {
+  while (step_round()) {
+  }
+  return stats();
+}
+
+RunStats VerifiedExecution::stats() const {
+  RunStats s;
+  const Core& main = soc_.core(config_.main_core);
+  s.main_cycles = main.cycle();
+  s.main_instructions = main.instret();
+  s.completion_cycles = soc_.max_cycle();
+
+  const CoreUnit& main_unit = soc_.unit(config_.main_core);
+  s.segments_produced = main_unit.segments_produced();
+  s.mem_entries = main_unit.mem_entries_logged();
+  for (CoreId id : config_.checkers) {
+    const CoreUnit& unit = soc_.unit(id);
+    s.segments_verified += unit.segments_verified();
+    s.segments_failed += unit.segments_failed();
+  }
+  for (const fs::Channel* ch : soc_.fabric().channels()) {
+    s.backpressure_events += ch->backpressure_events();
+    s.max_channel_occupancy = std::max(s.max_channel_occupancy, ch->max_occupancy());
+  }
+  return s;
+}
+
+}  // namespace flexstep::soc

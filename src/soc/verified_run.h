@@ -1,0 +1,90 @@
+// Co-simulation driver for a single verified workload: one main core streams
+// checking segments to one or more checker cores (dual-core = DCLS-like,
+// one-to-two = TCLS-like, paper Sec. II). This is the substrate of the
+// Fig. 4 / Fig. 6 slowdown experiments and the Fig. 7 fault campaigns.
+//
+// The driver plays the OS role of Alg. 1/2 for a single task: it configures
+// the fabric through the custom ISA, pumps checker replays, resolves
+// backpressure wake-ups, and models ECALL kernel excursions with a fixed
+// cycle cost.
+#pragma once
+
+#include <vector>
+
+#include "arch/trap.h"
+#include "common/types.h"
+#include "soc/soc.h"
+
+namespace flexstep::soc {
+
+struct VerifiedRunConfig {
+  CoreId main_core = 0;
+  std::vector<CoreId> checkers;  ///< Empty = plain (unverified) run.
+  Cycle ecall_cost = 1200;       ///< Kernel-excursion cycles per workload ECALL.
+  u64 max_instructions = 500'000'000;  ///< Safety cap on main-core commits.
+
+  /// Background OS interference: every core takes a periodic kernel tick
+  /// (scheduler/housekeeping), staggered across cores. This reproduces the
+  /// paper's "cores undergoing different kernel mode switches": checkers
+  /// stall at different times than the main core, the DBC fills, and
+  /// backpressure transfers part of the stall to the main core — the
+  /// dominant source of FlexStep's ~1% slowdown (Sec. VI-A).
+  bool os_ticks = true;
+  Cycle tick_period = us_to_cycles(1000.0);
+  Cycle tick_cost = us_to_cycles(18.0);
+};
+
+struct RunStats {
+  Cycle main_cycles = 0;       ///< Main-core cycles from start to HALT.
+  u64 main_instructions = 0;
+  Cycle completion_cycles = 0; ///< Until all checkers drained (detection done).
+  u64 segments_produced = 0;
+  u64 segments_verified = 0;
+  u64 segments_failed = 0;
+  u64 mem_entries = 0;
+  u64 backpressure_events = 0;
+  u64 max_channel_occupancy = 0;
+
+  double ipc() const {
+    return main_cycles == 0 ? 0.0
+                            : static_cast<double>(main_instructions) /
+                                  static_cast<double>(main_cycles);
+  }
+};
+
+class VerifiedExecution final : public arch::TrapHandler {
+ public:
+  VerifiedExecution(Soc& soc, VerifiedRunConfig config);
+  ~VerifiedExecution() override;
+
+  /// Install the program context on the main core and, when checkers are
+  /// configured, execute the FlexStep setup sequence (G.Configure,
+  /// M.associate, M.check.enable) through the custom ISA.
+  void prepare(const isa::Program& program);
+
+  /// Advance the co-simulation by one step (one instruction on the runnable
+  /// core with the smallest local clock). Returns false once finished.
+  bool step_round();
+
+  /// Run to completion and return the statistics.
+  RunStats run();
+
+  bool finished() const;
+  RunStats stats() const;
+
+  Soc& soc() { return soc_; }
+
+  // arch::TrapHandler
+  arch::TrapAction on_trap(arch::Core& core, arch::TrapCause cause) override;
+
+ private:
+  void pump_checkers();
+  arch::Core* pick_next_core();
+
+  Soc& soc_;
+  VerifiedRunConfig config_;
+  bool main_halted_ = false;
+  bool prepared_ = false;
+};
+
+}  // namespace flexstep::soc

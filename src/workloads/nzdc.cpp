@@ -1,0 +1,184 @@
+#include "workloads/nzdc.h"
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace flexstep::workloads {
+
+using isa::Format;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+bool is_computational(const Instruction& inst) {
+  if (isa::is_memory(inst.op) || isa::is_cond_branch(inst.op) || isa::is_jump(inst.op)) {
+    return false;
+  }
+  switch (inst.op) {
+    case Opcode::kEcall:
+    case Opcode::kHalt:
+    case Opcode::kFence:
+    case Opcode::kWfi:
+    case Opcode::kMret:
+    case Opcode::kCsrrw:
+    case Opcode::kCsrrs: return false;
+    default: return !isa::is_flexstep_custom(inst.op);
+  }
+}
+
+Instruction shadowed(const Instruction& inst) {
+  Instruction dup = inst;
+  dup.rd = nzdc_shadow(inst.rd);
+  dup.rs1 = nzdc_shadow(inst.rs1);
+  dup.rs2 = nzdc_shadow(inst.rs2);
+  return dup;
+}
+
+Instruction mv(u8 rd, u8 rs) { return isa::make_i(Opcode::kAddi, rd, rs, 0); }
+
+}  // namespace
+
+bool nzdc_supported(const isa::Program& program) {
+  for (const auto& inst : program.code) {
+    if (isa::is_flexstep_custom(inst.op)) return false;
+    // The shadow file occupies x16..x30 (+x31 scratch); reject programs that
+    // already use them.
+    if (inst.rd >= 16 || inst.rs1 >= 16 || inst.rs2 >= 16) return false;
+  }
+  return true;
+}
+
+isa::Program nzdc_transform(const isa::Program& program) {
+  FLEX_CHECK_MSG(nzdc_supported(program), "program uses registers reserved for nZDC");
+
+  const std::size_t n = program.code.size();
+  std::vector<Instruction> out;
+  out.reserve(n * 2 + 8);
+  std::vector<std::size_t> group_start(n + 1, 0);
+
+  struct ControlFixup {
+    std::size_t out_index;      ///< Position of the emitted control instruction.
+    std::size_t old_target;     ///< Original instruction index it targeted.
+  };
+  std::vector<ControlFixup> fixups;
+  std::vector<std::size_t> err_branches;  ///< bne ...,err placeholders.
+
+  for (std::size_t i = 0; i < n; ++i) {
+    group_start[i] = out.size();
+    const Instruction& inst = program.code[i];
+
+    if (is_computational(inst)) {
+      out.push_back(inst);
+      if (inst.rd != 0) out.push_back(shadowed(inst));
+      continue;
+    }
+
+    switch (isa::opcode_mem_kind(inst.op)) {
+      case isa::MemKind::kLoad:
+      case isa::MemKind::kLoadReserved:
+        out.push_back(inst);
+        if (inst.rd != 0) out.push_back(mv(nzdc_shadow(inst.rd), inst.rd));
+        continue;
+      case isa::MemKind::kStore: {
+        // nZDC protects stores hardest (they externalise state): check the
+        // data and the address register against their shadows, store, then
+        // load the value back and re-compare (store-verification).
+        if (inst.rs2 != 0) {
+          err_branches.push_back(out.size());
+          out.push_back(isa::make_b(Opcode::kBne, inst.rs2, nzdc_shadow(inst.rs2), 0));
+        }
+        if (inst.rs1 != 0) {
+          err_branches.push_back(out.size());
+          out.push_back(isa::make_b(Opcode::kBne, inst.rs1, nzdc_shadow(inst.rs1), 0));
+        }
+        out.push_back(inst);
+        if (inst.op == Opcode::kSd && inst.rs2 != 0) {
+          // Load-back verification (64-bit stores; narrower widths would need
+          // masking and are checked via the data compare above only).
+          out.push_back(isa::make_i(Opcode::kLd, 31, inst.rs1, inst.imm));
+          err_branches.push_back(out.size());
+          out.push_back(isa::make_b(Opcode::kBne, 31, nzdc_shadow(inst.rs2), 0));
+        }
+        continue;
+      }
+      case isa::MemKind::kAmo:
+      case isa::MemKind::kStoreConditional:
+        if (inst.rs2 != 0) {
+          err_branches.push_back(out.size());
+          out.push_back(isa::make_b(Opcode::kBne, inst.rs2, nzdc_shadow(inst.rs2), 0));
+        }
+        out.push_back(inst);
+        if (inst.rd != 0) out.push_back(mv(nzdc_shadow(inst.rd), inst.rd));
+        continue;
+      case isa::MemKind::kNone: break;
+    }
+
+    if (isa::is_cond_branch(inst.op)) {
+      // Verify both live operands before deciding control flow (wrong-path
+      // execution is nZDC's hardest failure mode), and fold the decision into
+      // the running control-flow signature (x31).
+      for (u8 checked : {inst.rs1, inst.rs2}) {
+        if (checked != 0) {
+          err_branches.push_back(out.size());
+          out.push_back(isa::make_b(Opcode::kBne, checked, nzdc_shadow(checked), 0));
+        }
+      }
+      out.push_back(isa::make_r(Opcode::kXor, 31, 31, inst.rs1));
+      const std::size_t old_target = (program.code_base + i * 4 + inst.imm -
+                                      program.code_base) / 4;
+      fixups.push_back({out.size(), old_target});
+      out.push_back(inst);
+      continue;
+    }
+
+    if (inst.op == Opcode::kJal) {
+      const std::size_t old_target =
+          (program.code_base + i * 4 + inst.imm - program.code_base) / 4;
+      fixups.push_back({out.size(), old_target});
+      out.push_back(inst);
+      if (inst.rd != 0) out.push_back(mv(nzdc_shadow(inst.rd), inst.rd));
+      continue;
+    }
+    if (inst.op == Opcode::kJalr) {
+      // Generated workloads avoid indirect jumps; keep a passthrough for
+      // robustness (target registers are runtime values; no remap needed
+      // because the transform preserves no absolute code addresses in data).
+      out.push_back(inst);
+      if (inst.rd != 0) out.push_back(mv(nzdc_shadow(inst.rd), inst.rd));
+      continue;
+    }
+
+    // System and everything else: passthrough.
+    out.push_back(inst);
+  }
+  group_start[n] = out.size();
+
+  // Error handler: unreachable in fault-free runs.
+  const std::size_t err_index = out.size();
+  out.push_back(isa::make_c(Opcode::kHalt));
+
+  // Re-target control transfers across the expansion.
+  for (const auto& fixup : fixups) {
+    FLEX_CHECK(fixup.old_target <= n);
+    const auto delta = static_cast<i64>(group_start[fixup.old_target]) -
+                       static_cast<i64>(fixup.out_index);
+    out[fixup.out_index].imm = static_cast<i32>(delta * 4);
+  }
+  for (std::size_t idx : err_branches) {
+    const auto delta = static_cast<i64>(err_index) - static_cast<i64>(idx);
+    out[idx].imm = static_cast<i32>(delta * 4);
+  }
+
+  isa::Program result;
+  result.name = program.name + "+nzdc";
+  result.code_base = program.code_base;
+  result.code = std::move(out);
+  result.data_base = program.data_base;
+  result.data_size = program.data_size;
+  for (const auto& inst : result.code) (void)isa::encode(inst);  // range validation
+  return result;
+}
+
+}  // namespace flexstep::workloads

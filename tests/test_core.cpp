@@ -1,0 +1,357 @@
+// Core execution tests: ISA semantics, branches, memory, traps, timers.
+#include <gtest/gtest.h>
+
+#include "arch/core.h"
+#include "arch/memory.h"
+#include "arch/program_image.h"
+#include "isa/assembler.h"
+#include "isa/csr.h"
+
+namespace flexstep::arch {
+namespace {
+
+using isa::Assembler;
+using isa::Opcode;
+
+class CoreTest : public ::testing::Test {
+ protected:
+  Core& make_core() {
+    core_ = std::make_unique<Core>(0, CoreConfig{}, memory_, images_, nullptr);
+    return *core_;
+  }
+
+  Core& run_program(Assembler& a, u64 max_insts = 100000) {
+    program_ = a.finalize("test");
+    images_.load(memory_, program_);
+    Core& core = make_core();
+    core.set_pc(program_.entry());
+    core.run(max_insts);
+    return core;
+  }
+
+  Memory memory_;
+  ImageRegistry images_;
+  isa::Program program_;
+  std::unique_ptr<Core> core_;
+};
+
+TEST_F(CoreTest, ArithmeticBasics) {
+  Assembler a;
+  a.li(1, 20);
+  a.li(2, 22);
+  a.add(3, 1, 2);
+  a.sub(4, 1, 2);
+  a.mul(5, 1, 2);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(3), 42u);
+  EXPECT_EQ(core.reg(4), static_cast<u64>(-2));
+  EXPECT_EQ(core.reg(5), 440u);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+}
+
+TEST_F(CoreTest, X0IsHardwiredZero) {
+  Assembler a;
+  a.li(1, 7);
+  a.add(0, 1, 1);  // write to x0 discarded
+  a.add(2, 0, 0);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(0), 0u);
+  EXPECT_EQ(core.reg(2), 0u);
+}
+
+TEST_F(CoreTest, DivisionSemantics) {
+  Assembler a;
+  a.li(1, -100);
+  a.li(2, 7);
+  a.div(3, 1, 2);   // -14
+  a.rem(4, 1, 2);   // -2
+  a.li(5, 0);
+  a.div(6, 1, 5);   // div by zero -> all ones
+  a.rem(7, 1, 5);   // rem by zero -> dividend
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(static_cast<i64>(core.reg(3)), -14);
+  EXPECT_EQ(static_cast<i64>(core.reg(4)), -2);
+  EXPECT_EQ(core.reg(6), ~u64{0});
+  EXPECT_EQ(static_cast<i64>(core.reg(7)), -100);
+}
+
+TEST_F(CoreTest, ShiftsAndCompares) {
+  Assembler a;
+  a.li(1, -8);
+  a.srai(2, 1, 1);    // -4 arithmetic
+  a.srli(3, 1, 60);   // logical: top bits shift in zeros
+  a.li(4, 3);
+  a.slt(5, 1, 4);     // -8 < 3 signed -> 1
+  a.sltu(6, 1, 4);    // huge unsigned < 3 -> 0
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(static_cast<i64>(core.reg(2)), -4);
+  EXPECT_EQ(core.reg(3), 0xFu);
+  EXPECT_EQ(core.reg(5), 1u);
+  EXPECT_EQ(core.reg(6), 0u);
+}
+
+class LiMaterialisation : public CoreTest,
+                          public ::testing::WithParamInterface<i64> {};
+
+TEST_P(LiMaterialisation, LoadsExactValue) {
+  Assembler a;
+  a.li(1, GetParam());
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(static_cast<i64>(core.reg(1)), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, LiMaterialisation,
+    ::testing::Values(0, 1, -1, 8191, -8192, 8192, 65536, -65536, 1103515245,
+                      -2147483648LL, 2147483647LL, 0x123456789ABCDEFLL,
+                      -0x123456789ABCDEFLL, INT64_MAX, INT64_MIN));
+
+TEST_F(CoreTest, LoadStoreRoundTrip) {
+  Assembler a;
+  a.li(10, 0x20000);
+  a.li(1, 0x1122334455667788LL);
+  a.sd(1, 10, 0);
+  a.ld(2, 10, 0);
+  a.lw(3, 10, 0);   // sign-extended low word
+  a.lb(4, 10, 7);   // high byte 0x11
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(2), 0x1122334455667788u);
+  EXPECT_EQ(core.reg(3), 0x55667788u);
+  EXPECT_EQ(core.reg(4), 0x11u);
+}
+
+TEST_F(CoreTest, SignExtensionOnLoads) {
+  Assembler a;
+  a.li(10, 0x20000);
+  a.li(1, -1);
+  a.sw(1, 10, 0);
+  a.lw(2, 10, 0);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(2), ~u64{0});
+}
+
+TEST_F(CoreTest, BranchLoopExecutes) {
+  Assembler a;
+  a.li(1, 0);
+  a.li(2, 10);
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.addi(1, 1, 1);
+  a.bne(1, 2, loop);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(1), 10u);
+}
+
+TEST_F(CoreTest, JalLinksReturnAddress) {
+  Assembler a;           // 0x10000 base
+  auto target = a.new_label();
+  a.jal(1, target);      // at 0x10000; link = 0x10004
+  a.nop();
+  a.bind(target);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(1), 0x10004u);
+}
+
+TEST_F(CoreTest, JalrComputedTarget) {
+  Assembler a;
+  a.li(1, 0x10010);  // address of the halt below (4 insts li + this + jalr)
+  a.jalr(2, 1, 0);
+  a.nop();           // skipped
+  a.nop();
+  a.halt();
+  isa::Program p = a.finalize("jalr");
+  // Fix the li to point at the halt (index size-1).
+  // Rebuild with exact address:
+  Assembler b;
+  const Addr halt_addr = isa::kDefaultCodeBase + (p.code.size() - 1) * 4;
+  b.li(1, static_cast<i64>(halt_addr));
+  b.jalr(2, 1, 0);
+  b.nop();
+  b.nop();
+  b.halt();
+  program_ = b.finalize("jalr2");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  core.set_pc(program_.entry());
+  core.run(100);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+  EXPECT_EQ(core.instret(), 4u);  // li(2 insts) + jalr + halt
+}
+
+TEST_F(CoreTest, AmoAndLrSc) {
+  Assembler a;
+  a.li(10, 0x30000);
+  a.li(1, 5);
+  a.sd(1, 10, 0);
+  a.li(2, 3);
+  a.amoadd_d(3, 10, 2);   // old = 5, mem = 8
+  a.ld(4, 10, 0);
+  a.lr_d(5, 10);          // 8
+  a.addi(6, 5, 1);        // 9
+  a.sc_d(7, 10, 6);       // success -> 0, mem = 9
+  a.ld(8, 10, 0);
+  a.sc_d(9, 10, 6);       // no reservation -> fail = 1
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(3), 5u);
+  EXPECT_EQ(core.reg(4), 8u);
+  EXPECT_EQ(core.reg(5), 8u);
+  EXPECT_EQ(core.reg(7), 0u);
+  EXPECT_EQ(core.reg(8), 9u);
+  EXPECT_EQ(core.reg(9), 1u);
+}
+
+TEST_F(CoreTest, CsrAccess) {
+  Assembler a;
+  a.csrrs(1, isa::kCsrMhartid, 0);
+  a.csrrs(2, isa::kCsrInstret, 0);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(1), 0u);   // core id 0
+  EXPECT_EQ(core.reg(2), 1u);   // one instruction retired before the read
+}
+
+TEST_F(CoreTest, HaltWithoutHandlerStops) {
+  Assembler a;
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+}
+
+namespace {
+class CountingHandler : public TrapHandler {
+ public:
+  TrapAction on_trap(Core&, TrapCause cause) override {
+    ++counts[static_cast<int>(cause)];
+    if (cause == TrapCause::kTaskExit) return {TrapAction::Kind::kHalt, 0};
+    return {TrapAction::Kind::kResumeUser, 100};
+  }
+  int counts[8] = {};
+};
+}  // namespace
+
+TEST_F(CoreTest, EcallTrapsAndResumes) {
+  Assembler a;
+  a.li(1, 1);
+  a.ecall();
+  a.addi(1, 1, 1);
+  a.halt();
+  program_ = a.finalize("ecall");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  CountingHandler handler;
+  core.set_trap_handler(&handler);
+  core.set_pc(program_.entry());
+  core.run(100);
+  EXPECT_EQ(handler.counts[static_cast<int>(TrapCause::kEcall)], 1);
+  EXPECT_EQ(core.reg(1), 2u);  // resumed after the ecall
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+}
+
+TEST_F(CoreTest, EcallKernelCostAddsCycles) {
+  Assembler a;
+  a.ecall();
+  a.halt();
+  program_ = a.finalize("cost");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  CountingHandler handler;
+  core.set_trap_handler(&handler);
+  core.set_pc(program_.entry());
+  const Cycle before = core.cycle();
+  core.run(100);
+  EXPECT_GE(core.cycle() - before, 100u);  // the modelled excursion
+}
+
+TEST_F(CoreTest, TimerInterruptFires) {
+  Assembler a;
+  a.li(1, 0);
+  auto loop = a.new_label();
+  a.bind(loop);
+  a.addi(1, 1, 1);
+  a.jal(0, loop);  // infinite loop; only the timer stops it
+  program_ = a.finalize("timer");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  CountingHandler handler;
+  core.set_trap_handler(&handler);
+  core.set_pc(program_.entry());
+  core.set_timer(500);
+  core.run(100000);
+  EXPECT_GE(handler.counts[static_cast<int>(TrapCause::kTimer)], 1);
+  EXPECT_GE(core.cycle(), 500u);
+}
+
+TEST_F(CoreTest, FetchFaultOnWildPc) {
+  Assembler a;
+  a.halt();
+  program_ = a.finalize("fault");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  core.set_pc(0xDEAD0000);
+  core.step();
+  EXPECT_EQ(core.status(), Core::Status::kHalted);  // default action
+}
+
+TEST_F(CoreTest, CaptureRestoreRoundTrip) {
+  Assembler a;
+  a.li(1, 111);
+  a.li(2, 222);
+  a.halt();
+  Core& core = run_program(a);
+  ArchState s = core.capture_state();
+  EXPECT_EQ(s.regs[1], 111u);
+  s.regs[1] = 999;
+  s.pc = 0x4444;
+  core.restore_state(s);
+  EXPECT_EQ(core.reg(1), 999u);
+  EXPECT_EQ(core.pc(), 0x4444u);
+}
+
+TEST_F(CoreTest, MispredictsCostCycles) {
+  // Data-dependent alternating branch: the 2-bit BHT cannot track it.
+  Assembler a;
+  a.li(1, 0);
+  a.li(2, 2000);
+  auto loop = a.new_label();
+  auto skip = a.new_label();
+  a.bind(loop);
+  a.andi(3, 1, 1);
+  a.beq(3, 0, skip);
+  a.nop();
+  a.bind(skip);
+  a.addi(1, 1, 1);
+  a.bne(1, 2, loop);
+  a.halt();
+  Core& core = run_program(a, 100000);
+  EXPECT_GT(core.mispredicts(), 500u);  // ~50% of 2000 alternating branches
+}
+
+TEST_F(CoreTest, WfiParksUntilWake) {
+  Assembler a;
+  a.emit(isa::make_c(Opcode::kWfi));
+  a.halt();
+  program_ = a.finalize("wfi");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  core.set_pc(program_.entry());
+  core.step();
+  EXPECT_EQ(core.status(), Core::Status::kWaitingInterrupt);
+  core.wake(12345);
+  EXPECT_EQ(core.status(), Core::Status::kRunning);
+  EXPECT_GE(core.cycle(), 12345u);
+  core.step();
+  EXPECT_EQ(core.status(), Core::Status::kHalted);
+}
+
+}  // namespace
+}  // namespace flexstep::arch

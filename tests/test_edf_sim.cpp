@@ -1,0 +1,144 @@
+// Discrete-event EDF engine tests: preemption, dependencies, non-preemption,
+// gang co-scheduling, Gantt rendering.
+#include <gtest/gtest.h>
+
+#include "sched/edf_sim.h"
+
+namespace flexstep::sched {
+namespace {
+
+SimJob job(u32 task, u32 core, double release, double wcet, double deadline) {
+  SimJob j;
+  j.task_id = task;
+  j.core = core;
+  j.release = release;
+  j.wcet = wcet;
+  j.deadline = deadline;
+  j.sched_deadline = deadline;
+  return j;
+}
+
+double completion_of(const SimResult& result, u32 job_index) {
+  double end = -1.0;
+  for (const auto& slice : result.gantt) {
+    if (slice.job_index == job_index) end = std::max(end, slice.end);
+  }
+  return end;
+}
+
+TEST(EdfSim, SingleJobRunsAtRelease) {
+  const auto result = simulate_edf({job(0, 0, 5, 10, 30)}, 1, 100);
+  EXPECT_TRUE(result.feasible);
+  ASSERT_EQ(result.gantt.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.gantt[0].start, 5.0);
+  EXPECT_DOUBLE_EQ(result.gantt[0].end, 15.0);
+}
+
+TEST(EdfSim, EdfOrderByDeadline) {
+  // Two jobs released together: the tighter deadline runs first.
+  const auto result =
+      simulate_edf({job(0, 0, 0, 5, 100), job(1, 0, 0, 5, 20)}, 1, 100);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_GT(completion_of(result, 0), completion_of(result, 1));
+}
+
+TEST(EdfSim, PreemptionOnRelease) {
+  // Long job starts; a tight job released mid-way preempts it.
+  const auto result =
+      simulate_edf({job(0, 0, 0, 20, 100), job(1, 0, 5, 5, 15)}, 1, 100);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(completion_of(result, 1), 10.0);
+  EXPECT_DOUBLE_EQ(completion_of(result, 0), 25.0);
+}
+
+TEST(EdfSim, DependencyDefersStart) {
+  std::vector<SimJob> jobs{job(0, 0, 0, 10, 50), job(1, 1, 0, 5, 50)};
+  jobs[1].depends_on = 0;  // cross-core dependency (FlexStep checking)
+  const auto result = simulate_edf(jobs, 2, 100);
+  EXPECT_TRUE(result.feasible);
+  // Job 1 cannot start before job 0 completes at t=10.
+  for (const auto& slice : result.gantt) {
+    if (slice.job_index == 1) {
+      EXPECT_GE(slice.start, 10.0);
+    }
+  }
+}
+
+TEST(EdfSim, NonPreemptiveJobBlocksTighterArrival) {
+  std::vector<SimJob> jobs{job(0, 0, 0, 20, 100), job(1, 0, 5, 5, 18)};
+  jobs[0].non_preemptive = true;
+  const auto result = simulate_edf(jobs, 1, 100);
+  EXPECT_FALSE(result.feasible);  // job 1 misses: blocked until t=20
+  ASSERT_EQ(result.misses.size(), 1u);
+  EXPECT_EQ(result.misses[0].task_id, 1u);
+}
+
+TEST(EdfSim, GangOccupiesBothCores) {
+  std::vector<SimJob> jobs{job(0, 0, 0, 10, 100), job(0, 1, 0, 10, 100),
+                           job(1, 1, 0, 4, 30)};
+  jobs[1].gang_master = 0;  // mirror on core 1
+  const auto result = simulate_edf(jobs, 2, 100);
+  EXPECT_TRUE(result.feasible);
+  // The mirror executes exactly when the master does.
+  double master_time = 0.0;
+  double mirror_time = 0.0;
+  for (const auto& slice : result.gantt) {
+    if (slice.job_index == 0) master_time += slice.end - slice.start;
+    if (slice.job_index == 1) mirror_time += slice.end - slice.start;
+  }
+  EXPECT_DOUBLE_EQ(master_time, 10.0);
+  EXPECT_DOUBLE_EQ(mirror_time, 10.0);
+}
+
+TEST(EdfSim, GangWaitsForMirrorCore) {
+  // The mirror core is busy with a non-preemptible tight job: the gang must
+  // wait even though the master core is free.
+  std::vector<SimJob> jobs{job(0, 0, 0, 10, 100), job(0, 1, 0, 10, 100),
+                           job(1, 1, 0, 6, 7)};
+  jobs[1].gang_master = 0;
+  jobs[2].non_preemptive = true;
+  const auto result = simulate_edf(jobs, 2, 100);
+  EXPECT_TRUE(result.feasible);
+  double master_start = 1e9;
+  for (const auto& slice : result.gantt) {
+    if (slice.job_index == 0) master_start = std::min(master_start, slice.start);
+  }
+  EXPECT_GE(master_start, 6.0);
+}
+
+TEST(EdfSim, MissedDeadlineReported) {
+  const auto result = simulate_edf({job(0, 0, 0, 30, 20)}, 1, 100);
+  EXPECT_FALSE(result.feasible);
+  ASSERT_EQ(result.misses.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.misses[0].completion, 30.0);
+}
+
+TEST(EdfSim, UnfinishedJobAtHorizonCountsAsMiss) {
+  const auto result = simulate_edf({job(0, 0, 0, 200, 50)}, 1, 100);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(EdfSim, VirtualDeadlinePriority) {
+  // sched_deadline earlier than deadline: job 0 wins EDF against job 1 even
+  // though its real deadline is later (FlexStep original computations).
+  std::vector<SimJob> jobs{job(0, 0, 0, 5, 100), job(1, 0, 0, 5, 60)};
+  jobs[0].sched_deadline = 40.0;
+  const auto result = simulate_edf(jobs, 1, 100);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LT(completion_of(result, 0), completion_of(result, 1));
+}
+
+TEST(EdfSim, GanttRenderShowsTasks) {
+  const auto result = simulate_edf({job(0, 0, 0, 50, 100)}, 1, 100);
+  const std::string gantt = render_gantt(result, 1, 100.0, 50);
+  EXPECT_NE(gantt.find('A'), std::string::npos);
+  EXPECT_NE(gantt.find("core 0"), std::string::npos);
+}
+
+TEST(EdfSim, ZeroWcetJobCompletesImmediately) {
+  const auto result = simulate_edf({job(0, 0, 10, 0, 20)}, 1, 100);
+  EXPECT_TRUE(result.feasible);
+}
+
+}  // namespace
+}  // namespace flexstep::sched

@@ -1,0 +1,125 @@
+// Theory-meets-system integration: a task set accepted by the Alg. 3
+// schedulability test is mapped onto the *actual* simulated SoC (programs,
+// kernel, FlexStep verification) and runs without deadline misses — the loop
+// the paper itself never closes between Sec. V and the FPGA prototype.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "sched/flexstep_partition.h"
+#include "soc/soc.h"
+#include "workloads/profile.h"
+#include "workloads/program_builder.h"
+
+namespace flexstep {
+namespace {
+
+using kernel::Kernel;
+using kernel::RtTaskSpec;
+
+struct TheoryTask {
+  const char* workload;
+  double wcet_us;    ///< Budgeted WCET (with engineering margin over the mean).
+  double period_us;
+  sched::TaskType type;
+};
+
+TEST(Integration, Alg3AcceptedSetRunsOnTheSocWithoutMisses) {
+  // Four tasks on four cores; one double-checked. WCETs carry ~40% margin
+  // over the programs' measured runtimes (checkpointing, ticks, preemption).
+  const TheoryTask theory[] = {
+      {"swaptions", 300.0, 1200.0, sched::TaskType::kV2},
+      {"hmmer", 280.0, 1400.0, sched::TaskType::kNormal},
+      {"bzip2", 350.0, 2000.0, sched::TaskType::kNormal},
+      {"x264", 250.0, 1600.0, sched::TaskType::kNormal},
+  };
+
+  // ---- theory side: Alg. 3 accepts the set on 4 cores ----
+  sched::TaskSet tasks;
+  for (u32 i = 0; i < 4; ++i) {
+    tasks.push_back({i, theory[i].wcet_us, theory[i].period_us, theory[i].type});
+  }
+  const auto plan = sched::flexstep_partition(tasks, 4);
+  ASSERT_TRUE(plan.schedulable);
+
+  // Extract the partitioning (task -> core, checker copies -> cores).
+  i32 original_core[4] = {-1, -1, -1, -1};
+  std::vector<CoreId> checker_cores[4];
+  for (u32 k = 0; k < plan.cores.size(); ++k) {
+    for (const auto& item : plan.cores[k].items) {
+      if (item.is_check_copy) {
+        checker_cores[item.task_id].push_back(k);
+      } else {
+        original_core[item.task_id] = static_cast<i32>(k);
+      }
+    }
+  }
+
+  // ---- system side: realise it on the SoC ----
+  soc::Soc soc(soc::SocConfig::paper_default(4));
+  kernel::KernelConfig config;
+  config.horizon = us_to_cycles(10'000.0);
+  Kernel rtos(soc, config);
+
+  for (u32 i = 0; i < 4; ++i) {
+    const auto& profile = workloads::find_profile(theory[i].workload);
+    workloads::BuildOptions build;
+    build.seed = 100 + i;
+    build.code_base = 0x10000 + i * 0x80000;
+    build.data_base = 0x1000000 + static_cast<Addr>(i) * 0x800000;
+    // Size the program to ~70% of the theoretical WCET (margin).
+    build.iterations_override = std::max<u32>(
+        1, static_cast<u32>(theory[i].wcet_us * 0.7 * kCyclesPerUs / 2.4 /
+                            profile.body_instructions));
+    RtTaskSpec spec;
+    spec.name = theory[i].workload;
+    spec.program = workloads::build_workload(profile, build);
+    spec.period = us_to_cycles(theory[i].period_us);
+    spec.type = theory[i].type;
+    ASSERT_GE(original_core[i], 0);
+    spec.core = static_cast<CoreId>(original_core[i]);
+    spec.checker_cores = checker_cores[i];
+    rtos.add_task(std::move(spec));
+  }
+
+  rtos.run();
+  const auto& stats = rtos.stats();
+  EXPECT_EQ(stats.missed, 0u) << "theory-accepted set missed on the system";
+  EXPECT_GT(stats.completed, 20u);
+  // The verified task's checking completed cleanly on its assigned checker.
+  u64 verified = 0;
+  for (CoreId id = 0; id < 4; ++id) {
+    verified += soc.unit(id).segments_verified();
+    EXPECT_EQ(soc.unit(id).segments_failed(), 0u);
+  }
+  EXPECT_GT(verified, 0u);
+  EXPECT_EQ(soc.fabric().reporter().detections(), 0u);
+}
+
+TEST(Integration, VerificationWorkTracksDuplicatedComputation) {
+  // The checker replays exactly the user-mode instructions of the verified
+  // task — FlexStep's "duplicated computation" is real work, accounted 1:1.
+  soc::Soc soc(soc::SocConfig::paper_default(2));
+  kernel::KernelConfig config;
+  config.horizon = us_to_cycles(4'000.0);
+  Kernel rtos(soc, config);
+
+  RtTaskSpec spec;
+  spec.name = "verified";
+  const auto& profile = workloads::find_profile("swaptions");
+  workloads::BuildOptions build;
+  build.seed = 55;
+  build.iterations_override = 120;
+  spec.program = workloads::build_workload(profile, build);
+  spec.period = us_to_cycles(1000.0);
+  spec.core = 0;
+  spec.type = sched::TaskType::kV2;
+  spec.checker_cores = {1};
+  rtos.add_task(std::move(spec));
+  rtos.run();
+
+  ASSERT_EQ(rtos.stats().missed, 0u);
+  EXPECT_EQ(soc.unit(1).replayed_instructions(), soc.core(0).user_instret());
+}
+
+}  // namespace
+}  // namespace flexstep

@@ -1,0 +1,255 @@
+// Kernel (RTOS model) integration tests: partitioned EDF with preemption,
+// Alg. 1 context switches, Alg. 2 checker threads, verification completion.
+#include <gtest/gtest.h>
+
+#include "kernel/kernel.h"
+#include "soc/soc.h"
+#include "workloads/profile.h"
+#include "workloads/program_builder.h"
+
+namespace flexstep {
+namespace {
+
+using kernel::Kernel;
+using kernel::KernelConfig;
+using kernel::RtTaskSpec;
+using soc::Soc;
+using soc::SocConfig;
+
+/// Program with a deterministic cycle cost around `target_us` at CPI~2.3.
+isa::Program timed_program(const char* profile_name, double target_us, u64 seed,
+                           Addr code_base, Addr data_base) {
+  const auto& profile = workloads::find_profile(profile_name);
+  workloads::BuildOptions build;
+  build.seed = seed;
+  build.code_base = code_base;
+  build.data_base = data_base;
+  const double insts = target_us * kCyclesPerUs / 2.3;
+  build.iterations_override =
+      std::max<u32>(1, static_cast<u32>(insts / profile.body_instructions));
+  return workloads::build_workload(profile, build);
+}
+
+KernelConfig short_horizon(double ms) {
+  KernelConfig config;
+  config.horizon = us_to_cycles(ms * 1000.0);
+  return config;
+}
+
+TEST(Kernel, SingleTaskCompletesAllJobs) {
+  Soc soc(SocConfig::paper_default(2));
+  Kernel kernel(soc, short_horizon(8.0));
+
+  RtTaskSpec task;
+  task.name = "solo";
+  task.program = timed_program("swaptions", 300.0, 1, 0x10000, 0x1000000);
+  task.period = us_to_cycles(1000.0);
+  task.core = 0;
+  kernel.add_task(std::move(task));
+  kernel.run();
+
+  const auto& stats = kernel.stats();
+  EXPECT_EQ(stats.missed, 0u);
+  EXPECT_EQ(stats.completed, stats.released);
+  EXPECT_GE(stats.completed, 7u);
+}
+
+TEST(Kernel, EdfPreemptionBetweenTwoTasks) {
+  Soc soc(SocConfig::paper_default(2));
+  Kernel kernel(soc, short_horizon(8.0));
+
+  // Long-period task with long jobs, preempted by a tight-period task.
+  RtTaskSpec heavy;
+  heavy.name = "heavy";
+  heavy.program = timed_program("hmmer", 900.0, 2, 0x10000, 0x1000000);
+  heavy.period = us_to_cycles(2000.0);
+  heavy.core = 0;
+  kernel.add_task(std::move(heavy));
+
+  RtTaskSpec light;
+  light.name = "light";
+  light.program = timed_program("swaptions", 100.0, 3, 0x80000, 0x2000000);
+  light.period = us_to_cycles(500.0);
+  light.core = 0;
+  kernel.add_task(std::move(light));
+
+  kernel.run();
+  const auto& stats = kernel.stats();
+  EXPECT_EQ(stats.missed, 0u);
+  EXPECT_GT(stats.preemptions, 0u);  // light must have preempted heavy
+}
+
+TEST(Kernel, VerifiedTaskRunsAndChecksComplete) {
+  Soc soc(SocConfig::paper_default(2));
+  Kernel kernel(soc, short_horizon(6.0));
+
+  RtTaskSpec task;
+  task.name = "verified";
+  task.program = timed_program("swaptions", 250.0, 4, 0x10000, 0x1000000);
+  task.period = us_to_cycles(1000.0);
+  task.core = 0;
+  task.type = sched::TaskType::kV2;
+  task.checker_cores = {1};
+  kernel.add_task(std::move(task));
+  kernel.run();
+
+  const auto& stats = kernel.stats();
+  EXPECT_EQ(stats.missed, 0u);
+  // Both original jobs and checker jobs completed.
+  u32 checker_jobs = 0;
+  for (const auto& job : stats.jobs) checker_jobs += job.is_checker;
+  EXPECT_GE(checker_jobs, 5u);
+  // The checker verified every produced segment without errors.
+  EXPECT_GT(soc.unit(1).segments_verified(), 0u);
+  EXPECT_EQ(soc.unit(1).segments_failed(), 0u);
+  EXPECT_EQ(soc.fabric().reporter().detections(), 0u);
+  EXPECT_EQ(soc.unit(0).segments_produced(),
+            soc.unit(1).segments_verified());
+}
+
+TEST(Kernel, TripleCheckTaskUsesTwoCheckers) {
+  Soc soc(SocConfig::paper_default(4));
+  Kernel kernel(soc, short_horizon(5.0));
+
+  RtTaskSpec task;
+  task.name = "triple";
+  task.program = timed_program("swaptions", 200.0, 5, 0x10000, 0x1000000);
+  task.period = us_to_cycles(1000.0);
+  task.core = 0;
+  task.type = sched::TaskType::kV3;
+  task.checker_cores = {1, 2};
+  kernel.add_task(std::move(task));
+  kernel.run();
+
+  EXPECT_EQ(kernel.stats().missed, 0u);
+  EXPECT_GT(soc.unit(1).segments_verified(), 0u);
+  EXPECT_GT(soc.unit(2).segments_verified(), 0u);
+  EXPECT_EQ(soc.unit(1).segments_failed(), 0u);
+  EXPECT_EQ(soc.unit(2).segments_failed(), 0u);
+}
+
+TEST(Kernel, CheckerPreemptedByTighterTaskStillCompletes) {
+  // FlexStep's flagship capability (Fig. 1(c)): a non-verification task with
+  // an earlier deadline preempts in-flight checking on the checker core, and
+  // the checking still completes before its own deadline.
+  Soc soc(SocConfig::paper_default(2));
+  Kernel kernel(soc, short_horizon(6.0));
+
+  RtTaskSpec verified;
+  verified.name = "verified";
+  verified.program = timed_program("hmmer", 300.0, 6, 0x10000, 0x1000000);
+  verified.period = us_to_cycles(1500.0);
+  verified.core = 0;
+  verified.type = sched::TaskType::kV2;
+  verified.checker_cores = {1};
+  kernel.add_task(std::move(verified));
+
+  // Tight task placed on the CHECKER core: it must preempt replay.
+  RtTaskSpec tight;
+  tight.name = "tight";
+  tight.program = timed_program("swaptions", 120.0, 7, 0x80000, 0x2000000);
+  tight.period = us_to_cycles(400.0);
+  tight.core = 1;
+  kernel.add_task(std::move(tight));
+
+  kernel.run();
+  const auto& stats = kernel.stats();
+  EXPECT_EQ(stats.missed, 0u);
+  EXPECT_GT(stats.preemptions, 0u);
+  EXPECT_GT(soc.unit(1).segments_verified(), 0u);
+  EXPECT_EQ(soc.fabric().reporter().detections(), 0u);
+}
+
+TEST(Kernel, NonVerifiedTasksAcrossFourCores) {
+  Soc soc(SocConfig::paper_default(4));
+  Kernel kernel(soc, short_horizon(4.0));
+  for (u32 i = 0; i < 4; ++i) {
+    RtTaskSpec task;
+    task.name = "t" + std::to_string(i);
+    task.program = timed_program("bzip2", 150.0 + 40.0 * i, 10 + i,
+                                 0x10000 + i * 0x40000, 0x1000000 + i * 0x400000);
+    task.period = us_to_cycles(600.0 + 150.0 * i);
+    task.core = i;
+    kernel.add_task(std::move(task));
+  }
+  kernel.run();
+  EXPECT_EQ(kernel.stats().missed, 0u);
+  EXPECT_GT(kernel.stats().completed, 10u);
+}
+
+TEST(Kernel, SelectiveCheckingVerifiesOnlyTheBudget) {
+  // Paper Fig. 1(c): an emergency requires only the first N units of a job
+  // to be checked. The CPC counts the budget down and switches checking off;
+  // the checker replays exactly the budgeted prefix.
+  Soc soc(SocConfig::paper_default(2));
+  Kernel rtos(soc, short_horizon(5.0));
+
+  RtTaskSpec task;
+  task.name = "selective";
+  task.program = timed_program("swaptions", 400.0, 8, 0x10000, 0x1000000);
+  task.period = us_to_cycles(1200.0);
+  task.core = 0;
+  task.type = sched::TaskType::kV2;
+  task.checker_cores = {1};
+  task.verify_budget = 60'000;  // ~first quarter of each job
+  rtos.add_task(std::move(task));
+  rtos.run();
+
+  EXPECT_EQ(rtos.stats().missed, 0u);
+  const u64 jobs = 4;  // horizon 5 ms / period 1.2 ms, release+period<=horizon
+  // Replayed instructions ≈ budget per job (not the whole job).
+  EXPECT_NEAR(static_cast<double>(soc.unit(1).replayed_instructions()),
+              static_cast<double>(jobs * 60'000), 4'000.0);
+  EXPECT_LT(soc.unit(1).replayed_instructions(), soc.core(0).user_instret() / 2);
+  EXPECT_EQ(soc.unit(1).segments_failed(), 0u);
+  EXPECT_GT(soc.unit(1).segments_verified(), 0u);
+}
+
+TEST(Kernel, SelectiveBudgetSurvivesPreemption) {
+  // The budget is per-job state: a preempted verification job resumes with
+  // its remaining budget, not a fresh one.
+  Soc soc(SocConfig::paper_default(2));
+  Kernel rtos(soc, short_horizon(6.0));
+
+  RtTaskSpec verified;
+  verified.name = "budgeted";
+  verified.program = timed_program("hmmer", 500.0, 9, 0x10000, 0x1000000);
+  verified.period = us_to_cycles(2000.0);
+  verified.core = 0;
+  verified.type = sched::TaskType::kV2;
+  verified.checker_cores = {1};
+  verified.verify_budget = 100'000;
+  rtos.add_task(std::move(verified));
+
+  RtTaskSpec tight;  // forces preemption of the budgeted job on core 0
+  tight.name = "tight";
+  tight.program = timed_program("swaptions", 100.0, 10, 0x80000, 0x2000000);
+  tight.period = us_to_cycles(500.0);
+  tight.core = 0;
+  rtos.add_task(std::move(tight));
+
+  rtos.run();
+  EXPECT_EQ(rtos.stats().missed, 0u);
+  EXPECT_GT(rtos.stats().preemptions, 0u);
+  const u64 jobs = 3;  // releases at 0, 2, 4 ms within the 6 ms horizon
+  EXPECT_NEAR(static_cast<double>(soc.unit(1).replayed_instructions()),
+              static_cast<double>(jobs * 100'000), 6'000.0);
+  EXPECT_EQ(soc.unit(1).segments_failed(), 0u);
+}
+
+TEST(Kernel, OverloadedCoreMissesDeadlines) {
+  // Sanity: the kernel reports misses rather than hiding them.
+  Soc soc(SocConfig::paper_default(2));
+  Kernel kernel(soc, short_horizon(3.0));
+  RtTaskSpec task;
+  task.name = "overload";
+  task.program = timed_program("hmmer", 900.0, 20, 0x10000, 0x1000000);
+  task.period = us_to_cycles(500.0);  // WCET >> period
+  task.core = 0;
+  kernel.add_task(std::move(task));
+  kernel.run();
+  EXPECT_GT(kernel.stats().missed, 0u);
+}
+
+}  // namespace
+}  // namespace flexstep

@@ -1,0 +1,73 @@
+// Power/area model tests: calibration against the paper's published numbers.
+#include <gtest/gtest.h>
+
+#include "model/power_area.h"
+
+namespace flexstep::model {
+namespace {
+
+TEST(PowerArea, Table3VanillaCalibration) {
+  const PowerAreaModel m;
+  const auto vanilla = m.vanilla(4);
+  EXPECT_NEAR(vanilla.area_mm2, 2.71, 0.01);   // paper Tab. III
+  EXPECT_NEAR(vanilla.power_w, 0.485, 0.002);
+}
+
+TEST(PowerArea, Table3FlexStepCalibration) {
+  const PowerAreaModel m;
+  const auto flexstep = m.flexstep(4);
+  EXPECT_NEAR(flexstep.area_mm2, 2.77, 0.02);
+  EXPECT_NEAR(flexstep.power_w, 0.499, 0.002);
+  EXPECT_NEAR(m.area_overhead(4), 0.0221, 0.004);   // +2.21%
+  EXPECT_NEAR(m.power_overhead(4), 0.0289, 0.004);  // +2.89%
+}
+
+TEST(PowerArea, Figure8EndpointAnchors) {
+  const PowerAreaModel m;
+  // Fig. 8 axis anchors: 2-core ~2.0 mm2 / ~0.3 W; 32-core ~12 mm2 / ~3.3 W.
+  EXPECT_NEAR(m.vanilla(2).area_mm2, 2.03, 0.1);
+  EXPECT_NEAR(m.vanilla(2).power_w, 0.30, 0.02);
+  EXPECT_NEAR(m.vanilla(32).area_mm2, 12.23, 0.3);
+  EXPECT_NEAR(m.vanilla(32).power_w, 3.12, 0.25);
+}
+
+TEST(PowerArea, OverheadGrowsLinearlyNotExponentially) {
+  const PowerAreaModel m;
+  // Per-core absolute adder is constant: the overhead delta between
+  // consecutive sizes must itself shrink (sublinear relative growth).
+  double prev_delta = 1.0;
+  for (u32 cores : {4u, 8u, 16u, 32u}) {
+    const double delta = m.flexstep(cores).area_mm2 - m.vanilla(cores).area_mm2;
+    const double per_core = delta / cores;
+    if (cores > 4) {
+      EXPECT_NEAR(per_core, prev_delta, 1e-12);
+    }
+    prev_delta = per_core;
+  }
+  // And the relative overhead stays below 5% through 32 cores.
+  EXPECT_LT(m.area_overhead(32), 0.05);
+  EXPECT_LT(m.power_overhead(32), 0.05);
+}
+
+TEST(PowerArea, StorageBudgetMatchesSecVIE) {
+  EXPECT_EQ(fs::kCpcStorageBytes, 8u);
+  EXPECT_EQ(fs::kAssStorageBytes, 518u);
+  EXPECT_EQ(fs::kDbcStorageBytes, 1088u);
+  EXPECT_EQ(fs::kTotalStorageBytesPerCore, 1614u);
+  EXPECT_EQ(PowerAreaModel::storage_bytes(fs::FlexStepConfig{}), 1614u);
+  // DBC geometry: 64 entries of 17 B.
+  EXPECT_EQ(fs::kFifoSramEntries, 64u);
+}
+
+TEST(PowerArea, MonotoneInCores) {
+  const PowerAreaModel m;
+  double prev_area = 0.0;
+  for (u32 cores = 1; cores <= 64; cores *= 2) {
+    const auto pa = m.flexstep(cores);
+    EXPECT_GT(pa.area_mm2, prev_area);
+    prev_area = pa.area_mm2;
+  }
+}
+
+}  // namespace
+}  // namespace flexstep::model

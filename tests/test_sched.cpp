@@ -1,0 +1,264 @@
+// Scheduling theory tests: UUnifast, the three partitioners, virtual-deadline
+// math, and the property that accepted task sets run without deadline misses
+// in the discrete-event EDF simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "sched/edf_sim.h"
+#include "sched/experiment.h"
+#include "sched/flexstep_partition.h"
+#include "sched/hmr_partition.h"
+#include "sched/lockstep_partition.h"
+#include "sched/uunifast.h"
+
+namespace flexstep::sched {
+namespace {
+
+TaskSet make_tasks(std::initializer_list<Task> list) { return TaskSet(list); }
+
+TEST(TaskModel, VirtualDeadlines) {
+  Task v2{0, 10.0, 100.0, TaskType::kV2};
+  EXPECT_DOUBLE_EQ(v2.virtual_deadline(), 50.0);
+  EXPECT_DOUBLE_EQ(v2.density_original(), 0.2);
+  EXPECT_DOUBLE_EQ(v2.density_check(), 0.2);
+
+  Task v3{1, 10.0, 100.0, TaskType::kV3};
+  EXPECT_NEAR(v3.virtual_deadline(), (std::sqrt(2.0) - 1.0) * 100.0, 1e-12);
+  // δo + 2·δv is minimised at D' = (√2−1)·D; check optimality numerically.
+  const double optimal = v3.density_original() + 2.0 * v3.density_check();
+  for (double theta : {0.35, 0.40, 0.45, 0.50}) {
+    const double d_virtual = theta * 100.0;
+    const double alt = 10.0 / d_virtual + 2.0 * 10.0 / (100.0 - d_virtual);
+    EXPECT_GE(alt, optimal - 1e-9) << theta;
+  }
+}
+
+TEST(TaskModel, V2VirtualDeadlineIsDensityOptimal) {
+  Task v2{0, 10.0, 100.0, TaskType::kV2};
+  const double optimal = v2.density_original() + v2.density_check();
+  for (double theta : {0.3, 0.4, 0.45, 0.55, 0.6, 0.7}) {
+    const double d_virtual = theta * 100.0;
+    const double alt = 10.0 / d_virtual + 10.0 / (100.0 - d_virtual);
+    EXPECT_GE(alt, optimal - 1e-9) << theta;
+  }
+}
+
+TEST(UUnifast, SumsToTarget) {
+  Rng rng(1);
+  for (double target : {0.5, 2.0, 6.4}) {
+    const auto u = uunifast(64, target, rng);
+    double sum = 0.0;
+    for (double x : u) sum += x;
+    EXPECT_NEAR(sum, target, 1e-9);
+  }
+}
+
+TEST(UUnifast, GeneratedSetsRespectParams) {
+  Rng rng(2);
+  TaskSetParams params;
+  params.n = 160;
+  params.total_utilization = 4.0;
+  params.alpha = 0.125;
+  params.beta = 0.0625;
+  const auto tasks = generate_task_set(params, rng);
+  ASSERT_EQ(tasks.size(), 160u);
+  EXPECT_NEAR(total_utilization(tasks), 4.0, 1e-9);
+  const auto counts = count_types(tasks);
+  EXPECT_EQ(counts.v2, 20u);
+  EXPECT_EQ(counts.v3, 10u);
+  for (const auto& t : tasks) {
+    EXPECT_GE(t.period, params.period_min);
+    EXPECT_LE(t.period, params.period_max);
+    EXPECT_LE(t.utilization(), 1.0);
+  }
+}
+
+TEST(FlexStepPartition, CopiesLandOnDistinctCores) {
+  const auto tasks = make_tasks({{0, 10, 100, TaskType::kV3}, {1, 5, 50, TaskType::kV2}});
+  const auto result = flexstep_partition(tasks, 4);
+  ASSERT_TRUE(result.schedulable);
+  // Each task's original + copies occupy distinct cores.
+  for (u32 task_id = 0; task_id < 2; ++task_id) {
+    int cores_with_task = 0;
+    for (const auto& core : result.cores) {
+      int appearances = 0;
+      for (const auto& item : core.items) appearances += item.task_id == task_id;
+      EXPECT_LE(appearances, 1);
+      cores_with_task += appearances;
+    }
+    EXPECT_EQ(cores_with_task, task_id == 0 ? 3 : 2);
+  }
+}
+
+TEST(FlexStepPartition, DensityAccounting) {
+  const auto tasks = make_tasks({{0, 10, 100, TaskType::kV2}});
+  const auto result = flexstep_partition(tasks, 2);
+  ASSERT_TRUE(result.schedulable);
+  // δo = 10/50 = 0.2 on one core; δv = 10/50 = 0.2 on the other.
+  EXPECT_NEAR(result.cores[0].density + result.cores[1].density, 0.4, 1e-12);
+}
+
+TEST(FlexStepPartition, RejectsOverload) {
+  const auto tasks = make_tasks({{0, 60, 100, TaskType::kV2}});
+  // δo = 60/50 = 1.2 > 1: no core can host the original computation.
+  EXPECT_FALSE(flexstep_partition(tasks, 8).schedulable);
+}
+
+TEST(FlexStepPartition, V3NeedsThreeCores) {
+  const auto tasks = make_tasks({{0, 1, 100, TaskType::kV3}});
+  EXPECT_FALSE(flexstep_partition(tasks, 2).schedulable);
+  EXPECT_TRUE(flexstep_partition(tasks, 3).schedulable);
+}
+
+TEST(FlexStepPartition, FallbackAcceptsWhatAlg3Rejects) {
+  // Density tax: 4u per V2 task under Alg. 3 vs 2u under the fallback.
+  TaskSet tasks;
+  for (u32 i = 0; i < 4; ++i) tasks.push_back({i, 35, 100, TaskType::kV2});
+  const u32 m = 4;
+  EXPECT_FALSE(flexstep_partition(tasks, m).schedulable);   // 4·0.35·4 = 5.6 > 4
+  EXPECT_TRUE(flexstep_partition_fallback(tasks, m).schedulable);  // 2.8 ≤ 4
+  EXPECT_TRUE(flexstep_schedulable(tasks, m));
+}
+
+TEST(LockStepPartition, CheckerCoresAreReserved) {
+  // One V2 task forms a pair; 8 non-verification tasks must fit on the
+  // remaining cores + the group main.
+  TaskSet tasks;
+  tasks.push_back({0, 10, 100, TaskType::kV2});
+  for (u32 i = 1; i <= 8; ++i) tasks.push_back({i, 40, 100, TaskType::kNormal});
+  // m=4: pair (2 cores) leaves main + 2 free; capacity ≈ 3·1.0 but demand 3.2+0.1.
+  EXPECT_FALSE(lockstep_partition(tasks, 4).schedulable);
+  // m=5: capacity 4 cores for 3.3 total utilisation.
+  EXPECT_TRUE(lockstep_partition(tasks, 5).schedulable);
+}
+
+TEST(LockStepPartition, TripleGroupForV3) {
+  const auto tasks = make_tasks({{0, 10, 100, TaskType::kV3}});
+  EXPECT_FALSE(lockstep_partition(tasks, 2).schedulable);
+  const auto result = lockstep_partition(tasks, 3);
+  EXPECT_TRUE(result.schedulable);
+}
+
+TEST(LockStepPartition, GroupsSharedAcrossVerificationTasks) {
+  // Two small V2 tasks share one pair group (checker-core minimisation).
+  const auto tasks =
+      make_tasks({{0, 10, 100, TaskType::kV2}, {1, 10, 100, TaskType::kV2}});
+  const auto result = lockstep_partition(tasks, 2);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_EQ(result.cores[0].items.size(), 2u);  // both on the group main
+  EXPECT_TRUE(result.cores[1].items.empty());   // the mirror carries no items
+}
+
+TEST(HmrPartition, MirrorsAddUtilisationToCheckerCores) {
+  const auto tasks = make_tasks({{0, 20, 100, TaskType::kV2}});
+  const auto result = hmr_partition(tasks, 2);
+  ASSERT_TRUE(result.schedulable);
+  EXPECT_NEAR(result.cores[0].density, 0.2, 1e-12);
+  EXPECT_NEAR(result.cores[1].density, 0.2, 1e-12);
+}
+
+TEST(HmrPartition, BlockingTermRejectsTightNonVerificationTask) {
+  // A long non-preemptible verification task blocks a short-deadline task on
+  // the same core when cores are scarce.
+  TaskSet tasks;
+  tasks.push_back({0, 30, 100, TaskType::kV2});   // C=30 blocking source
+  tasks.push_back({1, 30, 101, TaskType::kV2});   // forces mixing on m=2
+  tasks.push_back({2, 2, 20, TaskType::kNormal}); // blocked: 30/20 > 1
+  EXPECT_FALSE(hmr_partition(tasks, 2).schedulable);
+  // FlexStep handles the same set: checking is preemptible.
+  EXPECT_TRUE(flexstep_schedulable(tasks, 2));
+}
+
+TEST(EdfBlockingTest, DirectCheck) {
+  CorePlan core;
+  core.items.push_back({0, false, 30.0, 100.0, 0.3, true});  // verification
+  core.items.push_back({1, false, 2.0, 20.0, 0.1, false});   // victim
+  core.density = 0.4;
+  // Victim: demand(D<=20) = 0.1, blocking 30/20 = 1.5 -> fails.
+  EXPECT_FALSE(edf_blocking_schedulable(core));
+  core.items[0].wcet = 10.0;  // blocking 10/20 = 0.5; 0.6 <= 1 passes
+  EXPECT_TRUE(edf_blocking_schedulable(core));
+}
+
+// ---- property tests: accepted => no deadline misses in simulation ----
+
+class PartitionProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PartitionProperty, FlexStepAlg3AcceptedSetsMeetAllDeadlines) {
+  Rng rng(GetParam());
+  TaskSetParams params;
+  params.n = 24;
+  params.alpha = 0.2;
+  params.beta = 0.1;
+  params.total_utilization = 0.45 * 4;
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskSet tasks = generate_task_set(params, rng);
+    const auto plan = flexstep_partition(tasks, 4);
+    if (!plan.schedulable) continue;
+    double max_period = 0.0;
+    for (const auto& t : tasks) max_period = std::max(max_period, t.period);
+    const double horizon = 4.0 * max_period;
+    const auto jobs = make_flexstep_jobs(tasks, plan, horizon);
+    const auto result = simulate_edf(jobs, 4, horizon);
+    EXPECT_TRUE(result.feasible) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+TEST_P(PartitionProperty, LockStepAcceptedSetsMeetAllDeadlines) {
+  Rng rng(GetParam() ^ 0x5A5A);
+  TaskSetParams params;
+  params.n = 24;
+  params.alpha = 0.2;
+  params.beta = 0.1;
+  params.total_utilization = 0.45 * 6;
+  for (int trial = 0; trial < 8; ++trial) {
+    const TaskSet tasks = generate_task_set(params, rng);
+    const auto plan = lockstep_partition(tasks, 6);
+    if (!plan.schedulable) continue;
+    double max_period = 0.0;
+    for (const auto& t : tasks) max_period = std::max(max_period, t.period);
+    const double horizon = 4.0 * max_period;
+    const auto jobs = make_lockstep_jobs(tasks, plan, horizon);
+    const auto result = simulate_edf(jobs, 6, horizon);
+    EXPECT_TRUE(result.feasible) << "seed " << GetParam() << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(Experiment, FlexStepDominatesBaselines) {
+  SchedExperimentConfig config;
+  config.m = 8;
+  config.n = 80;
+  config.alpha = 0.125;
+  config.beta = 0.125;
+  config.u_min = 0.4;
+  config.u_max = 0.7;
+  config.u_step = 0.1;
+  config.sets_per_point = 60;
+  const auto curve = run_sched_experiment(config);
+  ASSERT_FALSE(curve.empty());
+  for (const auto& point : curve) {
+    EXPECT_GE(point.flexstep + 1e-9, point.lockstep) << point.utilization;
+    EXPECT_GE(point.flexstep + 1e-9, point.hmr) << point.utilization;
+  }
+}
+
+TEST(Experiment, SchedulabilityDecreasesWithUtilisation) {
+  SchedExperimentConfig config;
+  config.m = 8;
+  config.n = 80;
+  config.sets_per_point = 60;
+  config.u_min = 0.5;
+  config.u_max = 0.95;
+  config.u_step = 0.15;
+  const auto curve = run_sched_experiment(config);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].flexstep, curve[i - 1].flexstep + 15.0);  // monotone-ish
+  }
+}
+
+}  // namespace
+}  // namespace flexstep::sched
