@@ -17,27 +17,8 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig& config) : config_(
   ras_.assign(config.ras_entries, 0);
 }
 
-bool BranchPredictor::predict_taken(Addr pc) const {
-  const u32 idx = static_cast<u32>(pc >> 2) & (config_.bht_entries - 1);
-  return bht_[idx] >= 2;
-}
 
-void BranchPredictor::update(Addr pc, bool taken) {
-  const u32 idx = static_cast<u32>(pc >> 2) & (config_.bht_entries - 1);
-  u8& counter = bht_[idx];
-  if (taken) {
-    if (counter < 3) ++counter;
-  } else {
-    if (counter > 0) --counter;
-  }
-}
 
-std::optional<Addr> BranchPredictor::btb_lookup(Addr pc) const {
-  for (const auto& entry : btb_) {
-    if (entry.valid && entry.pc == pc) return entry.target;
-  }
-  return std::nullopt;
-}
 
 void BranchPredictor::btb_insert(Addr pc, Addr target) {
   ++btb_tick_;
@@ -57,16 +38,7 @@ void BranchPredictor::btb_insert(Addr pc, Addr target) {
   *victim = {pc, target, true, btb_tick_};
 }
 
-void BranchPredictor::ras_push(Addr return_addr) {
-  ras_[ras_top_ % config_.ras_entries] = return_addr;
-  ++ras_top_;
-}
 
-std::optional<Addr> BranchPredictor::ras_pop() {
-  if (ras_top_ == 0) return std::nullopt;
-  --ras_top_;
-  return ras_[ras_top_ % config_.ras_entries];
-}
 
 void BranchPredictor::reset() {
   bht_.assign(bht_.size(), kWeaklyNotTaken);

@@ -21,17 +21,43 @@ class BranchPredictor {
  public:
   explicit BranchPredictor(const BranchPredictorConfig& config);
 
+  // The predict/update/lookup probes sit on the batched engine's hot path and
+  // are inlined here; the BTB insert (miss path) stays out of line.
+
   /// Conditional branch direction prediction.
-  bool predict_taken(Addr pc) const;
-  void update(Addr pc, bool taken);
+  bool predict_taken(Addr pc) const {
+    const u32 idx = static_cast<u32>(pc >> 2) & (config_.bht_entries - 1);
+    return bht_[idx] >= 2;
+  }
+  void update(Addr pc, bool taken) {
+    const u32 idx = static_cast<u32>(pc >> 2) & (config_.bht_entries - 1);
+    u8& counter = bht_[idx];
+    if (taken) {
+      if (counter < 3) ++counter;
+    } else {
+      if (counter > 0) --counter;
+    }
+  }
 
   /// BTB target lookup/insert (for jal/jalr timing).
-  std::optional<Addr> btb_lookup(Addr pc) const;
+  std::optional<Addr> btb_lookup(Addr pc) const {
+    for (const auto& entry : btb_) {
+      if (entry.valid && entry.pc == pc) return entry.target;
+    }
+    return std::nullopt;
+  }
   void btb_insert(Addr pc, Addr target);
 
   /// Return-address stack.
-  void ras_push(Addr return_addr);
-  std::optional<Addr> ras_pop();
+  void ras_push(Addr return_addr) {
+    ras_[ras_top_ % config_.ras_entries] = return_addr;
+    ++ras_top_;
+  }
+  std::optional<Addr> ras_pop() {
+    if (ras_top_ == 0) return std::nullopt;
+    --ras_top_;
+    return ras_[ras_top_ % config_.ras_entries];
+  }
 
   void reset();
 

@@ -14,43 +14,28 @@ Cache::Cache(const CacheConfig& config, std::string name)
   num_sets_ = config.size_bytes / (config.line_bytes * config.ways);
   FLEX_CHECK(std::has_single_bit(num_sets_));
   line_shift_ = static_cast<u32>(std::countr_zero(config.line_bytes));
+  set_shift_ = static_cast<u32>(std::countr_zero(num_sets_));
   ways_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
 }
 
-bool Cache::access(Addr addr) {
-  const u64 line = addr >> line_shift_;
-  const u32 set = static_cast<u32>(line & (num_sets_ - 1));
-  const u64 tag = line >> std::countr_zero(num_sets_);
-  Way* base = &ways_[static_cast<std::size_t>(set) * config_.ways];
-  ++tick_;
-
-  for (u32 w = 0; w < config_.ways; ++w) {
-    Way& way = base[w];
-    if (way.valid && way.tag == tag) {
-      way.lru = tick_;
-      ++hits_;
-      return true;
-    }
-  }
+void Cache::fill_miss(Way* base, u64 tag) {
   ++misses_;
   // Victim: first invalid way, otherwise least-recently-used.
   Way* victim = nullptr;
   for (u32 w = 0; w < config_.ways; ++w) {
     Way& way = base[w];
-    if (!way.valid) {
+    if (way.tag == kInvalidTag) {
       victim = &way;
       break;
     }
     if (victim == nullptr || way.lru < victim->lru) victim = &way;
   }
-  victim->valid = true;
   victim->tag = tag;
   victim->lru = tick_;
-  return false;
 }
 
 void Cache::invalidate_all() {
-  for (auto& way : ways_) way.valid = false;
+  for (auto& way : ways_) way.tag = kInvalidTag;
 }
 
 double Cache::miss_rate() const {
@@ -66,16 +51,6 @@ Cycle CacheHierarchy::beyond_l1(Addr addr) {
   if (l2_ == nullptr) return memory_latency_;
   if (l2_->access(addr)) return l2_->config().latency;
   return l2_->config().latency + memory_latency_;
-}
-
-Cycle CacheHierarchy::fetch(Addr pc) {
-  if (l1i_.access(pc)) return 0;  // hit latency hidden by the pipelined front end
-  return beyond_l1(pc);
-}
-
-Cycle CacheHierarchy::data(Addr addr) {
-  if (l1d_.access(addr)) return 0;  // hit path pipelined
-  return beyond_l1(addr);
 }
 
 }  // namespace flexstep::arch

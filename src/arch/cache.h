@@ -4,6 +4,10 @@
 // 4-way, 2-cycle latency) and a shared 512 KB 8-way L2 with 40-cycle latency.
 // The model tracks tags + LRU so hit/miss behaviour reflects the workload's
 // true address stream; miss penalties feed the core's cycle accounting.
+//
+// The hit probe is inlined here (it sits on the per-instruction hot path of
+// the batched execution engine); victim selection and the L2/memory descent
+// stay out of line.
 #pragma once
 
 #include <string>
@@ -25,7 +29,28 @@ class Cache {
   explicit Cache(const CacheConfig& config, std::string name = {});
 
   /// Probe (and fill on miss). Returns true on hit.
-  bool access(Addr addr);
+  bool access(Addr addr) {
+    const u64 line = addr >> line_shift_;
+    const u32 set = static_cast<u32>(line & (num_sets_ - 1));
+    const u64 tag = line >> set_shift_;
+    Way* base = &ways_[static_cast<std::size_t>(set) * config_.ways];
+    ++tick_;
+    // Branchless scan: the hit way's position is data-dependent, so an
+    // early-exit loop mispredicts on nearly every probe. A fixed-trip scan
+    // compiles to conditional moves, leaving only the (highly predictable)
+    // hit/miss branch. At most one way can match (fill only happens on miss).
+    u32 hit_way = config_.ways;
+    for (u32 w = 0; w < config_.ways; ++w) {
+      if (base[w].tag == tag) hit_way = w;
+    }
+    if (hit_way != config_.ways) [[likely]] {
+      base[hit_way].lru = tick_;
+      ++hits_;
+      return true;
+    }
+    fill_miss(base, tag);
+    return false;
+  }
 
   /// Invalidate everything (context-switch cold-start modelling, tests).
   void invalidate_all();
@@ -37,16 +62,24 @@ class Cache {
   const std::string& name() const { return name_; }
 
  private:
+  /// An invalid way carries this tag sentinel instead of a separate flag, so
+  /// one set of 4 ways packs into a single 64 B host cache line. Real tags
+  /// cannot collide with it: a tag is `addr >> (line_shift + set_shift)`, and
+  /// an all-ones value would require addresses beyond any simulated mapping.
+  static constexpr u64 kInvalidTag = ~u64{0};
+
   struct Way {
-    u64 tag = 0;
-    bool valid = false;
+    u64 tag = kInvalidTag;
     u64 lru = 0;  ///< Higher = more recently used.
   };
+
+  void fill_miss(Way* base, u64 tag);
 
   CacheConfig config_;
   std::string name_;
   u32 num_sets_;
   u32 line_shift_;
+  u32 set_shift_;
   std::vector<Way> ways_;  ///< num_sets_ × config_.ways, row-major.
   u64 tick_ = 0;
   u64 hits_ = 0;
@@ -61,9 +94,16 @@ class CacheHierarchy {
                  Cycle memory_latency);
 
   /// Instruction fetch probe for the line containing `pc`.
-  Cycle fetch(Addr pc);
+  Cycle fetch(Addr pc) {
+    if (l1i_.access(pc)) return 0;  // hit latency hidden by the pipelined front end
+    return beyond_l1(pc);
+  }
+
   /// Data access probe.
-  Cycle data(Addr addr);
+  Cycle data(Addr addr) {
+    if (l1d_.access(addr)) return 0;  // hit path pipelined
+    return beyond_l1(addr);
+  }
 
   Cache& l1i() { return l1i_; }
   Cache& l1d() { return l1d_; }

@@ -210,9 +210,325 @@ void Core::take_trap(TrapCause cause) {
 }
 
 Core::Status Core::run(u64 max_instructions) {
-  const u64 budget_end = instret_ + max_instructions;
-  while (status_ == Status::kRunning && instret_ < budget_end) step();
+  return run_until(kNoCycleBound, max_instructions);
+}
+
+Core::Status Core::run_until(Cycle stop_before, u64 max_instructions) {
+  quantum_break_ = false;
+  const u64 instret_end = max_instructions > ~u64{0} - instret_
+                              ? ~u64{0}
+                              : instret_ + max_instructions;
+  while (status_ == Status::kRunning && cycle_ < stop_before &&
+         instret_ < instret_end && !quantum_break_) {
+    // The fast path engages only where it is provably equivalent to step():
+    // user mode, passive hooks (no commit observation possible), the default
+    // cache memory port, and no pending software interrupt. All of these can
+    // only change inside slow-path events, so they are hoisted out of the
+    // hot loop and re-evaluated here after every slow-path instruction.
+    if (user_mode_ && (hooks_ == nullptr || hooks_->passive()) &&
+        port_ == cache_port_.get() && !swi_pending_) {
+      run_fast_path(stop_before, instret_end);
+      if (status_ != Status::kRunning || cycle_ >= stop_before ||
+          instret_ >= instret_end || quantum_break_) {
+        break;
+      }
+    }
+    // Slow path: one instruction (or trap delivery) in full generality.
+    step();
+  }
   return status_;
+}
+
+void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
+  // Hoisted fetch window: while the PC stays inside the cached image,
+  // straight-line fetch is a bounds check and an indexed load off the
+  // pre-decoded stream (no registry lookup).
+  Addr base = 0;
+  Addr end = 0;
+  const Instruction* code = nullptr;
+  if (image_ != nullptr) {
+    base = image_->base;
+    end = image_->end;
+    code = image_->code.data();
+  }
+
+  // The interrupt poll folds into the loop bound: software interrupts cannot
+  // be raised from inside the loop (no hooks run), and the timer deadline is
+  // fixed until a trap handler re-arms it — so running while
+  // cycle < min(stop_before, timer_at) polls at every instruction boundary
+  // exactly as step() does. Architectural counters live in locals for the
+  // duration (the out-of-line cache/memory miss paths would otherwise force
+  // reloads every iteration) and are written back on every exit.
+  Cycle limit = stop_before;
+  if (timer_armed_ && timer_at_ < limit) limit = timer_at_;
+
+  Addr pc = pc_;
+  Cycle cycle = cycle_;
+  const Cycle cycle_start = cycle_;
+  u64 instret = instret_;
+  const u64 instret_start = instret_;
+  Addr last_line = last_fetch_line_;
+
+  while (cycle < limit && instret < instret_end) {
+    if (pc - base >= end - base) [[unlikely]] {
+      const LoadedImage* img = images_.find(pc);
+      if (img == nullptr) break;  // fetch fault: step() raises the trap
+      image_ = img;
+      base = img->base;
+      end = img->end;
+      code = img->code.data();
+    }
+    const Instruction& inst = code[(pc - base) / 4];
+
+    // Slow-path opcodes bail out BEFORE the I-cache probe: step() must see
+    // the untouched fetch-line state so it performs the probe (and charges a
+    // miss penalty) exactly as the stepwise engine would. The fast-path set
+    // is contiguous at the front of the opcode enum, so this is one compare;
+    // the switch below handles every opcode in [kAdd, kSd].
+    static_assert(static_cast<u8>(Opcode::kAdd) == 0 &&
+                      static_cast<u8>(Opcode::kLrD) ==
+                          static_cast<u8>(Opcode::kSd) + 1,
+                  "fast-path opcode range must stay contiguous");
+    if (static_cast<u8>(inst.op) > static_cast<u8>(Opcode::kSd)) goto writeback;
+
+    Cycle cost = 1;
+    const Addr fetch_line = pc >> 6;
+    if (fetch_line != last_line) {
+      cost += caches_.fetch(pc);
+      last_line = fetch_line;
+    }
+
+    Addr next_pc = pc + 4;
+    u64 rd_value = 0;
+    bool write_rd = false;
+
+    const u64 a = regs_[inst.rs1];  // NOLINT: x0 reads as 0 by invariant
+    const u64 b = regs_[inst.rs2];
+    const auto imm = static_cast<i64>(inst.imm);
+
+    switch (inst.op) {
+      // ---- ALU register-register ----
+      case Opcode::kAdd: rd_value = a + b; write_rd = true; break;
+      case Opcode::kSub: rd_value = a - b; write_rd = true; break;
+      case Opcode::kSll: rd_value = a << (b & 63); write_rd = true; break;
+      case Opcode::kSrl: rd_value = a >> (b & 63); write_rd = true; break;
+      case Opcode::kSra:
+        rd_value = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+        write_rd = true;
+        break;
+      case Opcode::kAnd: rd_value = a & b; write_rd = true; break;
+      case Opcode::kOr: rd_value = a | b; write_rd = true; break;
+      case Opcode::kXor: rd_value = a ^ b; write_rd = true; break;
+      case Opcode::kSlt:
+        rd_value = static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0;
+        write_rd = true;
+        break;
+      case Opcode::kSltu: rd_value = a < b ? 1 : 0; write_rd = true; break;
+      case Opcode::kMul:
+        rd_value = a * b;
+        write_rd = true;
+        cost += isa::opcode_latency(inst.op) - 1;
+        break;
+      case Opcode::kMulh:
+        rd_value = static_cast<u64>(
+            (static_cast<__int128>(static_cast<i64>(a)) * static_cast<i64>(b)) >> 64);
+        write_rd = true;
+        cost += isa::opcode_latency(inst.op) - 1;
+        break;
+      case Opcode::kDiv:
+        rd_value = (b == 0) ? ~u64{0}
+                            : static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+        write_rd = true;
+        cost += isa::opcode_latency(inst.op) - 1;
+        break;
+      case Opcode::kDivu:
+        rd_value = (b == 0) ? ~u64{0} : a / b;
+        write_rd = true;
+        cost += isa::opcode_latency(inst.op) - 1;
+        break;
+      case Opcode::kRem:
+        rd_value =
+            (b == 0) ? a : static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+        write_rd = true;
+        cost += isa::opcode_latency(inst.op) - 1;
+        break;
+      case Opcode::kRemu:
+        rd_value = (b == 0) ? a : a % b;
+        write_rd = true;
+        cost += isa::opcode_latency(inst.op) - 1;
+        break;
+
+      // ---- ALU register-immediate ----
+      case Opcode::kAddi: rd_value = a + static_cast<u64>(imm); write_rd = true; break;
+      case Opcode::kAndi: rd_value = a & static_cast<u64>(imm); write_rd = true; break;
+      case Opcode::kOri: rd_value = a | static_cast<u64>(imm); write_rd = true; break;
+      case Opcode::kXori: rd_value = a ^ static_cast<u64>(imm); write_rd = true; break;
+      case Opcode::kSlli: rd_value = a << (inst.imm & 63); write_rd = true; break;
+      case Opcode::kSrli: rd_value = a >> (inst.imm & 63); write_rd = true; break;
+      case Opcode::kSrai:
+        rd_value = static_cast<u64>(static_cast<i64>(a) >> (inst.imm & 63));
+        write_rd = true;
+        break;
+      case Opcode::kSlti:
+        rd_value = static_cast<i64>(a) < imm ? 1 : 0;
+        write_rd = true;
+        break;
+      case Opcode::kSltiu:
+        rd_value = a < static_cast<u64>(imm) ? 1 : 0;
+        write_rd = true;
+        break;
+      case Opcode::kLui:
+        rd_value = static_cast<u64>(static_cast<i64>(inst.imm) << isa::kLuiShift);
+        write_rd = true;
+        break;
+
+      // ---- conditional branches ----
+      case Opcode::kBeq:
+      case Opcode::kBne:
+      case Opcode::kBlt:
+      case Opcode::kBge:
+      case Opcode::kBltu:
+      case Opcode::kBgeu: {
+        bool taken = false;
+        switch (inst.op) {
+          case Opcode::kBeq: taken = a == b; break;
+          case Opcode::kBne: taken = a != b; break;
+          case Opcode::kBlt: taken = static_cast<i64>(a) < static_cast<i64>(b); break;
+          case Opcode::kBge: taken = static_cast<i64>(a) >= static_cast<i64>(b); break;
+          case Opcode::kBltu: taken = a < b; break;
+          case Opcode::kBgeu: taken = a >= b; break;
+          default: break;
+        }
+        const bool predicted = bpred_.predict_taken(pc);
+        if (predicted != taken) {
+          cost += bpred_.config().mispredict_penalty;
+          ++mispredicts_;
+        }
+        bpred_.update(pc, taken);
+        if (taken) next_pc = pc + static_cast<Addr>(static_cast<i64>(inst.imm));
+        break;
+      }
+
+      // ---- jumps ----
+      case Opcode::kJal: {
+        rd_value = pc + 4;
+        write_rd = inst.rd != 0;
+        next_pc = pc + static_cast<Addr>(static_cast<i64>(inst.imm));
+        const auto hit = bpred_.btb_lookup(pc);
+        if (!hit.has_value() || *hit != next_pc) {
+          cost += 1;  // decode-stage redirect bubble
+          bpred_.btb_insert(pc, next_pc);
+        }
+        if (inst.rd == 1) bpred_.ras_push(pc + 4);
+        break;
+      }
+      case Opcode::kJalr: {
+        const Addr target = (a + static_cast<u64>(imm)) & ~u64{1};
+        rd_value = pc + 4;
+        write_rd = inst.rd != 0;
+        if (inst.rd == 0 && inst.rs1 == 1) {
+          const auto predicted = bpred_.ras_pop();
+          if (!predicted.has_value() || *predicted != target) {
+            cost += bpred_.config().mispredict_penalty;
+            ++mispredicts_;
+          }
+        } else {
+          const auto hit = bpred_.btb_lookup(pc);
+          if (!hit.has_value() || *hit != target) {
+            cost += bpred_.config().mispredict_penalty;
+            ++mispredicts_;
+            bpred_.btb_insert(pc, target);
+          }
+          if (inst.rd == 1) bpred_.ras_push(pc + 4);
+        }
+        next_pc = target;
+        break;
+      }
+
+      // ---- loads (inlined CachePort::load: default port guaranteed; cases
+      // split by width so each copy is a fixed-size move) ----
+      case Opcode::kLb:
+      case Opcode::kLbu: {
+        const Addr addr = a + static_cast<u64>(imm);
+        cost += caches_.data(addr) + config_.load_use_penalty;
+        const u64 value = memory_.read(addr, 1);
+        rd_value = inst.op == Opcode::kLb
+                       ? static_cast<u64>(static_cast<i64>(static_cast<i8>(value)))
+                       : value;
+        write_rd = true;
+        break;
+      }
+      case Opcode::kLh:
+      case Opcode::kLhu: {
+        const Addr addr = a + static_cast<u64>(imm);
+        cost += caches_.data(addr) + config_.load_use_penalty;
+        const u64 value = memory_.read(addr, 2);
+        rd_value = inst.op == Opcode::kLh
+                       ? static_cast<u64>(static_cast<i64>(static_cast<i16>(value)))
+                       : value;
+        write_rd = true;
+        break;
+      }
+      case Opcode::kLw:
+      case Opcode::kLwu: {
+        const Addr addr = a + static_cast<u64>(imm);
+        cost += caches_.data(addr) + config_.load_use_penalty;
+        const u64 value = memory_.read(addr, 4);
+        rd_value = inst.op == Opcode::kLw
+                       ? static_cast<u64>(static_cast<i64>(static_cast<i32>(value)))
+                       : value;
+        write_rd = true;
+        break;
+      }
+      case Opcode::kLd: {
+        const Addr addr = a + static_cast<u64>(imm);
+        cost += caches_.data(addr) + config_.load_use_penalty;
+        rd_value = memory_.read(addr, 8);
+        write_rd = true;
+        break;
+      }
+
+      // ---- stores (inlined CachePort::store; width split as for loads) ----
+      case Opcode::kSb:
+      case Opcode::kSh:
+      case Opcode::kSw:
+      case Opcode::kSd: {
+        const Addr addr = a + static_cast<u64>(imm);
+        cost += caches_.data(addr);
+        switch (inst.op) {
+          case Opcode::kSb: memory_.write(addr, 1, b & 0xff); break;
+          case Opcode::kSh: memory_.write(addr, 2, b & 0xffff); break;
+          case Opcode::kSw: memory_.write(addr, 4, b & 0xffff'ffff); break;
+          default: memory_.write(addr, 8, b); break;
+        }
+        if (reservation_valid_ && (addr & ~Addr{7}) == reservation_addr_) {
+          reservation_valid_ = false;
+        }
+        break;
+      }
+
+      // ---- everything else (atomics, system, CSR, custom ISA, traps) ----
+      default:
+        goto writeback;  // slow path: the caller executes it through step()
+    }
+
+    // ---- commit (mirrors step(); hooks are passive by precondition) ----
+    if (write_rd && inst.rd != 0) regs_[inst.rd] = rd_value;
+    cycle += cost;
+    ++instret;
+    pc = next_pc;
+  }
+
+writeback:
+  pc_ = pc;
+  cycle_ = cycle;
+  instret_ = instret;
+  const u64 retired = instret - instret_start;
+  user_instret_ += retired;  // fast path runs in user mode only
+  // Identity: every instruction charges cost = 1 + stall, so the summed stall
+  // is the cycle delta minus the retired count (exactly step()'s accounting).
+  stall_cycles_ += (cycle - cycle_start) - retired;
+  last_fetch_line_ = last_line;
 }
 
 Core::Status Core::step() {

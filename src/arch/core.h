@@ -19,6 +19,9 @@
 
 namespace flexstep::arch {
 
+/// "No cycle bound" sentinel for Core::run_until.
+inline constexpr Cycle kNoCycleBound = ~Cycle{0};
+
 class Core {
  public:
   enum class Status : u8 {
@@ -37,11 +40,31 @@ class Core {
 
   // ---- execution ----
 
-  /// Execute (at most) one instruction; advances the local clock.
+  /// Execute (at most) one instruction; advances the local clock. This is the
+  /// reference (stepwise) engine: one image lookup, hook dispatch and virtual
+  /// MemPort dispatch per retired instruction.
   Status step();
 
-  /// Step until the status leaves kRunning or `max_instructions` commit.
+  /// Batched engine: execute until the status leaves kRunning or
+  /// `max_instructions` commit. Produces bit-identical architectural state,
+  /// cycle counts and hook observations to an equivalent step() loop (the
+  /// fast path only engages where hooks/ports provably cannot observe the
+  /// difference); tests/test_exec_engine.cpp holds it to that.
   Status run(u64 max_instructions);
+
+  /// Batched engine with a local-clock quantum: execute while
+  /// `cycle() < stop_before` (and `max_instructions` has not been reached and
+  /// no quantum end was requested). Co-simulation drivers use this to advance
+  /// one core in a burst exactly as long as the stepwise scheduler would have
+  /// kept picking it.
+  Status run_until(Cycle stop_before, u64 max_instructions = ~u64{0});
+
+  /// End the current run_until() quantum after the in-flight instruction
+  /// commits. Called (transitively) by hooks when the core performs an action
+  /// another core could observe "in the past" of this core's clock — e.g.
+  /// completing a checking segment or freeing DBC space a blocked producer
+  /// waits on — so the driver can reschedule.
+  void request_quantum_end() { quantum_break_ = true; }
 
   // ---- identity & time ----
 
@@ -136,6 +159,13 @@ class Core {
   /// Returns true if an interrupt was taken (step must return).
   bool poll_interrupts();
 
+  /// Hot loop of the batched engine: executes fast-path instructions (ALU,
+  /// branches, jumps, plain loads/stores through the default cache port) while
+  /// no slow-path condition holds. Returns when a slow-path instruction, trap
+  /// condition, image exit, bound or quantum break requires the caller to fall
+  /// back to step() / re-evaluate hoisted state.
+  void run_fast_path(Cycle stop_before, u64 instret_end);
+
   CoreId id_;
   CoreConfig config_;
   Memory& memory_;
@@ -170,6 +200,7 @@ class Core {
   bool suppress_traps_ = false;
 
   Status status_ = Status::kRunning;
+  bool quantum_break_ = false;  ///< Set by request_quantum_end(); ends run_until.
 
   // Extension seams.
   CoreHooks* hooks_ = nullptr;

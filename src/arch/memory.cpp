@@ -1,53 +1,39 @@
 #include "arch/memory.h"
 
-#include <cstring>
-
 #include "common/check.h"
 
 namespace flexstep::arch {
 
-u8* Memory::page_data(Addr addr) {
+u8* Memory::page_data_slow(Addr addr) {
   const u64 id = addr >> kPageBits;
-  if (id == last_page_id_) return last_page_;
   auto it = pages_.find(id);
   if (it == pages_.end()) {
     auto page = std::make_unique<Page>();
     page->fill(0);
     it = pages_.emplace(id, std::move(page)).first;
   }
-  last_page_id_ = id;
-  last_page_ = it->second->data();
-  return last_page_;
+  PtrSlot& slot = ptr_cache_[id & (kPtrCacheSize - 1)];
+  slot.id = id;
+  slot.data = it->second->data();
+  return slot.data;
 }
 
-u64 Memory::read(Addr addr, u32 bytes) {
+u64 Memory::read_split(Addr addr, u32 bytes) {
   FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
-  const Addr offset = addr & (kPageSize - 1);
-  if (offset + bytes <= kPageSize) {
-    const u8* p = page_data(addr) + offset;
-    u64 value = 0;
-    std::memcpy(&value, p, bytes);  // little-endian host assumed (linux/x86-64 & aarch64)
-    return value;
-  }
+  const u32 first = static_cast<u32>(kPageSize - (addr & (kPageSize - 1)));
   u64 value = 0;
-  for (u32 i = 0; i < bytes; ++i) {
-    value |= static_cast<u64>(*(page_data(addr + i) + ((addr + i) & (kPageSize - 1)))) << (8 * i);
-  }
+  auto* dst = reinterpret_cast<u8*>(&value);
+  std::memcpy(dst, page_data(addr) + (addr & (kPageSize - 1)), first);
+  std::memcpy(dst + first, page_data(addr + first), bytes - first);
   return value;
 }
 
-void Memory::write(Addr addr, u32 bytes, u64 value) {
+void Memory::write_split(Addr addr, u32 bytes, u64 value) {
   FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
-  const Addr offset = addr & (kPageSize - 1);
-  if (offset + bytes <= kPageSize) {
-    u8* p = page_data(addr) + offset;
-    std::memcpy(p, &value, bytes);
-    return;
-  }
-  for (u32 i = 0; i < bytes; ++i) {
-    *(page_data(addr + i) + ((addr + i) & (kPageSize - 1))) =
-        static_cast<u8>(value >> (8 * i));
-  }
+  const u32 first = static_cast<u32>(kPageSize - (addr & (kPageSize - 1)));
+  const auto* src = reinterpret_cast<const u8*>(&value);
+  std::memcpy(page_data(addr) + (addr & (kPageSize - 1)), src, first);
+  std::memcpy(page_data(addr + first), src + first, bytes - first);
 }
 
 void Memory::write_block(Addr addr, const void* src, std::size_t n) {

@@ -3,12 +3,20 @@
 // Backing store is allocated in 4 KiB pages on first touch so multi-megabyte
 // working sets cost only what they use. All cores share one Memory instance
 // (the simulated SoC has a single physical address space).
+//
+// The access fast path is inlined here: a small direct-mapped page-pointer
+// cache resolves the hot page without touching the hash map, so the common
+// aligned access is a mask, a table probe and a memcpy. A single-entry cache
+// thrashed whenever a core's code/data pages interleaved (or main and checker
+// accesses alternated); the multi-entry table keeps all hot pages resident.
 #pragma once
 
 #include <array>
+#include <cstring>
 #include <memory>
 #include <unordered_map>
 
+#include "common/check.h"
 #include "common/types.h"
 
 namespace flexstep::arch {
@@ -22,10 +30,29 @@ class Memory {
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
 
-  /// Aligned little-endian accessors; `bytes` in {1,2,4,8}. Unaligned accesses
-  /// that straddle a page fall back to a byte loop.
-  u64 read(Addr addr, u32 bytes);
-  void write(Addr addr, u32 bytes, u64 value);
+  /// Aligned little-endian accessors; `bytes` in {1,2,4,8}. Accesses that
+  /// straddle a page split into two chunk copies.
+  u64 read(Addr addr, u32 bytes) {
+    FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+    const Addr offset = addr & (kPageSize - 1);
+    if (offset + bytes <= kPageSize) [[likely]] {
+      u64 value = 0;
+      std::memcpy(&value, page_data(addr) + offset,
+                  bytes);  // little-endian host assumed (linux/x86-64 & aarch64)
+      return value;
+    }
+    return read_split(addr, bytes);
+  }
+
+  void write(Addr addr, u32 bytes, u64 value) {
+    FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+    const Addr offset = addr & (kPageSize - 1);
+    if (offset + bytes <= kPageSize) [[likely]] {
+      std::memcpy(page_data(addr) + offset, &value, bytes);
+      return;
+    }
+    write_split(addr, bytes, value);
+  }
 
   u64 read_u64(Addr a) { return read(a, 8); }
   u32 read_u32(Addr a) { return static_cast<u32>(read(a, 4)); }
@@ -42,12 +69,27 @@ class Memory {
  private:
   using Page = std::array<u8, kPageSize>;
 
-  u8* page_data(Addr addr);
+  /// Direct-mapped page-pointer cache. 16 entries cover a core's code, stack
+  /// and a few data streams plus the checker's interleaved pages.
+  static constexpr std::size_t kPtrCacheSize = 16;
+  struct PtrSlot {
+    u64 id = ~u64{0};
+    u8* data = nullptr;
+  };
+
+  u8* page_data(Addr addr) {
+    const u64 id = addr >> kPageBits;
+    PtrSlot& slot = ptr_cache_[id & (kPtrCacheSize - 1)];
+    if (slot.id == id) [[likely]] return slot.data;
+    return page_data_slow(addr);
+  }
+
+  u8* page_data_slow(Addr addr);
+  u64 read_split(Addr addr, u32 bytes);
+  void write_split(Addr addr, u32 bytes, u64 value);
 
   std::unordered_map<u64, std::unique_ptr<Page>> pages_;
-  // One-entry cache: most accesses hit the same page as the previous one.
-  u64 last_page_id_ = ~u64{0};
-  u8* last_page_ = nullptr;
+  std::array<PtrSlot, kPtrCacheSize> ptr_cache_{};
 };
 
 }  // namespace flexstep::arch

@@ -57,6 +57,19 @@ class CoreHooks {
  public:
   virtual ~CoreHooks() = default;
 
+  /// True while the hooks are guaranteed to be no-ops for user-mode commits:
+  /// memory_can_commit() returns true and on_commit() returns 0 for every
+  /// instruction. The batched execution engine (Core::run_until) queries this
+  /// before each fast-path attempt and, while passive, executes the
+  /// common-case instruction stream without any virtual hook dispatch. State
+  /// that flips passivity (M.check enable, replay entry) only changes inside
+  /// slow-path events (traps, custom ISA, kernel transitions) or between
+  /// quanta, so the cached answer cannot go stale mid-fast-loop. Non-virtual
+  /// (a plain flag maintained by the implementation through set_passive) so
+  /// the engine's per-instruction query costs one byte load even while hooks
+  /// are active.
+  bool passive() const { return passive_; }
+
   /// Called before a memory instruction executes (checking active only
   /// matters to FlexStep): return false to stall the core until buffer space
   /// exists (DBC backpressure). The instruction has NOT executed yet.
@@ -72,6 +85,14 @@ class CoreHooks {
 
   /// Execute a FlexStep custom instruction; returns the rd result value.
   virtual u64 exec_custom(Core& core, const isa::Instruction& inst) = 0;
+
+ protected:
+  /// Implementations flip this whenever their commit-observation needs change
+  /// (default: never passive, so custom hooks observe every commit).
+  void set_passive(bool passive) { passive_ = passive; }
+
+ private:
+  bool passive_ = false;
 };
 
 }  // namespace flexstep::arch

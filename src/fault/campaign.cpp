@@ -23,6 +23,9 @@ std::vector<double> CampaignStats::latencies_us() const {
 
 namespace {
 
+/// Instructions advanced between fault-resolution probes.
+constexpr u64 kResolvePollStride = 64;
+
 /// One workload execution hosting a sequence of injections.
 class Session {
  public:
@@ -39,13 +42,11 @@ class Session {
     exec_.prepare(program_);
   }
 
-  /// Steps the co-sim `rounds` times; returns false if execution finished.
-  bool advance(u64 rounds) {
-    for (u64 i = 0; i < rounds; ++i) {
-      if (!exec_.step_round()) return false;
-    }
-    return true;
-  }
+  /// Advances the co-sim by ~`rounds` retired instructions (one stepwise
+  /// round retired at most one instruction, so the campaign's warmup/gap knobs
+  /// keep their meaning) using the quantum engine. Returns false if execution
+  /// finished.
+  bool advance(u64 rounds) { return exec_.advance(rounds); }
 
   Channel* channel() {
     auto channels = soc_.fabric().channels();
@@ -98,7 +99,11 @@ CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
       bool resolved = false;
       bool session_alive = true;
       while (!resolved) {
-        session_alive = session.exec().step_round();
+        // Resolution conditions are sticky (reporter events accumulate, pop
+        // sequence numbers are monotone), so the quantum engine may advance a
+        // short burst between probes without missing an outcome; detection
+        // latency itself is timestamped by the reporter, not by this poll.
+        session_alive = session.exec().advance(kResolvePollStride);
         const auto& events = session.reporter().events();
         for (std::size_t i = events_before; i < events.size(); ++i) {
           if (events[i].attributed) {

@@ -15,8 +15,7 @@ bool Channel::producer_can_push(u32 entries) const {
 
 StreamItem& Channel::push_raw(StreamItem::Kind kind, Cycle now) {
   FLEX_CHECK_MSG(!closed_, "push on closed channel");
-  items_.emplace_back();
-  StreamItem& item = items_.back();
+  StreamItem& item = items_.emplace_back();
   item.kind = kind;
   item.seq = next_seq_++;
   item.visible_at = now + config_.channel_latency;

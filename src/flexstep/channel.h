@@ -13,9 +13,9 @@
 // segment, which the paper's µs-scale latency distribution absorbs.
 #pragma once
 
-#include <deque>
 #include <optional>
 
+#include "common/ring.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "flexstep/config.h"
@@ -41,7 +41,13 @@ struct InjectedFault {
 class Channel {
  public:
   Channel(CoreId main_id, CoreId checker_id, const FlexStepConfig& config)
-      : config_(config), main_id_(main_id), checker_id_(checker_id) {}
+      : config_(config),
+        main_id_(main_id),
+        checker_id_(checker_id),
+        // Ring sized to the backpressure threshold: occupancy beyond
+        // channel_capacity (DMA spill while the checker starves) grows the
+        // ring by doubling, preserving the overflow semantics.
+        items_(static_cast<std::size_t>(config.channel_capacity) + 1) {}
 
   CoreId main_id() const { return main_id_; }
   CoreId checker_id() const { return checker_id_; }
@@ -115,8 +121,8 @@ class Channel {
   CoreId main_id_;
   CoreId checker_id_;
 
-  std::deque<StreamItem> items_;
-  std::deque<SegmentMeta> segments_;  ///< One per queued SegmentEnd, FIFO order.
+  Ring<StreamItem> items_;
+  Ring<SegmentMeta> segments_;  ///< One per queued SegmentEnd, FIFO order.
   u64 next_seq_ = 0;
   u64 last_popped_seq_ = 0;
   Cycle last_pop_cycle_ = 0;

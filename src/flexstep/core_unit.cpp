@@ -128,7 +128,7 @@ class CoreUnit::ReplayPort final : public arch::MemPort {
       unit_.segment_abort_ = true;
       return std::nullopt;
     }
-    return ch->pop(unit_.core_.cycle()).mem;
+    return unit_.pop_in(unit_.core_.cycle()).mem;
   }
 
   CoreUnit& unit_;
@@ -144,6 +144,7 @@ CoreUnit::CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& report
       interconnect_(interconnect),
       config_(config),
       replay_port_(std::make_unique<ReplayPort>(*this)) {
+  refresh_passive();
   core_.set_hooks(this);
 }
 
@@ -167,7 +168,7 @@ u32 CoreUnit::entries_for(Opcode op) {
 
 bool CoreUnit::out_channels_have_space() const {
   for (const Channel* ch : out_channels_) {
-    if (!ch->producer_can_push(2)) return false;
+    if (!ch->producer_can_push(kProducerResumeHeadroom)) return false;
   }
   return true;
 }
@@ -198,13 +199,30 @@ void CoreUnit::start_segment(Addr start_pc) {
   segment_start_pc_ = start_pc;
   segment_ic_ = 0;
   segment_active_ = true;
+  refresh_passive();
   ++checkpoints_captured_;
   for (Channel* ch : out_channels_) ch->push_scp(scp, core_.cycle());
+}
+
+StreamItem CoreUnit::pop_in(Cycle now) {
+  Channel& ch = *in_channel_;
+  const bool had_space = ch.producer_can_push(kProducerResumeHeadroom);
+  StreamItem item = ch.pop(now);
+  // Ending the quantum on a space transition (or a SegmentEnd consumption,
+  // which feeds the spill rule and drain detection) lets the co-sim driver
+  // unblock a backpressured producer at exactly the cycle the stepwise
+  // scheduler would have.
+  if ((!had_space && ch.producer_can_push(kProducerResumeHeadroom)) ||
+      item.kind == StreamItem::Kind::kSegmentEnd) {
+    core_.request_quantum_end();
+  }
+  return item;
 }
 
 Cycle CoreUnit::end_segment(Addr resume_pc) {
   FLEX_CHECK(segment_active_);
   segment_active_ = false;
+  refresh_passive();
   // Zero-length segments (e.g. two back-to-back kernel entries) carry no
   // information; retract rather than ship an empty segment.
   if (segment_ic_ == 0) {
@@ -216,6 +234,10 @@ Cycle CoreUnit::end_segment(Addr resume_pc) {
   ++checkpoints_captured_;
   ++segments_produced_;
   for (Channel* ch : out_channels_) ch->push_segment_end(ecp, segment_ic_, core_.cycle());
+  // A SegmentEnd makes a parked checker wakeable (at the item's visible_at):
+  // end the producer's quantum so the driver can schedule the wake before the
+  // producer's clock runs past it.
+  core_.request_quantum_end();
   return config_.checkpoint_stall;
 }
 
@@ -300,6 +322,7 @@ Cycle CoreUnit::on_main_commit(const CommitInfo& info) {
     // checking function off for the rest of the job.
     stall += end_segment(info.next_pc);
     checking_enabled_ = false;
+    refresh_passive();
     return stall;
   }
   if (segment_ic_ >= config_.segment_limit) {
@@ -324,7 +347,7 @@ Cycle CoreUnit::next_segment_ready_at() const {
 void CoreUnit::apply_scp() {
   FLEX_CHECK_MSG(segment_ready(core_.cycle()), "C.apply with no ready SCP");
   FLEX_CHECK(in_channel_->front().kind == StreamItem::Kind::kScp);
-  const StreamItem scp = in_channel_->pop(core_.cycle());
+  const StreamItem scp = pop_in(core_.cycle());
   pending_scp_ = scp.state;
   expected_ic_ = in_channel_->front_segment_ic();
   for (u8 r = 1; r < isa::kNumRegs; ++r) core_.set_reg(r, scp.state.regs[r]);
@@ -332,6 +355,7 @@ void CoreUnit::apply_scp() {
 
 void CoreUnit::enter_replay() {
   replay_active_ = true;
+  refresh_passive();
   replayed_ = 0;
   segment_verify_failed_ = false;
   segment_abort_ = false;
@@ -367,6 +391,7 @@ void CoreUnit::resume_replay() {
   FLEX_CHECK_MSG(replay_suspended_, "no suspended replay");
   replay_suspended_ = false;
   replay_active_ = true;
+  refresh_passive();
   core_.set_user_mode(true);
   core_.set_mem_port(replay_port_.get());
   core_.set_trap_suppression(true);
@@ -408,6 +433,7 @@ void CoreUnit::cancel_replay() {
   if (replay_active_ || replay_suspended_) {
     replay_active_ = false;
     replay_suspended_ = false;
+    refresh_passive();
     core_.set_mem_port(nullptr);
     core_.set_trap_suppression(false);
   }
@@ -430,7 +456,7 @@ void CoreUnit::on_replay_fetch_fault() {
 void CoreUnit::abandon_segment() {
   // Resynchronise: drop everything up to and including the SegmentEnd.
   while (in_channel_ != nullptr && !in_channel_->empty()) {
-    const StreamItem item = in_channel_->pop(core_.cycle());
+    const StreamItem item = pop_in(core_.cycle());
     if (item.kind == StreamItem::Kind::kSegmentEnd) break;
   }
   ++segments_failed_;
@@ -446,7 +472,7 @@ void CoreUnit::finish_segment(Addr checker_next_pc) {
     abandon_segment();
     return;
   }
-  const StreamItem end = in_channel_->pop(core_.cycle());
+  const StreamItem end = pop_in(core_.cycle());
   const ArchState& ecp = end.state;
 
   // Compare the checker's architectural state with the ECP.
@@ -475,6 +501,7 @@ void CoreUnit::exit_replay_mode(bool ok) {
   segment_result_ok_ = ok;
   replay_active_ = false;
   replay_suspended_ = false;
+  refresh_passive();
   core_.set_mem_port(nullptr);
   core_.set_trap_suppression(false);
   // Rapid context switch back to the checker thread: restore the C.record
@@ -523,6 +550,7 @@ void CoreUnit::on_enter_kernel(arch::Core& core) {
     // kernel saves; the unit keeps counters/channel position for resumption.
     replay_active_ = false;
     replay_suspended_ = true;
+    refresh_passive();
     core.set_mem_port(nullptr);
     core.set_trap_suppression(false);
     return;
@@ -565,6 +593,7 @@ u64 CoreUnit::exec_custom(arch::Core& core, const Instruction& inst) {
       const bool enable = inst.imm != 0;
       if (enable && !checking_enabled_) {
         checking_enabled_ = true;
+        refresh_passive();
         // Selective checking (Sec. V: checking "performed on specific
         // portions of a job"): rs1 carries an instruction budget; the CPC
         // counts it down and switches checking off at zero. rs1 = x0 means
@@ -578,6 +607,7 @@ u64 CoreUnit::exec_custom(arch::Core& core, const Instruction& inst) {
         }
         checking_enabled_ = false;
         checking_budget_ = 0;
+        refresh_passive();
       }
       return 0;
     }

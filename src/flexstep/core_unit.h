@@ -29,6 +29,14 @@ class InterconnectControl {
 
 class CoreUnit final : public arch::CoreHooks {
  public:
+  /// DBC headroom (in stream entries) required before a backpressure-blocked
+  /// producer may resume: the largest single instruction logs two entries
+  /// (LR/SC, AMO). The stepwise driver's wake condition
+  /// (out_channels_have_space) and the quantum engine's end-of-quantum pop
+  /// transition (pop_in) must use the same value or the two engines stop
+  /// being schedule-identical.
+  static constexpr u32 kProducerResumeHeadroom = 2;
+
   CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& reporter,
            InterconnectControl* interconnect, const FlexStepConfig& config);
   ~CoreUnit() override;
@@ -125,6 +133,17 @@ class CoreUnit final : public arch::CoreHooks {
  private:
   class ReplayPort;
 
+  /// Recompute the CoreHooks passivity flag: no commit observation is needed
+  /// while the unit is neither producing a checking segment nor replaying
+  /// one. Called after every mutation of the three inputs; while passive,
+  /// Core::run_until executes the common case without any hook dispatch.
+  /// Passivity only flips inside slow-path events (custom ISA, traps, kernel
+  /// transitions) or between quanta (begin_replay from the driver), so the
+  /// engine's cached evaluation cannot go stale mid-fast-loop.
+  void refresh_passive() {
+    set_passive(!replay_active_ && !(checking_enabled_ && segment_active_));
+  }
+
   // Main-core segment management (CPC working mechanism, Sec. III-A).
   void start_segment(Addr start_pc);
   Cycle end_segment(Addr resume_pc);
@@ -132,6 +151,12 @@ class CoreUnit final : public arch::CoreHooks {
   static u32 entries_for(isa::Opcode op);
 
   // Checker-side replay management.
+  /// Pop from the in-channel, ending the current execution quantum when the
+  /// pop could wake another core: freeing DBC space a backpressured producer
+  /// waits on, or consuming a SegmentEnd (occupancy spill-rule / drain
+  /// transitions). Keeps the quantum engine's schedule bit-identical to the
+  /// stepwise engine's.
+  StreamItem pop_in(Cycle now);
   Cycle on_main_commit(const arch::CommitInfo& info);
   Cycle on_replay_commit(const arch::CommitInfo& info);
   void apply_scp();

@@ -201,8 +201,88 @@ bool VerifiedExecution::step_round() {
   return true;
 }
 
+Cycle VerifiedExecution::quantum_bound(const arch::Core& chosen) const {
+  // The stepwise scheduler picks the smallest-cycle runnable core, ties going
+  // to the earlier core in (main, checkers...) order. `chosen` therefore
+  // stays picked while its clock is below every higher-priority runnable
+  // core's clock and at-or-below every lower-priority one's. Only `chosen`
+  // executes during the quantum, so the other clocks are fixed; cross-core
+  // state changes (wakes, unblocks) are handled by hooks ending the quantum.
+  Cycle bound = arch::kNoCycleBound;
+  bool past_chosen = false;
+  auto consider = [&](CoreId id) {
+    const Core& core = soc_.core(id);
+    if (&core == &chosen) {
+      past_chosen = true;
+      return;
+    }
+    if (core.status() != Core::Status::kRunning) return;
+    // Higher-priority core (considered earlier): chosen runs while strictly
+    // below its clock. Lower-priority: chosen also wins ties.
+    const Cycle b = past_chosen ? core.cycle() + 1 : core.cycle();
+    bound = std::min(bound, b);
+  };
+  consider(config_.main_core);
+  for (CoreId id : config_.checkers) consider(id);
+  return bound;
+}
+
+bool VerifiedExecution::quantum_round(u64 max_instructions) {
+  FLEX_CHECK_MSG(prepared_, "call prepare() first");
+  if (finished()) return false;
+
+  pump_checkers();
+  Core* core = pick_next_core();
+  if (core == nullptr) {
+    if (finished()) return false;
+    pump_checkers();
+    core = pick_next_core();
+    FLEX_CHECK_MSG(core != nullptr, "co-simulation deadlock");
+  }
+
+  u64 budget = max_instructions;
+  if (core->id() == config_.main_core) {
+    // Leave one instruction of headroom so the safety check below can fire
+    // exactly like the stepwise driver's.
+    const u64 cap_left = config_.max_instructions + 1 - core->instret();
+    budget = std::min(budget, cap_left);
+  }
+  core->run_until(quantum_bound(*core), budget);
+
+  if (core->id() == config_.main_core) {
+    FLEX_CHECK_MSG(core->instret() <= config_.max_instructions,
+                   "main core exceeded the instruction safety cap");
+  }
+  return true;
+}
+
+u64 VerifiedExecution::total_instret() const {
+  u64 total = soc_.core(config_.main_core).instret();
+  for (CoreId id : config_.checkers) total += soc_.core(id).instret();
+  return total;
+}
+
+bool VerifiedExecution::advance(u64 instruction_budget) {
+  if (config_.engine == Engine::kStepwise) {
+    for (u64 i = 0; i < instruction_budget; ++i) {
+      if (!step_round()) return false;
+    }
+    return true;
+  }
+  const u64 target = total_instret() + instruction_budget;
+  while (total_instret() < target) {
+    if (!quantum_round(target - total_instret())) return false;
+  }
+  return true;
+}
+
 RunStats VerifiedExecution::run() {
-  while (step_round()) {
+  if (config_.engine == Engine::kStepwise) {
+    while (step_round()) {
+    }
+  } else {
+    while (quantum_round()) {
+    }
   }
   return stats();
 }

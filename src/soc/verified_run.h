@@ -17,6 +17,14 @@
 
 namespace flexstep::soc {
 
+/// Which execution engine drives the co-simulation.
+enum class Engine : u8 {
+  kStepwise,  ///< Reference: one instruction per scheduling round (Core::step).
+  kQuantum,   ///< Batched: each round runs the picked core for as long as the
+              ///< stepwise scheduler would have kept picking it
+              ///< (Core::run_until). Bit-identical state evolution.
+};
+
 struct VerifiedRunConfig {
   CoreId main_core = 0;
   std::vector<CoreId> checkers;  ///< Empty = plain (unverified) run.
@@ -32,6 +40,10 @@ struct VerifiedRunConfig {
   bool os_ticks = true;
   Cycle tick_period = us_to_cycles(1000.0);
   Cycle tick_cost = us_to_cycles(18.0);
+
+  /// Engine selection. kQuantum is the default hot path; kStepwise remains
+  /// available as the reference baseline (equivalence tests, bench baseline).
+  Engine engine = Engine::kQuantum;
 };
 
 struct RunStats {
@@ -66,7 +78,24 @@ class VerifiedExecution final : public arch::TrapHandler {
   /// core with the smallest local clock). Returns false once finished.
   bool step_round();
 
-  /// Run to completion and return the statistics.
+  /// Advance the co-simulation by one quantum: pick the runnable core with
+  /// the smallest local clock and run it for exactly as long as the stepwise
+  /// scheduler would have kept picking it (bounded by the other runnable
+  /// cores' clocks; hooks end the quantum early on cross-core events such as
+  /// SegmentEnd pushes and backpressure-relieving pops). Runs at most
+  /// `max_instructions` commits. Returns false once finished.
+  bool quantum_round(u64 max_instructions = ~u64{0});
+
+  /// Advance by ~`instruction_budget` retired instructions (summed across the
+  /// participating cores) using the configured engine. Returns false once the
+  /// co-simulation finished. Fault campaigns use this to interleave injection
+  /// probes with execution at a granularity independent of the engine.
+  bool advance(u64 instruction_budget);
+
+  /// Total instructions retired across the main core and all checkers.
+  u64 total_instret() const;
+
+  /// Run to completion (with the configured engine) and return the statistics.
   RunStats run();
 
   bool finished() const;
@@ -80,6 +109,10 @@ class VerifiedExecution final : public arch::TrapHandler {
  private:
   void pump_checkers();
   arch::Core* pick_next_core();
+  /// Local-clock bound up to which `chosen` would keep being picked by the
+  /// stepwise scheduler (smallest-cycle-first, main-core-then-checker-order
+  /// tie-break), assuming no other core's state changes meanwhile.
+  Cycle quantum_bound(const arch::Core& chosen) const;
 
   Soc& soc_;
   VerifiedRunConfig config_;

@@ -1,0 +1,314 @@
+// Equivalence proof for the batched execution engine: a run()-driven
+// execution must be bit-identical to a step()-driven one — same ArchState
+// trace, same cycle counts, same DBC stream, same detection outcomes — for
+// plain, dual-checker and triple-checker co-simulations, with OS ticks on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "soc/soc.h"
+#include "soc/verified_run.h"
+#include "workloads/profile.h"
+#include "workloads/program_builder.h"
+
+namespace flexstep {
+namespace {
+
+using arch::ArchState;
+using arch::Core;
+using soc::Engine;
+using soc::Soc;
+using soc::SocConfig;
+using soc::VerifiedExecution;
+using soc::VerifiedRunConfig;
+
+isa::Program tiny_workload(const char* name, u32 iterations = 3) {
+  workloads::BuildOptions options;
+  options.iterations_override = iterations;
+  return workloads::build_workload(workloads::find_profile(name), options);
+}
+
+/// Everything externally observable about one co-simulated run.
+struct Outcome {
+  soc::RunStats stats;
+  ArchState main_state;
+  std::vector<Cycle> cycles;       ///< Per participating core.
+  std::vector<u64> instret;        ///< Per participating core.
+  std::vector<u64> replayed;       ///< Per checker.
+  u64 detections = 0;
+  u64 attributed = 0;
+  std::vector<Cycle> event_latencies;
+};
+
+void expect_equal(const Outcome& a, const Outcome& b) {
+  EXPECT_EQ(a.stats.main_cycles, b.stats.main_cycles);
+  EXPECT_EQ(a.stats.main_instructions, b.stats.main_instructions);
+  EXPECT_EQ(a.stats.completion_cycles, b.stats.completion_cycles);
+  EXPECT_EQ(a.stats.segments_produced, b.stats.segments_produced);
+  EXPECT_EQ(a.stats.segments_verified, b.stats.segments_verified);
+  EXPECT_EQ(a.stats.segments_failed, b.stats.segments_failed);
+  EXPECT_EQ(a.stats.mem_entries, b.stats.mem_entries);
+  EXPECT_EQ(a.stats.backpressure_events, b.stats.backpressure_events);
+  EXPECT_EQ(a.stats.max_channel_occupancy, b.stats.max_channel_occupancy);
+  EXPECT_EQ(a.main_state, b.main_state);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.instret, b.instret);
+  EXPECT_EQ(a.replayed, b.replayed);
+  EXPECT_EQ(a.detections, b.detections);
+  EXPECT_EQ(a.attributed, b.attributed);
+  EXPECT_EQ(a.event_latencies, b.event_latencies);
+}
+
+Outcome collect(Soc& soc, VerifiedExecution& exec, const VerifiedRunConfig& config) {
+  Outcome out;
+  out.stats = exec.stats();
+  out.main_state = soc.core(config.main_core).capture_state();
+  out.cycles.push_back(soc.core(config.main_core).cycle());
+  out.instret.push_back(soc.core(config.main_core).instret());
+  for (CoreId id : config.checkers) {
+    out.cycles.push_back(soc.core(id).cycle());
+    out.instret.push_back(soc.core(id).instret());
+    out.replayed.push_back(soc.unit(id).replayed_instructions());
+  }
+  out.detections = soc.fabric().reporter().detections();
+  out.attributed = soc.fabric().reporter().attributed_detections();
+  for (const auto& event : soc.fabric().reporter().events()) {
+    out.event_latencies.push_back(event.latency);
+  }
+  return out;
+}
+
+Outcome run_engine(const isa::Program& program, u32 cores,
+                   std::vector<CoreId> checkers, Engine engine,
+                   SocConfig soc_config, VerifiedRunConfig config = {}) {
+  soc_config.num_cores = cores;
+  config.main_core = 0;
+  config.checkers = std::move(checkers);
+  config.engine = engine;
+  Soc soc(soc_config);
+  VerifiedExecution exec(soc, config);
+  exec.prepare(program);
+  exec.run();
+  return collect(soc, exec, config);
+}
+
+Outcome run_engine(const isa::Program& program, u32 cores,
+                   std::vector<CoreId> checkers, Engine engine) {
+  return run_engine(program, cores, std::move(checkers), engine,
+                    SocConfig::paper_default(cores));
+}
+
+// ---------------------------------------------------------------------------
+// Standalone core: the full per-instruction ArchState trace matches at every
+// commit boundary regardless of the run() batch size.
+// ---------------------------------------------------------------------------
+
+TEST(ExecEngine, IdenticalArchStateTraceAtEveryCommit) {
+  const auto program = tiny_workload("swaptions", 12);
+
+  // Reference: step() one instruction at a time, recording each state.
+  Soc ref_soc(SocConfig::paper_default(1));
+  VerifiedExecution ref(ref_soc, VerifiedRunConfig{0, {}});
+  ref.prepare(program);
+  Core& ref_core = ref_soc.core(0);
+  std::vector<ArchState> trace;
+  std::vector<Cycle> trace_cycles;
+  while (ref_core.status() == Core::Status::kRunning) {
+    ref_core.step();
+    trace.push_back(ref_core.capture_state());
+    trace_cycles.push_back(ref_core.cycle());
+  }
+  ASSERT_GT(trace.size(), 10'000u);
+
+  // Batched: run() in uneven chunk sizes; every chunk boundary must land on
+  // a state the stepwise trace visited, at the same instret and cycle.
+  Soc soc(SocConfig::paper_default(1));
+  VerifiedExecution exec(soc, VerifiedRunConfig{0, {}});
+  exec.prepare(program);
+  Core& core = soc.core(0);
+  const u64 chunks[] = {1, 7, 64, 1000, 38, 5, 100'000};
+  std::size_t chunk_index = 0;
+  u64 committed = 0;
+  while (core.status() == Core::Status::kRunning) {
+    const u64 before = core.instret();
+    core.run(chunks[chunk_index++ % std::size(chunks)]);
+    committed += core.instret() - before;
+    ASSERT_GT(core.instret(), 0u);
+    const std::size_t at = static_cast<std::size_t>(core.instret()) - 1;
+    ASSERT_LT(at, trace.size());
+    EXPECT_EQ(core.capture_state(), trace[at]) << "diverged at instret " << core.instret();
+    EXPECT_EQ(core.cycle(), trace_cycles[at]) << "cycle diverged at instret " << core.instret();
+  }
+  EXPECT_EQ(committed, trace.size());
+  EXPECT_EQ(core.capture_state(), trace.back());
+  EXPECT_EQ(core.cycle(), trace_cycles.back());
+}
+
+TEST(ExecEngine, SlowOpAtColdFetchLineChargesMissIdentically) {
+  // Regression: a slow-path opcode (FENCE) sitting at the start of a cold
+  // 64 B fetch line must charge the L1I miss penalty in the batched engine
+  // exactly as step() does — the fast path must not touch the fetch-line
+  // state before bailing out. 128 KiB of straight-line code (8× the 16 KiB
+  // L1I) guarantees every line start misses, and every line starts slow.
+  isa::Assembler a;
+  for (int line = 0; line < 2048; ++line) {
+    a.fence();
+    for (int i = 0; i < 15; ++i) a.addi(5, 5, 1);
+  }
+  a.halt();
+  const isa::Program program = a.finalize("cold-line-fence");
+
+  auto execute = [&](bool stepwise) {
+    Soc soc(SocConfig::paper_default(1));
+    soc.load_program(program);
+    Core& core = soc.core(0);
+    core.set_pc(program.entry());
+    if (stepwise) {
+      while (core.status() == Core::Status::kRunning) core.step();
+    } else {
+      core.run(~u64{0});
+    }
+    return std::pair<Cycle, u64>{core.cycle(), core.instret()};
+  };
+  const auto [step_cycles, step_insts] = execute(true);
+  const auto [run_cycles, run_insts] = execute(false);
+  EXPECT_EQ(step_insts, run_insts);
+  EXPECT_EQ(step_cycles, run_cycles);
+  // Sanity: the workload really was miss-dominated (≥ 2048 line misses at
+  // ≥ L2 latency each), so a dropped penalty would be visible.
+  EXPECT_GT(step_cycles, step_insts + 2048 * 40);
+}
+
+// ---------------------------------------------------------------------------
+// Co-simulation: plain / dual / triple runs, OS ticks enabled.
+// ---------------------------------------------------------------------------
+
+TEST(ExecEngine, PlainRunIdentical) {
+  const auto program = tiny_workload("swaptions", 40);
+  const auto stepwise = run_engine(program, 1, {}, Engine::kStepwise);
+  const auto quantum = run_engine(program, 1, {}, Engine::kQuantum);
+  ASSERT_GT(stepwise.stats.main_instructions, 10'000u);
+  expect_equal(stepwise, quantum);
+}
+
+TEST(ExecEngine, DualCheckerRunIdentical) {
+  const auto program = tiny_workload("swaptions", 40);
+  const auto stepwise = run_engine(program, 2, {1}, Engine::kStepwise);
+  const auto quantum = run_engine(program, 2, {1}, Engine::kQuantum);
+  ASSERT_GT(stepwise.stats.segments_produced, 3u);
+  expect_equal(stepwise, quantum);
+}
+
+TEST(ExecEngine, TripleCheckerRunIdentical) {
+  const auto program = tiny_workload("swaptions", 40);
+  const auto stepwise = run_engine(program, 3, {1, 2}, Engine::kStepwise);
+  const auto quantum = run_engine(program, 3, {1, 2}, Engine::kQuantum);
+  ASSERT_GT(stepwise.stats.segments_produced, 3u);
+  expect_equal(stepwise, quantum);
+}
+
+TEST(ExecEngine, EveryProfileDualIdentical) {
+  for (const auto& profile : workloads::parsec_profiles()) {
+    workloads::BuildOptions options;
+    options.iterations_override = 2;
+    const auto program = workloads::build_workload(profile, options);
+    const auto stepwise = run_engine(program, 2, {1}, Engine::kStepwise);
+    const auto quantum = run_engine(program, 2, {1}, Engine::kQuantum);
+    SCOPED_TRACE(profile.name);
+    expect_equal(stepwise, quantum);
+  }
+}
+
+TEST(ExecEngine, AggressiveOsTicksIdentical) {
+  // Frequent kernel excursions exercise premature segment extermination,
+  // replay suspension/resumption and staggered checker stalls.
+  const auto program = tiny_workload("hmmer", 20);
+  VerifiedRunConfig config;
+  config.tick_period = us_to_cycles(50.0);
+  const auto stepwise = run_engine(program, 2, {1}, Engine::kStepwise,
+                                   SocConfig::paper_default(2), config);
+  const auto quantum = run_engine(program, 2, {1}, Engine::kQuantum,
+                                  SocConfig::paper_default(2), config);
+  expect_equal(stepwise, quantum);
+}
+
+TEST(ExecEngine, TinyChannelBackpressureIdentical) {
+  // A 64-entry channel forces real backpressure: blocked transitions and the
+  // pop-that-frees-space wakeup path must match cycle-for-cycle.
+  const auto program = tiny_workload("bzip2", 10);
+  SocConfig soc_config = SocConfig::paper_default(2);
+  soc_config.flexstep.channel_capacity = 64;
+  const auto stepwise = run_engine(program, 2, {1}, Engine::kStepwise, soc_config);
+  const auto quantum = run_engine(program, 2, {1}, Engine::kQuantum, soc_config);
+  EXPECT_GT(stepwise.stats.backpressure_events, 0u);
+  expect_equal(stepwise, quantum);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: identical detection outcomes and latencies.
+// ---------------------------------------------------------------------------
+
+/// Advance the co-sim until the participating cores have retired `target`
+/// instructions in total (engine-independent rendezvous points).
+bool advance_to_instret(VerifiedExecution& exec, Engine engine, u64 target) {
+  if (engine == Engine::kQuantum) {
+    if (exec.total_instret() >= target) return true;
+    return exec.advance(target - exec.total_instret());
+  }
+  while (exec.total_instret() < target) {
+    if (!exec.step_round()) return false;
+  }
+  return true;
+}
+
+Outcome run_fault_schedule(const isa::Program& program, std::vector<CoreId> checkers,
+                           Engine engine) {
+  const u32 cores = static_cast<u32>(checkers.size()) + 1;
+  SocConfig soc_config = SocConfig::paper_default(cores);
+  VerifiedRunConfig config;
+  config.checkers = checkers;
+  config.engine = engine;
+  Soc soc(soc_config);
+  VerifiedExecution exec(soc, config);
+  exec.prepare(program);
+
+  // Deterministic injection schedule: one tail corruption every 40k retired
+  // instructions (see next_injection). Both engines visit the exact same machine states at these
+  // rendezvous points, so the injected flips (same RNG stream) are identical.
+  Rng rng(0xF00D);
+  u64 next_injection = 10'000;
+  while (advance_to_instret(exec, engine, next_injection)) {
+    auto channels = soc.fabric().channels();
+    if (!channels.empty()) {
+      fs::Channel* ch = channels.front();
+      if (ch->fault_pending() &&
+          ch->pending_fault().segment_end_seq != fs::kUnresolvedSegmentEnd &&
+          ch->last_popped_seq() > ch->pending_fault().segment_end_seq) {
+        ch->clear_fault();  // masked
+      }
+      ch->inject_fault_at_tail(rng, soc.max_cycle());
+    }
+    next_injection += 10'000;
+  }
+  return collect(soc, exec, config);
+}
+
+TEST(ExecEngine, DualCheckerFaultDetectionIdentical) {
+  const auto program = tiny_workload("swaptions", 80);
+  const auto stepwise = run_fault_schedule(program, {1}, Engine::kStepwise);
+  const auto quantum = run_fault_schedule(program, {1}, Engine::kQuantum);
+  ASSERT_GT(stepwise.detections, 0u);
+  expect_equal(stepwise, quantum);
+}
+
+TEST(ExecEngine, TripleCheckerFaultDetectionIdentical) {
+  const auto program = tiny_workload("swaptions", 80);
+  const auto stepwise = run_fault_schedule(program, {1, 2}, Engine::kStepwise);
+  const auto quantum = run_fault_schedule(program, {1, 2}, Engine::kQuantum);
+  ASSERT_GT(stepwise.detections, 0u);
+  expect_equal(stepwise, quantum);
+}
+
+}  // namespace
+}  // namespace flexstep
