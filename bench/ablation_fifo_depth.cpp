@@ -4,11 +4,25 @@
 // can lag behind the associated main thread, thereby providing more
 // scheduling flexibility" — at the price of backpressure when it is small.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 
 using namespace flexstep;
+
+namespace {
+
+struct DepthRow {
+  u64 capacity = 0;
+  double slowdown = 0.0;
+  u64 backpressure_events = 0;
+  u64 max_occupancy = 0;
+  double lag_us = 0.0;
+};
+
+}  // namespace
 
 int main() {
   std::printf("== Ablation A2: DBC channel depth vs backpressure & checker lag ==\n\n");
@@ -17,31 +31,41 @@ int main() {
   build.iterations_override = 4000;
   const auto program = workloads::build_workload(profile, build);
 
+  // One job per swept capacity on the shared runtime; rows print in order.
+  const std::vector<u64> capacities = {256, 512, 1024, 2048, 4096, 8192, 16384};
+  const auto rows = runtime::parallel_map<DepthRow>(
+      capacities.size(), [&](std::size_t i) {
+        soc::SocConfig config = soc::SocConfig::paper_default(2);
+        config.flexstep.channel_capacity = capacities[i];
+
+        const Cycle base = bench::run_once(program, config, {});
+
+        soc::Soc soc(config);
+        soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
+        exec.prepare(program);
+        const auto stats = exec.run();
+
+        // Translate the entry backlog into main-core time: entries/instruction
+        // ≈ memory fraction, instructions -> cycles via the base CPI.
+        const double cpi = static_cast<double>(base) / stats.main_instructions;
+        const double entries_per_inst =
+            static_cast<double>(stats.mem_entries) / stats.main_instructions;
+        DepthRow row;
+        row.capacity = capacities[i];
+        row.slowdown = static_cast<double>(stats.main_cycles) / base;
+        row.backpressure_events = stats.backpressure_events;
+        row.max_occupancy = stats.max_channel_occupancy;
+        row.lag_us = cycles_to_us(static_cast<Cycle>(
+            static_cast<double>(stats.max_channel_occupancy) / entries_per_inst * cpi));
+        return row;
+      });
+
   Table table({"capacity (entries)", "slowdown", "backpressure events", "max lag (entries)",
                "max lag (us of main)"});
-  for (u64 capacity : {256u, 512u, 1024u, 2048u, 4096u, 8192u, 16384u}) {
-    soc::SocConfig config = soc::SocConfig::paper_default(2);
-    config.flexstep.channel_capacity = capacity;
-
-    const Cycle base = bench::run_once(program, config, {});
-
-    soc::Soc soc(config);
-    soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
-    exec.prepare(program);
-    const auto stats = exec.run();
-    const double slowdown = static_cast<double>(stats.main_cycles) / base;
-
-    // Translate the entry backlog into main-core time: entries/instruction ≈
-    // memory fraction, instructions -> cycles via the base CPI.
-    const double cpi = static_cast<double>(base) / stats.main_instructions;
-    const double entries_per_inst =
-        static_cast<double>(stats.mem_entries) / stats.main_instructions;
-    const double lag_us = cycles_to_us(static_cast<Cycle>(
-        static_cast<double>(stats.max_channel_occupancy) / entries_per_inst * cpi));
-
-    table.add_row({std::to_string(capacity), Table::num(slowdown, 4),
-                   std::to_string(stats.backpressure_events),
-                   std::to_string(stats.max_channel_occupancy), Table::num(lag_us, 1)});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.capacity), Table::num(row.slowdown, 4),
+                   std::to_string(row.backpressure_events),
+                   std::to_string(row.max_occupancy), Table::num(row.lag_us, 1)});
   }
   table.print();
   std::printf(

@@ -4,13 +4,27 @@
 // (less store-and-forward delay) but cost more checkpoint extractions; longer
 // segments amortise checkpoints but stretch detection latency and buffering.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "fault/campaign.h"
+#include "runtime/parallel.h"
 
 using namespace flexstep;
+
+namespace {
+
+struct SegmentRow {
+  u32 limit = 0;
+  double slowdown = 0.0;
+  u64 segments = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+}  // namespace
 
 int main() {
   std::printf("== Ablation A1: checking-segment length (paper default 5000) ==\n\n");
@@ -21,8 +35,11 @@ int main() {
   build.iterations_override = 3000;
   const auto program = workloads::build_workload(profile, build);
 
-  Table table({"segment limit", "slowdown", "segments", "p50 latency us", "p95 latency us"});
-  for (u32 limit : {500u, 1000u, 2500u, 5000u, 10000u, 20000u}) {
+  // One job per swept segment limit; the fault campaign inside each job is
+  // itself sharded on the runtime (nested runs execute inline).
+  const std::vector<u32> limits = {500, 1000, 2500, 5000, 10000, 20000};
+  const auto rows = runtime::parallel_map<SegmentRow>(limits.size(), [&](std::size_t i) {
+    const u32 limit = limits[i];
     soc::SocConfig config = soc::SocConfig::paper_default(2);
     config.flexstep.segment_limit = limit;
     // Keep one full segment buffered regardless of its size.
@@ -30,7 +47,6 @@ int main() {
 
     const Cycle base = bench::run_once(program, config, {});
     const Cycle dual = bench::run_once(program, config, {1});
-    const double slowdown = static_cast<double>(dual) / base;
 
     u64 segments = 0;
     {
@@ -46,8 +62,20 @@ int main() {
     const auto stats = fault::run_fault_campaign(profile, config, campaign);
     const auto lat = stats.latencies_us();
 
-    table.add_row({std::to_string(limit), Table::num(slowdown, 4), std::to_string(segments),
-                   Table::num(percentile(lat, 50), 1), Table::num(percentile(lat, 95), 1)});
+    SegmentRow row;
+    row.limit = limit;
+    row.slowdown = static_cast<double>(dual) / base;
+    row.segments = segments;
+    row.p50_us = percentile(lat, 50);
+    row.p95_us = percentile(lat, 95);
+    return row;
+  });
+
+  Table table({"segment limit", "slowdown", "segments", "p50 latency us", "p95 latency us"});
+  for (const auto& row : rows) {
+    table.add_row({std::to_string(row.limit), Table::num(row.slowdown, 4),
+                   std::to_string(row.segments), Table::num(row.p50_us, 1),
+                   Table::num(row.p95_us, 1)});
   }
   table.print();
   std::printf(

@@ -6,10 +6,12 @@
 // and measures schedulability, confirming the analytical optimum.
 #include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 #include "sched/flexstep_partition.h"
 #include "sched/uunifast.h"
 
@@ -75,19 +77,28 @@ int main() {
 
   Table table({"theta", "% schedulable", "note"});
   const double optimal_v3 = std::sqrt(2.0) - 1.0;
-  for (double theta : {0.30, 0.35, 0.40, optimal_v3, 0.45, 0.50, 0.55, 0.60, 0.65, 0.70}) {
+  const std::vector<double> thetas = {0.30, 0.35,       0.40, optimal_v3, 0.45,
+                                      0.50, 0.55, 0.60, 0.65, 0.70};
+  // One job per theta; each job re-seeds Rng(777) so every theta scores the
+  // identical task-set sequence (same comparison the serial sweep made).
+  const auto schedulable = runtime::parallel_map<u32>(thetas.size(), [&](std::size_t i) {
     Rng rng(777);
     u32 ok = 0;
     for (u32 s = 0; s < sets; ++s) {
       const TaskSet tasks = generate_task_set(params, rng);
       // Same theta applied to V2; V3 always uses the swept theta as well so
       // the sweep exposes both optima (0.5 for V2-dominant, 0.414 for V3).
-      if (partition_with_theta(tasks, m, theta, theta)) ++ok;
+      if (partition_with_theta(tasks, m, thetas[i], thetas[i])) ++ok;
     }
+    return ok;
+  });
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const double theta = thetas[i];
     std::string note;
     if (std::abs(theta - 0.5) < 1e-9) note = "paper choice for V2 (D/2)";
     if (std::abs(theta - optimal_v3) < 1e-9) note = "paper choice for V3 ((sqrt2-1)D)";
-    table.add_row({Table::num(theta, 3), Table::num(100.0 * ok / sets, 1), note});
+    table.add_row(
+        {Table::num(theta, 3), Table::num(100.0 * schedulable[i] / sets, 1), note});
   }
   table.print();
 

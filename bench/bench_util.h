@@ -2,10 +2,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
+#include "runtime/parallel.h"
 #include "soc/soc.h"
 #include "soc/verified_run.h"
 #include "workloads/nzdc.h"
@@ -87,5 +90,10 @@ inline u64 env_u64(const char* name, u64 fallback) {
   if (value == nullptr || *value == '\0') return fallback;
   return std::strtoull(value, nullptr, 10);
 }
+
+/// Worker threads the benches run with: the FLEX_THREADS environment override,
+/// else hardware_concurrency. FLEX_THREADS=1 reproduces serial execution
+/// (results are bit-identical at any setting; only wall-clock changes).
+inline u32 thread_count() { return runtime::JobPool::default_thread_count(); }
 
 }  // namespace flexstep::bench

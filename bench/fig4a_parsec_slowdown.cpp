@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 
 using namespace flexstep;
 
@@ -20,11 +21,18 @@ int main() {
   std::vector<double> flexstep_slowdowns;
   std::vector<double> nzdc_slowdowns;
 
-  for (const auto& profile : workloads::parsec_profiles()) {
-    bench::SlowdownModes modes;
-    modes.dual = true;
-    modes.nzdc = true;
-    const auto r = bench::measure_workload(profile, modes, iterations);
+  // One job per workload; the measurements are independent deterministic
+  // simulations, so rows come back bit-identical at any FLEX_THREADS.
+  const auto& profiles = workloads::parsec_profiles();
+  const auto results = runtime::parallel_map<bench::SlowdownResult>(
+      profiles.size(), [&](std::size_t i) {
+        bench::SlowdownModes modes;
+        modes.dual = true;
+        modes.nzdc = true;
+        return bench::measure_workload(profiles[i], modes, iterations);
+      });
+
+  for (const auto& r : results) {
     flexstep_slowdowns.push_back(r.dual);
     if (r.nzdc_ok) nzdc_slowdowns.push_back(r.nzdc);
     table.add_row({r.name, Table::num(1.0, 4), Table::num(r.dual, 4),

@@ -2,9 +2,11 @@
 // FlexStep partitioning, vs. normalised task-set utilisation, across the six
 // (m, n, α, β) configurations of the paper.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 #include "sched/experiment.h"
 
 using namespace flexstep;
@@ -33,19 +35,28 @@ constexpr Subplot kSubplots[] = {
 int main() {
   std::printf("== Fig. 5: %% of schedulable task sets (LockStep / HMR / FlexStep) ==\n");
   const auto sets = static_cast<u32>(bench::env_u64("FLEX_SETS", 1000));
-  std::printf("(%u random UUnifast task sets per point)\n", sets);
+  std::printf("(%u random UUnifast task sets per point, %u threads)\n", sets,
+              bench::thread_count());
 
-  for (const auto& subplot : kSubplots) {
+  // One job per subplot; each experiment additionally shards over (point,
+  // task-set block) jobs inside run_sched_experiment when it runs top-level.
+  constexpr std::size_t kNumSubplots = std::size(kSubplots);
+  const auto curves = runtime::parallel_map<std::vector<sched::SchedCurvePoint>>(
+      kNumSubplots, [&](std::size_t i) {
+        sched::SchedExperimentConfig config;
+        config.m = kSubplots[i].m;
+        config.n = kSubplots[i].n;
+        config.alpha = kSubplots[i].alpha;
+        config.beta = kSubplots[i].beta;
+        config.sets_per_point = sets;
+        return sched::run_sched_experiment(config);
+      });
+
+  for (std::size_t i = 0; i < kNumSubplots; ++i) {
+    const auto& subplot = kSubplots[i];
     std::printf("\n-- Fig. 5%s: m=%u, n=%u, alpha=%.4g%%, beta=%.4g%% --\n", subplot.label,
                 subplot.m, subplot.n, subplot.alpha * 100.0, subplot.beta * 100.0);
-    sched::SchedExperimentConfig config;
-    config.m = subplot.m;
-    config.n = subplot.n;
-    config.alpha = subplot.alpha;
-    config.beta = subplot.beta;
-    config.sets_per_point = sets;
-
-    const auto curve = sched::run_sched_experiment(config);
+    const auto& curve = curves[i];
     Table table({"utilisation", "LockStep", "HMR", "FlexStep"});
     for (const auto& point : curve) {
       table.add_row({Table::num(point.utilization, 2), Table::num(point.lockstep, 1),

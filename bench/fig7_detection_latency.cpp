@@ -5,12 +5,14 @@
 // Paper result: most mass concentrated around ~20 µs; blackscholes reaches
 // 2-3x higher (up to ~50 µs); coverage > 99.9% of injected hardware faults.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "common/histogram.h"
 #include "common/stats.h"
 #include "common/table.h"
 #include "fault/campaign.h"
+#include "runtime/parallel.h"
 
 using namespace flexstep;
 
@@ -18,21 +20,30 @@ int main() {
   const auto faults = static_cast<u32>(bench::env_u64("FLEX_FAULTS", 1200));
   std::printf("== Fig. 7: error-detection latency distribution (Parsec) ==\n");
   std::printf("(%u injected faults per workload; FLEX_FAULTS=5000 reproduces the\n"
-              " paper's campaign size)\n\n",
-              faults);
+              " paper's campaign size; %u threads)\n\n",
+              faults, bench::thread_count());
 
   Table table({"workload", "detected", "coverage", "p50 us", "mean us", "p99 us",
                "max us"});
-  fault::CampaignConfig campaign;
-  campaign.target_faults = faults;
 
   Histogram example_hist(0.0, 40.0, 20);
   std::string example_name;
 
-  for (const auto& profile : workloads::parsec_profiles()) {
-    campaign.seed = 0xF417 + static_cast<u64>(profile.name[0]);
-    const auto stats =
-        fault::run_fault_campaign(profile, soc::SocConfig::paper_default(2), campaign);
+  // One job per workload; each campaign is itself sharded on the runtime
+  // (nested runs execute inline, so this composes without oversubscription).
+  const auto& profiles = workloads::parsec_profiles();
+  const auto campaigns = runtime::parallel_map<fault::CampaignStats>(
+      profiles.size(), [&](std::size_t i) {
+        fault::CampaignConfig campaign;
+        campaign.target_faults = faults;
+        campaign.seed = 0xF417 + static_cast<u64>(profiles[i].name[0]);
+        return fault::run_fault_campaign(profiles[i], soc::SocConfig::paper_default(2),
+                                         campaign);
+      });
+
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& profile = profiles[i];
+    const auto& stats = campaigns[i];
     const auto lat = stats.latencies_us();
     table.add_row({profile.name, std::to_string(stats.detected),
                    Table::num(stats.coverage() * 100.0, 2) + "%",

@@ -4,25 +4,46 @@
 // Paper result: the FlexStep increase stays near-linear in core count (fixed
 // per-core storage + logic), demonstrating many-core scalability.
 #include <cstdio>
+#include <vector>
 
 #include "common/table.h"
 #include "model/power_area.h"
+#include "runtime/parallel.h"
 
 using namespace flexstep;
+
+namespace {
+
+struct ScalingRow {
+  u32 cores = 0;
+  model::SocPowerArea vanilla;
+  model::SocPowerArea flexstep;
+  double power_overhead = 0.0;
+  double area_overhead = 0.0;
+};
+
+}  // namespace
 
 int main() {
   std::printf("== Fig. 8: power & area scaling, Vanilla vs FlexStep (28 nm) ==\n\n");
   const model::PowerAreaModel m;
 
+  // One job per sweep point on the shared runtime; rows print in sweep order.
+  const std::vector<u32> core_counts = {2, 4, 8, 16, 32};
+  const auto rows = runtime::parallel_map<ScalingRow>(
+      core_counts.size(), [&](std::size_t i) {
+        const u32 cores = core_counts[i];
+        return ScalingRow{cores, m.vanilla(cores), m.flexstep(cores),
+                          m.power_overhead(cores), m.area_overhead(cores)};
+      });
+
   Table power({"cores", "Vanilla power (W)", "FlexStep power (W)", "overhead"});
   Table area({"cores", "Vanilla area (mm2)", "FlexStep area (mm2)", "overhead"});
-  for (u32 cores : {2u, 4u, 8u, 16u, 32u}) {
-    const auto vanilla = m.vanilla(cores);
-    const auto flexstep = m.flexstep(cores);
-    power.add_row({std::to_string(cores), Table::num(vanilla.power_w, 3),
-                   Table::num(flexstep.power_w, 3), Table::pct(m.power_overhead(cores))});
-    area.add_row({std::to_string(cores), Table::num(vanilla.area_mm2, 2),
-                  Table::num(flexstep.area_mm2, 2), Table::pct(m.area_overhead(cores))});
+  for (const auto& row : rows) {
+    power.add_row({std::to_string(row.cores), Table::num(row.vanilla.power_w, 3),
+                   Table::num(row.flexstep.power_w, 3), Table::pct(row.power_overhead)});
+    area.add_row({std::to_string(row.cores), Table::num(row.vanilla.area_mm2, 2),
+                  Table::num(row.flexstep.area_mm2, 2), Table::pct(row.area_overhead)});
   }
   std::printf("(a) average power:\n");
   power.print();

@@ -7,6 +7,7 @@
 // BENCH_core_throughput.json so the perf trajectory is tracked PR-over-PR.
 //
 //   ./bench/micro_benchmarks                  # throughput mode + JSON
+//   ./bench/micro_benchmarks --campaign       # campaign-throughput mode + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
 #include <chrono>
 #include <cstdio>
@@ -17,6 +18,8 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
+#include "fault/campaign.h"
+#include "runtime/job_pool.h"
 #include "sched/flexstep_partition.h"
 #include "sched/hmr_partition.h"
 #include "sched/lockstep_partition.h"
@@ -142,6 +145,80 @@ int run_throughput_mode() {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Campaign-throughput mode (--campaign): injections per host-second, serial
+// vs. the parallel experiment runtime at full width.
+// ---------------------------------------------------------------------------
+
+int run_campaign_throughput_mode() {
+  const auto faults = static_cast<u32>(bench::env_u64("FLEX_FAULTS", 400));
+  const u32 max_threads = bench::thread_count();
+  const auto& profile = workloads::find_profile("swaptions");
+
+  fault::CampaignConfig campaign;
+  campaign.target_faults = faults;
+  campaign.warmup_rounds = 20'000;
+  campaign.gap_rounds = 1'000;
+  campaign.workload_iterations = 20'000;
+  // Same shard structure for both measurements: at least one shard per worker
+  // so the parallel run can use every thread, and identical for the serial
+  // run so both execute the exact same injections (outcome parity below).
+  campaign.shards = std::max(fault::kDefaultCampaignShards, max_threads);
+
+  std::printf("== Fault-campaign throughput (workload %s, %u faults, %u shards) ==\n\n",
+              profile.name.c_str(), faults, campaign.shards);
+
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  const auto measure_campaign = [&](u32 threads, fault::CampaignStats* stats_out) {
+    campaign.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    *stats_out = fault::run_fault_campaign(profile, soc_config, campaign);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  fault::CampaignStats serial_stats;
+  fault::CampaignStats parallel_stats;
+  const double serial_s = measure_campaign(1, &serial_stats);
+  const double parallel_s = measure_campaign(max_threads, &parallel_stats);
+  const double serial_ips = serial_stats.injected / serial_s;
+  const double parallel_ips = parallel_stats.injected / parallel_s;
+  const double speedup = serial_ips > 0.0 ? parallel_ips / serial_ips : 0.0;
+  bool identical = serial_stats.detected == parallel_stats.detected &&
+                   serial_stats.undetected == parallel_stats.undetected &&
+                   serial_stats.outcomes.size() == parallel_stats.outcomes.size();
+  for (std::size_t i = 0; identical && i < serial_stats.outcomes.size(); ++i) {
+    identical = serial_stats.outcomes[i].detected == parallel_stats.outcomes[i].detected &&
+                serial_stats.outcomes[i].latency_us == parallel_stats.outcomes[i].latency_us;
+  }
+
+  Table table({"threads", "host s", "injections/s", "speedup"});
+  table.add_row({"1", Table::num(serial_s, 3), Table::num(serial_ips, 1), "1.00"});
+  table.add_row({std::to_string(max_threads), Table::num(parallel_s, 3),
+                 Table::num(parallel_ips, 1), Table::num(speedup, 2)});
+  table.print();
+  std::printf("\noutcomes bit-identical across thread counts: %s\n",
+              identical ? "yes" : "NO (determinism bug!)");
+
+  FILE* json = std::fopen("BENCH_campaign_throughput.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"campaign_throughput\",\n");
+    std::fprintf(json, "  \"workload\": \"%s\",\n  \"faults\": %u,\n  \"shards\": %u,\n",
+                 profile.name.c_str(), faults, campaign.shards);
+    std::fprintf(json, "  \"serial\": {\"threads\": 1, \"host_seconds\": %.6f, "
+                       "\"injections_per_second\": %.3f},\n",
+                 serial_s, serial_ips);
+    std::fprintf(json, "  \"parallel\": {\"threads\": %u, \"host_seconds\": %.6f, "
+                       "\"injections_per_second\": %.3f},\n",
+                 max_threads, parallel_s, parallel_ips);
+    std::fprintf(json, "  \"speedup\": %.3f,\n  \"outcomes_identical\": %s\n}\n", speedup,
+                 identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_campaign_throughput.json\n");
+  }
+  return identical ? 0 : 1;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -245,9 +322,12 @@ BENCHMARK(BM_Partitioner<sched::hmr_partition>)->Name("BM_HmrPartition");
 
 int main(int argc, char** argv) {
   bool gbench = false;
+  bool campaign = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
+    if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
   }
+  if (campaign) return run_campaign_throughput_mode();
   if (!gbench) return run_throughput_mode();
 #ifndef FLEX_NO_GOOGLE_BENCHMARK
   benchmark::Initialize(&argc, argv);

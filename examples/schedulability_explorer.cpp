@@ -5,9 +5,11 @@
 //   ./build/examples/schedulability_explorer 8 32 0.25 0.125 0.55
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "runtime/parallel.h"
 #include "sched/flexstep_partition.h"
 #include "sched/hmr_partition.h"
 #include "sched/lockstep_partition.h"
@@ -59,22 +61,42 @@ int main(int argc, char** argv) {
   }
 
   // ---- acceptance-rate sweep around the chosen utilisation ----
-  std::printf("\nacceptance over 200 random sets per point:\n");
-  Table table({"utilisation", "LockStep", "HMR", "FlexStep"});
+  // One runtime job per utilisation point; each task set draws from a stream
+  // keyed by its (point, set) index, so the sweep is reproducible at any
+  // FLEX_THREADS setting.
+  constexpr u32 kSweepSets = 200;
+  std::vector<double> sweep_points;
   for (double u = std::max(0.2, util - 0.15); u <= std::min(1.0, util + 0.15) + 1e-9;
        u += 0.05) {
-    params.total_utilization = u * m;
-    u32 ok_ls = 0;
-    u32 ok_hmr = 0;
-    u32 ok_fs = 0;
-    for (int s = 0; s < 200; ++s) {
-      const TaskSet set = generate_task_set(params, rng);
-      ok_ls += lockstep_partition(set, m).schedulable;
-      ok_hmr += hmr_partition(set, m).schedulable;
-      ok_fs += flexstep_schedulable(set, m);
-    }
-    table.add_row({Table::num(u, 2), Table::num(ok_ls / 2.0, 1), Table::num(ok_hmr / 2.0, 1),
-                   Table::num(ok_fs / 2.0, 1)});
+    sweep_points.push_back(u);
+  }
+  struct SweepCounts {
+    u32 lockstep = 0;
+    u32 hmr = 0;
+    u32 flexstep = 0;
+  };
+  const auto sweep = runtime::parallel_map<SweepCounts>(
+      sweep_points.size(), [&](std::size_t p) {
+        TaskSetParams point_params = params;
+        point_params.total_utilization = sweep_points[p] * m;
+        SweepCounts counts;
+        for (u32 s = 0; s < kSweepSets; ++s) {
+          Rng set_rng = runtime::stream_rng(seed, p * kSweepSets + s);
+          const TaskSet set = generate_task_set(point_params, set_rng);
+          counts.lockstep += lockstep_partition(set, m).schedulable;
+          counts.hmr += hmr_partition(set, m).schedulable;
+          counts.flexstep += flexstep_schedulable(set, m);
+        }
+        return counts;
+      });
+
+  std::printf("\nacceptance over %u random sets per point (%u threads):\n", kSweepSets,
+              runtime::JobPool::default_thread_count());
+  Table table({"utilisation", "LockStep", "HMR", "FlexStep"});
+  for (std::size_t p = 0; p < sweep_points.size(); ++p) {
+    table.add_row({Table::num(sweep_points[p], 2), Table::num(sweep[p].lockstep / 2.0, 1),
+                   Table::num(sweep[p].hmr / 2.0, 1),
+                   Table::num(sweep[p].flexstep / 2.0, 1)});
   }
   table.print();
   return 0;

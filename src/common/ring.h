@@ -39,6 +39,10 @@ class Ring {
     FLEX_DCHECK(count_ > 0);
     return buf_[(head_ + count_ - 1) & mask_];
   }
+  const T& back() const {
+    FLEX_DCHECK(count_ > 0);
+    return buf_[(head_ + count_ - 1) & mask_];
+  }
 
   /// Indexed access relative to the front (0 = oldest element).
   T& operator[](std::size_t i) {

@@ -1,7 +1,10 @@
 #include "fault/campaign.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/rng.h"
+#include "runtime/parallel.h"
 #include "workloads/program_builder.h"
 
 namespace flexstep::fault {
@@ -21,10 +24,26 @@ std::vector<double> CampaignStats::latencies_us() const {
   return out;
 }
 
+void CampaignStats::merge(CampaignStats&& shard) {
+  injected += shard.injected;
+  detected += shard.detected;
+  undetected += shard.undetected;
+  outcomes.insert(outcomes.end(), shard.outcomes.begin(), shard.outcomes.end());
+}
+
 namespace {
 
 /// Instructions advanced between fault-resolution probes.
 constexpr u64 kResolvePollStride = 64;
+
+/// Deterministic pacing jitter added to the warmup and to each inter-fault
+/// gap. Without it every injection lands on the same kResolvePollStride grid
+/// at the same program phase in every shard, which biases which stream-item
+/// kind sits at the channel tail; the serial campaign got its phase diversity
+/// for free from resolution-time drift across hundreds of faults. Odd bounds
+/// so the jitter breaks the 64-instruction poll grid.
+constexpr u64 kWarmupJitter = 4099;
+constexpr u64 kGapJitter = 257;
 
 /// One workload execution hosting a sequence of injections.
 class Session {
@@ -63,20 +82,26 @@ class Session {
   VerifiedExecution exec_;
 };
 
-}  // namespace
-
-CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
+/// One shard: a worker-owned Session sequence hosting `target_faults`
+/// injections. Everything random derives from (campaign.seed, shard_index),
+/// so a shard's outcome stream is independent of which thread runs it.
+CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
-                                 const CampaignConfig& campaign) {
+                                 const CampaignConfig& campaign, u32 shard_index,
+                                 u32 target_faults) {
   CampaignStats stats;
-  Rng rng(campaign.seed);
-  u64 session_seed = campaign.seed;
+  Rng shard_rng = runtime::stream_rng(campaign.seed, shard_index);
+  Rng rng = shard_rng.split();               // fault-placement draws
+  Rng pace_rng = shard_rng.split();          // warmup/gap pacing jitter
+  u64 session_seed = shard_rng.next_u64();   // workload-build seeds
 
-  while (stats.injected < campaign.target_faults) {
+  while (stats.injected < target_faults) {
     Session session(profile, soc_config, campaign, ++session_seed);
-    if (!session.advance(campaign.warmup_rounds)) continue;  // too short; retry
+    if (!session.advance(campaign.warmup_rounds + pace_rng.next_below(kWarmupJitter))) {
+      continue;  // too short; retry
+    }
 
-    while (stats.injected < campaign.target_faults) {
+    while (stats.injected < target_faults) {
       Channel* ch = session.channel();
       if (ch == nullptr) break;
 
@@ -140,10 +165,47 @@ CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
       }
       stats.outcomes.push_back(outcome);
 
-      if (!session_alive || !session.advance(campaign.gap_rounds)) break;
+      if (!session_alive ||
+          !session.advance(campaign.gap_rounds + pace_rng.next_below(kGapJitter))) {
+        break;
+      }
     }
   }
   return stats;
+}
+
+}  // namespace
+
+CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
+                                 const soc::SocConfig& soc_config,
+                                 const CampaignConfig& campaign) {
+  // Shards beyond target_faults would all get a zero quota, so capping here
+  // changes no outcome — it only bounds the quota/partials allocations
+  // against garbage configs (e.g. a negative CLI argument wrapped to u32).
+  const u32 shards =
+      std::clamp<u32>(campaign.shards, 1, std::max<u32>(1, campaign.target_faults));
+  // Shard quotas: target_faults split as evenly as possible, the remainder
+  // going to the lowest shard indices. The split depends only on the config.
+  std::vector<u32> quota(shards);
+  for (u32 s = 0; s < shards; ++s) {
+    quota[s] = campaign.target_faults / shards +
+               (s < campaign.target_faults % shards ? 1 : 0);
+  }
+
+  auto shard_job = [&](std::size_t s) {
+    return quota[s] == 0
+               ? CampaignStats{}
+               : run_campaign_shard(profile, soc_config, campaign,
+                                    static_cast<u32>(s), quota[s]);
+  };
+  auto fold = [](CampaignStats& acc, CampaignStats&& part) {
+    acc.merge(std::move(part));
+  };
+  if (campaign.threads != 0) {
+    runtime::JobPool pool(campaign.threads);
+    return runtime::parallel_accumulate(pool, shards, CampaignStats{}, shard_job, fold);
+  }
+  return runtime::parallel_accumulate(shards, CampaignStats{}, shard_job, fold);
 }
 
 }  // namespace flexstep::fault

@@ -17,12 +17,19 @@
 
 namespace flexstep::fault {
 
+/// Default shard count for sharded campaigns. Fixed (not derived from the
+/// host's core count) because shard structure feeds seed derivation: outcomes
+/// depend on `shards`, never on how many threads execute them.
+inline constexpr u32 kDefaultCampaignShards = 8;
+
 struct CampaignConfig {
-  u32 target_faults = 2000;     ///< Injections to perform.
+  u32 target_faults = 2000;     ///< Injections to perform (summed over shards).
   u64 warmup_rounds = 50'000;   ///< Co-sim steps before the first injection.
   u64 gap_rounds = 3'000;       ///< Steps between fault resolution and next injection.
   u64 seed = 0xF417;
   u32 workload_iterations = 0;  ///< Override profile iterations (0 = default).
+  u32 shards = kDefaultCampaignShards;  ///< Independent campaign shards (>= 1).
+  u32 threads = 0;  ///< Worker threads (0 = FLEX_THREADS / hardware_concurrency).
 };
 
 struct FaultOutcome {
@@ -42,11 +49,18 @@ struct CampaignStats {
     return injected == 0 ? 0.0 : static_cast<double>(detected) / injected;
   }
   std::vector<double> latencies_us() const;
+
+  /// Appends another shard's outcomes and folds its counters in. Shards are
+  /// merged in ascending shard order so the campaign result is deterministic.
+  void merge(CampaignStats&& shard);
 };
 
 /// Run a campaign on `profile` under dual-core (or the given) verification.
-/// Fresh SoCs are instantiated as needed until `target_faults` injections
-/// resolve.
+/// The campaign is split into `campaign.shards` independent shards — each a
+/// worker-owned Session sequence hosting its share of `target_faults`
+/// injections, seeded from the shard index via runtime::stream_rng — executed
+/// on the parallel runtime and merged in shard order. Results are
+/// bit-identical for a given (seed, shards) at any thread count.
 CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
                                  const CampaignConfig& campaign);

@@ -128,6 +128,13 @@ std::optional<InjectedFault> Channel::inject_random_fault(Rng& rng, Cycle now) {
   return corrupt_item(index, rng, now);
 }
 
+std::optional<InjectedFault> Channel::inject_fault_at(std::size_t index, Rng& rng,
+                                                      Cycle now) {
+  if (index >= items_.size() || fault_.has_value()) return std::nullopt;
+  const Cycle pushed_at = items_[index].visible_at - config_.channel_latency;
+  return corrupt_item(index, rng, std::min(now, pushed_at));
+}
+
 std::optional<InjectedFault> Channel::inject_fault_at_tail(Rng& rng, Cycle now) {
   if (items_.empty() || fault_.has_value()) return std::nullopt;
   // The corruption physically happens in the forwarding path, i.e. when the

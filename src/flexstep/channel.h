@@ -80,6 +80,10 @@ class Channel {
   std::size_t size() const { return items_.size(); }
   bool drained() const { return closed_ && items_.empty(); }
   const StreamItem& front() const { return items_.front(); }
+  /// Most recently forwarded queued item (what inject_fault_at_tail corrupts).
+  const StreamItem& back() const { return items_.back(); }
+  /// Queued item at `index` (0 = oldest still buffered).
+  const StreamItem& item(std::size_t index) const { return items_[index]; }
   StreamItem pop(Cycle now);
 
   /// Cycle at which the consumer last freed space (producer resume time).
@@ -103,6 +107,12 @@ class Channel {
   /// the flip happens in the forwarding path as the main core produces the
   /// data, so detection latency spans the full buffering + replay pipeline).
   std::optional<InjectedFault> inject_fault_at_tail(Rng& rng, Cycle now);
+
+  /// Corrupt the queued item at `index` (0 = oldest still buffered): targeted
+  /// fault models — e.g. deterministic checkpoint corruption — beyond the
+  /// campaign's tail placement. Fails if out of range or a fault is pending.
+  std::optional<InjectedFault> inject_fault_at(std::size_t index, Rng& rng, Cycle now);
+
   bool fault_pending() const { return fault_.has_value(); }
   const InjectedFault& pending_fault() const { return *fault_; }
   void clear_fault() { fault_.reset(); }

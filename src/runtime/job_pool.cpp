@@ -1,0 +1,223 @@
+#include "runtime/job_pool.h"
+
+#include <cstdlib>
+#include <exception>
+
+#include "common/check.h"
+
+namespace flexstep::runtime {
+
+namespace {
+
+// A participant's pending jobs are a packed half-open index range so that
+// popping one index and stealing a span are both single CAS operations.
+constexpr u64 pack_range(u64 begin, u64 end) { return (begin << 32) | end; }
+constexpr u64 range_begin(u64 packed) { return packed >> 32; }
+constexpr u64 range_end(u64 packed) { return packed & 0xFFFFFFFFULL; }
+
+/// True while this thread is executing inside JobPool::run (as caller or as a
+/// worker running a job): any nested run() then executes inline.
+thread_local bool t_inside_pool_run = false;
+
+/// Hard cap on worker threads: protects against garbage thread counts (e.g. a
+/// negative CLI argument wrapped to u32) exhausting the host.
+constexpr u32 kMaxThreads = 512;
+
+}  // namespace
+
+struct JobPool::Batch {
+  explicit Batch(std::size_t participants) : ranges(participants) {}
+
+  const std::function<void(std::size_t)>* fn = nullptr;
+  /// ranges[p] holds participant p's pending [begin, end) — its own initial
+  /// contiguous share, later whatever it last stole.
+  std::vector<std::atomic<u64>> ranges;
+  std::atomic<std::size_t> remaining{0};  ///< Jobs not yet completed.
+  std::atomic<bool> abort{false};         ///< Set on first exception.
+
+  std::mutex error_mu;
+  std::exception_ptr error;
+  std::size_t error_index = 0;
+
+  /// Participants currently inside participate(); guarded by the pool mutex.
+  /// run() may not retire (and destroy) the batch until this returns to zero,
+  /// because a participant can still be scanning ranges after its last job.
+  u32 attached = 1;  // the caller
+};
+
+JobPool::JobPool(u32 threads) {
+  if (threads == 0) threads = default_thread_count();
+  if (threads > kMaxThreads) threads = kMaxThreads;
+  workers_.reserve(threads - 1);
+  for (u32 t = 0; t + 1 < threads; ++t) {
+    workers_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+JobPool::~JobPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+u32 JobPool::default_thread_count() {
+  if (const char* env = std::getenv("FLEX_THREADS"); env != nullptr && *env != '\0') {
+    const unsigned long parsed = std::strtoul(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<u32>(parsed < kMaxThreads ? parsed : kMaxThreads);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<u32>(hw);
+}
+
+JobPool& JobPool::global() {
+  static JobPool pool;
+  return pool;
+}
+
+void JobPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  FLEX_CHECK(n <= 0xFFFFFFFFULL);
+
+  bool serial = workers_.empty() || n == 1 || t_inside_pool_run;
+  Batch batch(workers_.size() + 1);
+  if (!serial) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ != nullptr) {
+      serial = true;  // another top-level run is in flight; don't queue behind it
+    }
+  }
+  if (serial) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  batch.fn = &fn;
+  batch.remaining.store(n, std::memory_order_relaxed);
+  const std::size_t participants = batch.ranges.size();
+  std::size_t begin = 0;
+  for (std::size_t p = 0; p < participants; ++p) {
+    const std::size_t len = n / participants + (p < n % participants ? 1 : 0);
+    batch.ranges[p].store(pack_range(begin, begin + len), std::memory_order_relaxed);
+    begin += len;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ != nullptr) {
+      // Raced with another publisher between the check above and here.
+      for (std::size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    active_ = &batch;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  t_inside_pool_run = true;
+  participate(batch, participants - 1);  // the caller owns the last slot
+  t_inside_pool_run = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    --batch.attached;
+    done_cv_.wait(lock, [&] {
+      return batch.remaining.load(std::memory_order_acquire) == 0 && batch.attached == 0;
+    });
+    active_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void JobPool::worker_loop(std::size_t slot) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || active_ != nullptr; });
+    if (stop_) return;
+    Batch* batch = active_;
+    const u64 epoch = epoch_;
+    ++batch->attached;
+    lock.unlock();
+
+    t_inside_pool_run = true;
+    participate(*batch, slot);
+    t_inside_pool_run = false;
+
+    lock.lock();
+    --batch->attached;
+    if (batch->attached == 0) done_cv_.notify_all();
+    // Park until this batch is retired so we never re-join a finished batch
+    // (epoch also guards against a new batch reusing the same stack address).
+    work_cv_.wait(lock, [&] { return stop_ || epoch_ != epoch; });
+    if (stop_) return;
+  }
+}
+
+void JobPool::participate(Batch& batch, std::size_t slot) {
+  std::size_t index = 0;
+  while (take_job(batch, slot, &index)) {
+    if (!batch.abort.load(std::memory_order_relaxed)) {
+      try {
+        (*batch.fn)(index);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.error_mu);
+        if (!batch.error || index < batch.error_index) {
+          batch.error = std::current_exception();
+          batch.error_index = index;
+        }
+        batch.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(mu_);  // pair with the done_cv_ predicate
+      done_cv_.notify_all();
+    }
+  }
+}
+
+bool JobPool::take_job(Batch& batch, std::size_t slot, std::size_t* index) {
+  for (;;) {
+    // Fast path: pop the front of this participant's own range.
+    auto& own = batch.ranges[slot];
+    u64 packed = own.load(std::memory_order_acquire);
+    while (range_begin(packed) < range_end(packed)) {
+      const u64 next = pack_range(range_begin(packed) + 1, range_end(packed));
+      if (own.compare_exchange_weak(packed, next, std::memory_order_acq_rel)) {
+        *index = static_cast<std::size_t>(range_begin(packed));
+        return true;
+      }
+    }
+    // Own range drained: steal the upper half of the largest remaining range.
+    // (The lower half stays with the victim, so a long-running job at a
+    // range's front never travels — only the untouched tail migrates.)
+    std::size_t victim = batch.ranges.size();
+    u64 victim_size = 0;
+    for (std::size_t v = 0; v < batch.ranges.size(); ++v) {
+      if (v == slot) continue;
+      const u64 p = batch.ranges[v].load(std::memory_order_acquire);
+      const u64 size = range_end(p) - range_begin(p);
+      if (size > victim_size) {
+        victim_size = size;
+        victim = v;
+      }
+    }
+    if (victim == batch.ranges.size()) return false;  // every range is empty
+    auto& from = batch.ranges[victim];
+    u64 p = from.load(std::memory_order_acquire);
+    const u64 b = range_begin(p);
+    const u64 e = range_end(p);
+    if (b >= e) continue;  // raced empty; rescan for another victim
+    const u64 mid = b + (e - b) / 2;
+    if (!from.compare_exchange_strong(p, pack_range(b, mid), std::memory_order_acq_rel)) {
+      continue;  // victim moved under us; rescan
+    }
+    own.store(pack_range(mid, e), std::memory_order_release);
+  }
+}
+
+}  // namespace flexstep::runtime

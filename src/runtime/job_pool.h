@@ -1,0 +1,73 @@
+// Shared parallel experiment runtime: a work-stealing thread pool that every
+// campaign, sweep and bench driver schedules onto.
+//
+// Design constraints (why this is not std::async):
+//  - Determinism: results must be bit-identical regardless of thread count.
+//    The pool therefore never owns any randomness or accumulation — jobs are
+//    indexed, per-job Rng streams derive from the job index (see
+//    runtime/parallel.h), and callers merge results in job order.
+//  - Nesting: drivers compose (fig7 runs fault campaigns that are themselves
+//    sharded). A run() issued from inside a pool job executes inline on the
+//    calling thread, so composition can never deadlock or oversubscribe.
+//  - Skew: campaign shards vary wildly in cost (sessions retry, faults mask).
+//    Work is distributed as per-participant index ranges; a participant that
+//    drains its range steals the upper half of the largest remaining one.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.h"
+
+namespace flexstep::runtime {
+
+class JobPool {
+ public:
+  /// Spawns `threads - 1` workers (the thread calling run() is the final
+  /// participant). threads == 0 selects default_thread_count().
+  explicit JobPool(u32 threads = 0);
+
+  /// Joins all workers. Must not be called while a run() is in flight.
+  ~JobPool();
+
+  JobPool(const JobPool&) = delete;
+  JobPool& operator=(const JobPool&) = delete;
+
+  /// Participants that execute jobs: workers plus the calling thread.
+  u32 thread_count() const { return static_cast<u32>(workers_.size()) + 1; }
+
+  /// Executes fn(i) for every i in [0, n), blocking until all jobs have
+  /// finished; the calling thread participates. Each index runs exactly once.
+  /// If a job throws, remaining jobs are skipped (their indices are drained
+  /// without invoking fn) and the first recorded exception is rethrown here.
+  /// Reentrant calls from inside a job run inline on the calling thread.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// FLEX_THREADS environment override, else hardware_concurrency (min 1).
+  static u32 default_thread_count();
+
+  /// Process-wide pool sized by default_thread_count(), created on first use.
+  static JobPool& global();
+
+ private:
+  struct Batch;
+
+  void worker_loop(std::size_t slot);
+  void participate(Batch& batch, std::size_t slot);
+  static bool take_job(Batch& batch, std::size_t slot, std::size_t* index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< Workers: batch published / retired / stop.
+  std::condition_variable done_cv_;  ///< run(): all jobs done, all participants out.
+  Batch* active_ = nullptr;          ///< Guarded by mu_.
+  u64 epoch_ = 0;                    ///< Guarded by mu_; bumps on publish and retire.
+  bool stop_ = false;                ///< Guarded by mu_.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace flexstep::runtime

@@ -1,0 +1,81 @@
+// ParallelFor / ParallelAccumulate / per-job Rng streams on top of JobPool.
+//
+// The determinism contract shared by every driver in the repository:
+//  1. Work is expressed as N indexed jobs whose outputs depend only on the
+//     job index (and the caller's explicit config), never on which worker ran
+//     them or in what order.
+//  2. Randomness inside a job comes from stream_rng(seed, job_index) — a
+//     stream derived from the job index, not from the worker id — so the
+//     stream of draws a job sees is identical at any thread count.
+//  3. Partial results are merged in ascending job order on the calling
+//     thread, so floating-point accumulation order is fixed.
+// Together these make every campaign, sweep and bench bit-identical across
+// FLEX_THREADS settings (including 1).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/job_pool.h"
+
+namespace flexstep::runtime {
+
+/// Executes fn(i) for i in [0, n) on `pool`; blocks until done.
+inline void parallel_for(JobPool& pool, std::size_t n,
+                         const std::function<void(std::size_t)>& fn) {
+  pool.run(n, fn);
+}
+
+/// parallel_for on the process-global pool (FLEX_THREADS-sized).
+inline void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  JobPool::global().run(n, fn);
+}
+
+/// Evaluates fn(i) for i in [0, n) and returns the results in index order.
+/// T must be default-constructible; each slot is written exactly once.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(JobPool& pool, std::size_t n, Fn&& fn) {
+  std::vector<T> out(n);
+  pool.run(n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t n, Fn&& fn) {
+  return parallel_map<T>(JobPool::global(), n, std::forward<Fn>(fn));
+}
+
+/// Evaluates per_job(i) for i in [0, n) in parallel, then folds the partial
+/// results into `acc` with merge(acc, partial) in ascending job order on the
+/// calling thread — the deterministic-accumulation half of the contract above.
+template <typename Acc, typename Fn, typename Merge>
+Acc parallel_accumulate(JobPool& pool, std::size_t n, Acc acc, Fn&& per_job,
+                        Merge&& merge) {
+  using Partial = std::decay_t<decltype(per_job(std::size_t{0}))>;
+  std::vector<Partial> parts(n);
+  pool.run(n, [&](std::size_t i) { parts[i] = per_job(i); });
+  for (std::size_t i = 0; i < n; ++i) merge(acc, std::move(parts[i]));
+  return acc;
+}
+
+template <typename Acc, typename Fn, typename Merge>
+Acc parallel_accumulate(std::size_t n, Acc acc, Fn&& per_job, Merge&& merge) {
+  return parallel_accumulate(JobPool::global(), n, std::move(acc),
+                             std::forward<Fn>(per_job), std::forward<Merge>(merge));
+}
+
+/// Independent Rng stream for job `stream` of an experiment seeded by `seed`.
+/// The golden-ratio multiply keys each stream to a distinct seed (the map is
+/// bijective in stream for fixed seed), SplitMix64 expansion inside reseed()
+/// decorrelates neighbouring keys, and Rng::split() advances once more so the
+/// returned state is not the raw expansion of any user-visible seed.
+inline Rng stream_rng(u64 seed, u64 stream) {
+  Rng base(seed ^ (0x9E3779B97F4A7C15ULL * (stream + 1)));
+  return base.split();
+}
+
+}  // namespace flexstep::runtime

@@ -1,6 +1,9 @@
 #include "sched/experiment.h"
 
+#include <algorithm>
+
 #include "common/rng.h"
+#include "runtime/parallel.h"
 #include "sched/flexstep_partition.h"
 #include "sched/hmr_partition.h"
 #include "sched/lockstep_partition.h"
@@ -8,34 +11,84 @@
 
 namespace flexstep::sched {
 
+namespace {
+
+/// Task sets evaluated per job. Fixed (never thread-derived): job boundaries
+/// feed nothing — each set's Rng is keyed by its global (point, set) index —
+/// but keeping the block size a constant makes the schedule reproducible too.
+constexpr u32 kSetsPerJob = 64;
+
+struct PointCounts {
+  std::size_t point = 0;
+  u32 lockstep = 0;
+  u32 hmr = 0;
+  u32 flexstep = 0;
+};
+
+}  // namespace
+
 std::vector<SchedCurvePoint> run_sched_experiment(const SchedExperimentConfig& config) {
-  std::vector<SchedCurvePoint> curve;
-  Rng rng(config.seed);
-
+  std::vector<double> utilizations;
   for (double u = config.u_min; u <= config.u_max + 1e-9; u += config.u_step) {
-    SchedCurvePoint point;
-    point.utilization = u;
+    utilizations.push_back(u);
+  }
 
+  struct Job {
+    std::size_t point;
+    u32 set_begin;
+    u32 set_end;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t p = 0; p < utilizations.size(); ++p) {
+    for (u32 s = 0; s < config.sets_per_point; s += kSetsPerJob) {
+      jobs.push_back({p, s, std::min(s + kSetsPerJob, config.sets_per_point)});
+    }
+  }
+
+  auto run_job = [&](std::size_t j) {
+    const Job& job = jobs[j];
     TaskSetParams params;
     params.n = config.n;
-    params.total_utilization = u * config.m;
+    params.total_utilization = utilizations[job.point] * config.m;
     params.alpha = config.alpha;
     params.beta = config.beta;
 
-    u32 ok_lockstep = 0;
-    u32 ok_hmr = 0;
-    u32 ok_flexstep = 0;
-    for (u32 s = 0; s < config.sets_per_point; ++s) {
+    PointCounts counts;
+    counts.point = job.point;
+    for (u32 s = job.set_begin; s < job.set_end; ++s) {
+      Rng rng = runtime::stream_rng(
+          config.seed, static_cast<u64>(job.point) * config.sets_per_point + s);
       const TaskSet tasks = generate_task_set(params, rng);
-      if (lockstep_partition(tasks, config.m).schedulable) ++ok_lockstep;
-      if (hmr_partition(tasks, config.m).schedulable) ++ok_hmr;
-      if (flexstep_schedulable(tasks, config.m)) ++ok_flexstep;
+      if (lockstep_partition(tasks, config.m).schedulable) ++counts.lockstep;
+      if (hmr_partition(tasks, config.m).schedulable) ++counts.hmr;
+      if (flexstep_schedulable(tasks, config.m)) ++counts.flexstep;
     }
-    const double denom = config.sets_per_point;
-    point.lockstep = 100.0 * ok_lockstep / denom;
-    point.hmr = 100.0 * ok_hmr / denom;
-    point.flexstep = 100.0 * ok_flexstep / denom;
-    curve.push_back(point);
+    return counts;
+  };
+
+  std::vector<PointCounts> partials;
+  if (config.threads != 0) {
+    runtime::JobPool pool(config.threads);
+    partials = runtime::parallel_map<PointCounts>(pool, jobs.size(), run_job);
+  } else {
+    partials = runtime::parallel_map<PointCounts>(jobs.size(), run_job);
+  }
+
+  std::vector<SchedCurvePoint> curve(utilizations.size());
+  for (std::size_t p = 0; p < utilizations.size(); ++p) {
+    curve[p].utilization = utilizations[p];
+  }
+  std::vector<PointCounts> totals(utilizations.size());
+  for (const auto& part : partials) {
+    totals[part.point].lockstep += part.lockstep;
+    totals[part.point].hmr += part.hmr;
+    totals[part.point].flexstep += part.flexstep;
+  }
+  const double denom = config.sets_per_point;
+  for (std::size_t p = 0; p < utilizations.size(); ++p) {
+    curve[p].lockstep = 100.0 * totals[p].lockstep / denom;
+    curve[p].hmr = 100.0 * totals[p].hmr / denom;
+    curve[p].flexstep = 100.0 * totals[p].flexstep / denom;
   }
   return curve;
 }

@@ -20,6 +20,7 @@ struct SchedExperimentConfig {
   double u_step = 0.05;
   u32 sets_per_point = 500;
   u64 seed = 2025;
+  u32 threads = 0;  ///< Worker threads (0 = FLEX_THREADS / hardware_concurrency).
 };
 
 struct SchedCurvePoint {
@@ -29,6 +30,11 @@ struct SchedCurvePoint {
   double flexstep = 0.0;
 };
 
+/// Sweeps utilisation points, testing `sets_per_point` random task sets at
+/// each. Work is parallelised over (point, task-set block) jobs on the shared
+/// experiment runtime; each task set draws from runtime::stream_rng keyed by
+/// its global (point, set) index, so the curve is bit-identical for a given
+/// seed at any thread count.
 std::vector<SchedCurvePoint> run_sched_experiment(const SchedExperimentConfig& config);
 
 }  // namespace flexstep::sched

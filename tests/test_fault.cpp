@@ -1,9 +1,11 @@
 // Fault-injection campaign tests: coverage, latency sanity, detection kinds.
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "fault/campaign.h"
 #include "workloads/profile.h"
+#include "workloads/program_builder.h"
 
 namespace flexstep::fault {
 namespace {
@@ -48,6 +50,39 @@ TEST(FaultCampaign, LatenciesArePositiveAndBounded) {
   }
 }
 
+TEST(CampaignStats, MergeFoldsCountersAndAppendsOutcomes) {
+  CampaignStats a;
+  a.injected = 2;
+  a.detected = 1;
+  a.undetected = 1;
+  a.outcomes.push_back({true, 3.5, fs::DetectKind::kStoreData, fs::StreamItem::Kind::kMem});
+  a.outcomes.push_back({false, 0.0, {}, fs::StreamItem::Kind::kMem});
+  CampaignStats b;
+  b.injected = 1;
+  b.detected = 1;
+  b.undetected = 0;
+  b.outcomes.push_back({true, 7.25, fs::DetectKind::kEcpReg, fs::StreamItem::Kind::kSegmentEnd});
+
+  a.merge(std::move(b));
+  EXPECT_EQ(a.injected, 3u);
+  EXPECT_EQ(a.detected, 2u);
+  EXPECT_EQ(a.undetected, 1u);
+  ASSERT_EQ(a.outcomes.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.outcomes[2].latency_us, 7.25);
+  EXPECT_EQ(a.outcomes[2].detect_kind, fs::DetectKind::kEcpReg);
+}
+
+TEST(FaultCampaign, ShardQuotasSumToTarget) {
+  // 90 faults over 4 shards: every shard contributes and the total is exact.
+  auto config = small_campaign(90);
+  config.shards = 4;
+  const auto stats = run_fault_campaign(workloads::find_profile("swaptions"),
+                                        soc::SocConfig::paper_default(2), config);
+  EXPECT_EQ(stats.injected, 90u);
+  EXPECT_EQ(stats.outcomes.size(), 90u);
+  EXPECT_EQ(stats.detected + stats.undetected, stats.injected);
+}
+
 TEST(FaultCampaign, DeterministicForSeed) {
   const auto a = run_fault_campaign(workloads::find_profile("bzip2"),
                                     soc::SocConfig::paper_default(2), small_campaign());
@@ -66,23 +101,81 @@ TEST(FaultCampaign, DetectionKindsAreDiverse) {
   const auto stats = run_fault_campaign(workloads::find_profile("streamcluster"),
                                         soc::SocConfig::paper_default(2),
                                         small_campaign(400));
-  bool saw_immediate = false;  // store/load address or data mismatch
-  bool saw_ecp = false;        // end-checkpoint comparison
+  // Tail injection overwhelmingly lands on MAL entries, whose corruptions are
+  // caught in-flight; assert the in-flight kinds are all represented and that
+  // some faults mask (dead temporaries). Checkpoint (ECP) detection is
+  // exercised deterministically by CheckpointCorruptionIsDetectedAtTheEcp
+  // below — at the campaign level it is a <1% event on every workload
+  // (corrupted load data almost always reaches a store first).
+  bool saw_load_addr = false;
+  bool saw_store_addr = false;
+  bool saw_store_data = false;
   for (const auto& outcome : stats.outcomes) {
     if (!outcome.detected) continue;
     switch (outcome.detect_kind) {
-      case fs::DetectKind::kLoadAddr:
-      case fs::DetectKind::kStoreAddr:
-      case fs::DetectKind::kStoreData:
-      case fs::DetectKind::kAmoStore:
-      case fs::DetectKind::kScMismatch: saw_immediate = true; break;
-      case fs::DetectKind::kEcpReg:
-      case fs::DetectKind::kEcpPc: saw_ecp = true; break;
+      case fs::DetectKind::kLoadAddr: saw_load_addr = true; break;
+      case fs::DetectKind::kStoreAddr: saw_store_addr = true; break;
+      case fs::DetectKind::kStoreData: saw_store_data = true; break;
       default: break;
     }
   }
-  EXPECT_TRUE(saw_immediate);  // corrupted addresses/stores caught in-flight
-  EXPECT_TRUE(saw_ecp);        // corrupted load data caught at the checkpoint
+  EXPECT_TRUE(saw_load_addr);
+  EXPECT_TRUE(saw_store_addr);
+  EXPECT_TRUE(saw_store_data);
+  EXPECT_GT(stats.undetected, 0u);
+}
+
+TEST(FaultCampaign, CheckpointCorruptionIsDetectedAtTheEcp) {
+  // Corrupt a SegmentEnd checkpoint word and assert the checker reports the
+  // mismatch at the end-checkpoint comparison — the detection path that is
+  // too rare under random tail injection to assert from campaign statistics.
+  const auto& profile = workloads::find_profile("swaptions");
+  workloads::BuildOptions build;
+  build.seed = 3;
+  build.iterations_override = 20'000;
+  const auto program = workloads::build_workload(profile, build);
+
+  soc::Soc soc(soc::SocConfig::paper_default(2));
+  soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
+  exec.prepare(program);
+  ASSERT_TRUE(exec.advance(20'000));
+  fs::Channel* ch = soc.fabric().channels().front();
+
+  // Advance until a SegmentEnd checkpoint sits buffered in the channel, then
+  // corrupt it in place (any queued item is still unconsumed by the checker).
+  std::size_t end_index = 0;
+  bool found = false;
+  for (u64 step = 0; step < 10'000 && !found; ++step) {
+    for (std::size_t i = 0; i < ch->size(); ++i) {
+      if (ch->item(i).kind == fs::StreamItem::Kind::kSegmentEnd) {
+        end_index = i;
+        found = true;
+        break;
+      }
+    }
+    if (!found) ASSERT_TRUE(exec.advance(64));
+  }
+  ASSERT_TRUE(found);
+
+  Rng rng(7);
+  const auto fault = ch->inject_fault_at(end_index, rng, soc.max_cycle());
+  ASSERT_TRUE(fault.has_value());
+  ASSERT_EQ(fault->item_kind, fs::StreamItem::Kind::kSegmentEnd);
+
+  bool detected = false;
+  fs::DetectKind kind{};
+  while (!detected && exec.advance(64)) {
+    for (const auto& event : soc.fabric().reporter().events()) {
+      if (event.attributed) {
+        detected = true;
+        kind = event.kind;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(detected);
+  EXPECT_TRUE(kind == fs::DetectKind::kEcpReg || kind == fs::DetectKind::kEcpPc)
+      << detect_kind_name(kind);
 }
 
 TEST(FaultCampaign, ShorterSegmentsDetectFaster) {
