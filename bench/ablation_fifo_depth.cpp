@@ -39,11 +39,8 @@ int main() {
         config.flexstep.channel_capacity = capacities[i];
 
         const Cycle base = bench::run_once(program, config, {});
-
-        soc::Soc soc(config);
-        soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
-        exec.prepare(program);
-        const auto stats = exec.run();
+        const auto stats =
+            sim::Scenario().program(program).soc(config).dual().build().run();
 
         // Translate the entry backlog into main-core time: entries/instruction
         // ≈ memory fraction, instructions -> cycles via the base CPI.

@@ -46,15 +46,10 @@ int main() {
     config.flexstep.channel_capacity = std::max<u64>(2048, u64{limit});
 
     const Cycle base = bench::run_once(program, config, {});
-    const Cycle dual = bench::run_once(program, config, {1});
-
-    u64 segments = 0;
-    {
-      soc::Soc soc(config);
-      soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
-      exec.prepare(program);
-      segments = exec.run().segments_produced;
-    }
+    const auto dual_stats =
+        sim::Scenario().program(program).soc(config).dual().build().run();
+    const Cycle dual = dual_stats.main_cycles;
+    const u64 segments = dual_stats.segments_produced;
 
     fault::CampaignConfig campaign;
     campaign.target_faults = faults;

@@ -1,16 +1,18 @@
-// Shared measurement helpers for the reproduction benches.
+// Shared measurement helpers for the reproduction benches, built on the
+// sim::Scenario experiment facade (the single construction path for
+// Soc + workload + VerifiedExecution stacks).
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
 #include "runtime/parallel.h"
-#include "soc/soc.h"
-#include "soc/verified_run.h"
+#include "sim/scenario.h"
 #include "workloads/nzdc.h"
 #include "workloads/profile.h"
 #include "workloads/program_builder.h"
@@ -33,12 +35,16 @@ struct SlowdownResult {
   u64 backpressure_events = 0;
 };
 
+/// One full run of `program` on `soc_config` with the given checker set;
+/// returns the main-core cycles (and optionally the backpressure count).
 inline Cycle run_once(const isa::Program& program, const soc::SocConfig& soc_config,
                       std::vector<CoreId> checkers, u64* backpressure = nullptr) {
-  soc::Soc soc(soc_config);
-  soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, std::move(checkers)});
-  exec.prepare(program);
-  const auto stats = exec.run();
+  sim::Session session = sim::Scenario()
+                             .program(program)
+                             .soc(soc_config)
+                             .checkers(std::move(checkers))
+                             .build();
+  const auto stats = session.run();
   if (backpressure != nullptr) *backpressure = stats.backpressure_events;
   return stats.main_cycles;
 }
@@ -49,35 +55,37 @@ inline Cycle run_once(const isa::Program& program, const soc::SocConfig& soc_con
 inline SlowdownResult measure_workload(const workloads::WorkloadProfile& profile,
                                        const SlowdownModes& modes, u32 iterations = 3500,
                                        u64 seed = 7) {
-  const soc::SocConfig soc_config = soc::SocConfig::paper_default(4);
-  workloads::BuildOptions build;
-  build.seed = seed;
-  build.iterations_override = iterations;
-  const isa::Program program = workloads::build_workload(profile, build);
+  // One scenario describes the whole experiment family; the program is built
+  // once and pinned so every mode simulates the identical instruction stream.
+  sim::Scenario scenario;
+  scenario.workload(profile).seed(seed).iterations(iterations).soc(
+      soc::SocConfig::paper_default(4));
+  const isa::Program program = scenario.build_program();
+  scenario.program(program);
 
   SlowdownResult result;
   result.name = profile.name;
 
-  soc::Soc base_soc(soc_config);
-  soc::VerifiedExecution base_exec(base_soc, soc::VerifiedRunConfig{0, {}});
-  base_exec.prepare(program);
-  const auto base = base_exec.run();
+  const auto base = sim::Scenario(scenario).plain().build().run();
   result.base_cpi =
       static_cast<double>(base.main_cycles) / static_cast<double>(base.main_instructions);
 
   if (modes.dual) {
-    const Cycle c = run_once(program, soc_config, {1}, &result.backpressure_events);
-    result.dual = static_cast<double>(c) / static_cast<double>(base.main_cycles);
+    const auto stats = sim::Scenario(scenario).dual().build().run();
+    result.backpressure_events = stats.backpressure_events;
+    result.dual = static_cast<double>(stats.main_cycles) /
+                  static_cast<double>(base.main_cycles);
   }
   if (modes.triple) {
-    const Cycle c = run_once(program, soc_config, {1, 2});
-    result.triple = static_cast<double>(c) / static_cast<double>(base.main_cycles);
+    const auto stats = sim::Scenario(scenario).triple().build().run();
+    result.triple = static_cast<double>(stats.main_cycles) /
+                    static_cast<double>(base.main_cycles);
   }
   if (modes.nzdc) {
     result.nzdc_ok = profile.nzdc_compiles;
     if (result.nzdc_ok) {
       const isa::Program transformed = workloads::nzdc_transform(program);
-      const Cycle c = run_once(transformed, soc_config, {});
+      const Cycle c = run_once(transformed, scenario.soc_config(), {});
       result.nzdc = static_cast<double>(c) / static_cast<double>(base.main_cycles);
     }
   }

@@ -8,6 +8,7 @@
 //
 //   ./bench/micro_benchmarks                  # throughput mode + JSON
 //   ./bench/micro_benchmarks --campaign       # campaign-throughput mode + JSON
+//   ./bench/micro_benchmarks --snapshot       # snapshot-fork vs re-execution + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
 #include <chrono>
 #include <cstdio>
@@ -24,8 +25,7 @@
 #include "sched/hmr_partition.h"
 #include "sched/lockstep_partition.h"
 #include "sched/uunifast.h"
-#include "soc/soc.h"
-#include "soc/verified_run.h"
+#include "sim/scenario.h"
 #include "workloads/nzdc.h"
 #include "workloads/profile.h"
 #include "workloads/program_builder.h"
@@ -58,19 +58,19 @@ ThroughputSample measure(const isa::Program& program, const char* mode, u32 core
   // spread is purely host noise and the minimum is the honest figure.
   const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
   for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
-    soc::Soc soc(soc::SocConfig::paper_default(cores));
-    soc::VerifiedRunConfig config;
-    config.checkers = checkers;
-    config.engine = engine;
-    soc::VerifiedExecution exec(soc, config);
-    exec.prepare(program);
+    sim::Session session = sim::Scenario()
+                               .program(program)
+                               .cores(cores)
+                               .checkers(checkers)
+                               .engine(engine)
+                               .build();
 
     const auto start = std::chrono::steady_clock::now();
-    exec.run();
+    session.run();
     const auto stop = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(stop - start).count();
     if (rep == 0 || seconds < sample.host_seconds) sample.host_seconds = seconds;
-    sample.instructions = exec.total_instret();
+    sample.instructions = session.total_instret();
   }
   return sample;
 }
@@ -219,6 +219,94 @@ int run_campaign_throughput_mode() {
   return identical ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Snapshot-fork mode (--snapshot): campaign wall time and retired-instruction
+// counts, warmup-re-execution reference vs the snapshot-fork default — the
+// warmup-elision claim of the Scenario/Snapshot API, measured and
+// parity-checked.
+// ---------------------------------------------------------------------------
+
+int run_snapshot_fork_mode() {
+  const auto faults = static_cast<u32>(bench::env_u64("FLEX_FAULTS", 120));
+  const auto warmup = bench::env_u64("FLEX_WARMUP", 20'000);
+  const auto& profile = workloads::find_profile("swaptions");
+
+  fault::CampaignConfig campaign;
+  campaign.target_faults = faults;
+  campaign.warmup_rounds = warmup;
+  campaign.gap_rounds = 1'000;
+  campaign.workload_iterations = 20'000;
+
+  std::printf("== Snapshot-fork campaign vs warmup re-execution "
+              "(workload %s, %u faults, warmup %llu) ==\n\n",
+              profile.name.c_str(), faults, static_cast<unsigned long long>(warmup));
+
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  const auto measure_mode = [&](fault::CampaignMode mode, fault::CampaignStats* out) {
+    campaign.mode = mode;
+    const auto start = std::chrono::steady_clock::now();
+    *out = fault::run_fault_campaign(profile, soc_config, campaign);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  fault::CampaignStats forked;
+  fault::CampaignStats reexecuted;
+  const double fork_s = measure_mode(fault::CampaignMode::kSnapshotFork, &forked);
+  const double reexec_s =
+      measure_mode(fault::CampaignMode::kWarmupReexecution, &reexecuted);
+  const double speedup = fork_s > 0.0 ? reexec_s / fork_s : 0.0;
+  const double inst_ratio =
+      forked.total_instructions > 0
+          ? static_cast<double>(reexecuted.total_instructions) /
+                static_cast<double>(forked.total_instructions)
+          : 0.0;
+
+  bool identical = forked.detected == reexecuted.detected &&
+                   forked.undetected == reexecuted.undetected &&
+                   forked.outcomes.size() == reexecuted.outcomes.size();
+  for (std::size_t i = 0; identical && i < forked.outcomes.size(); ++i) {
+    identical = forked.outcomes[i].detected == reexecuted.outcomes[i].detected &&
+                forked.outcomes[i].latency_us == reexecuted.outcomes[i].latency_us &&
+                forked.outcomes[i].detect_kind == reexecuted.outcomes[i].detect_kind;
+  }
+
+  Table table({"mode", "host s", "sim instructions", "speedup"});
+  table.add_row({"warmup-reexec", Table::num(reexec_s, 3),
+                 std::to_string(reexecuted.total_instructions), "1.00"});
+  table.add_row({"snapshot-fork", Table::num(fork_s, 3),
+                 std::to_string(forked.total_instructions), Table::num(speedup, 2)});
+  table.print();
+  std::printf("\ninstructions elided by forking: %.1fx fewer\n", inst_ratio);
+  std::printf("outcomes bit-identical across modes: %s\n",
+              identical ? "yes" : "NO (snapshot fidelity bug!)");
+
+  FILE* json = std::fopen("BENCH_snapshot_fork.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"snapshot_fork\",\n");
+    std::fprintf(json, "  \"workload\": \"%s\",\n  \"faults\": %u,\n"
+                       "  \"warmup_rounds\": %llu,\n  \"shards\": %u,\n",
+                 profile.name.c_str(), faults, static_cast<unsigned long long>(warmup),
+                 campaign.shards);
+    std::fprintf(json,
+                 "  \"warmup_reexecution\": {\"host_seconds\": %.6f, "
+                 "\"instructions\": %llu},\n",
+                 reexec_s, static_cast<unsigned long long>(reexecuted.total_instructions));
+    std::fprintf(json,
+                 "  \"snapshot_fork\": {\"host_seconds\": %.6f, "
+                 "\"instructions\": %llu},\n",
+                 fork_s, static_cast<unsigned long long>(forked.total_instructions));
+    std::fprintf(json,
+                 "  \"speedup\": %.3f,\n  \"instruction_ratio\": %.3f,\n"
+                 "  \"outcomes_identical\": %s\n}\n",
+                 speedup, inst_ratio, identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_snapshot_fork.json\n");
+  }
+  // CI gates on the parity AND on the speedup actually materialising.
+  return identical && forked.total_instructions < reexecuted.total_instructions ? 0 : 1;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -237,10 +325,8 @@ void BM_CoreSimulation(benchmark::State& state) {
   const auto program = workloads::build_workload(profile, build);
   u64 instructions = 0;
   for (auto _ : state) {
-    soc::Soc soc(soc::SocConfig::paper_default(1));
-    soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {}});
-    exec.prepare(program);
-    instructions += exec.run().main_instructions;
+    instructions +=
+        sim::Scenario().program(program).plain().build().run().main_instructions;
   }
   state.counters["inst/s"] = benchmark::Counter(static_cast<double>(instructions),
                                                 benchmark::Counter::kIsRate);
@@ -254,10 +340,8 @@ void BM_VerifiedSimulation(benchmark::State& state) {
   const auto program = workloads::build_workload(profile, build);
   u64 instructions = 0;
   for (auto _ : state) {
-    soc::Soc soc(soc::SocConfig::paper_default(2));
-    soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
-    exec.prepare(program);
-    instructions += exec.run().main_instructions;
+    instructions +=
+        sim::Scenario().program(program).dual().build().run().main_instructions;
   }
   state.counters["inst/s"] = benchmark::Counter(static_cast<double>(instructions),
                                                 benchmark::Counter::kIsRate);
@@ -323,10 +407,13 @@ BENCHMARK(BM_Partitioner<sched::hmr_partition>)->Name("BM_HmrPartition");
 int main(int argc, char** argv) {
   bool gbench = false;
   bool campaign = false;
+  bool snapshot = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
+    if (std::strcmp(argv[i], "--snapshot") == 0) snapshot = true;
   }
+  if (snapshot) return run_snapshot_fork_mode();
   if (campaign) return run_campaign_throughput_mode();
   if (!gbench) return run_throughput_mode();
 #ifndef FLEX_NO_GOOGLE_BENCHMARK

@@ -14,9 +14,7 @@
 #include <cstdio>
 
 #include "kernel/kernel.h"
-#include "soc/soc.h"
-#include "workloads/profile.h"
-#include "workloads/program_builder.h"
+#include "sim/scenario.h"
 
 using namespace flexstep;
 using kernel::Kernel;
@@ -24,22 +22,27 @@ using kernel::RtTaskSpec;
 
 namespace {
 
+/// Task programs are described through the Scenario facade: a workload
+/// profile sized to ~target_us of simulated time, placed at its own
+/// code/data bases so the four images coexist in one address space.
 isa::Program make_program(const char* profile, double target_us, u64 seed,
                           Addr code_base, Addr data_base) {
-  workloads::BuildOptions build;
-  build.seed = seed;
-  build.code_base = code_base;
-  build.data_base = data_base;
-  const auto& p = workloads::find_profile(profile);
-  build.iterations_override = std::max<u32>(
-      1, static_cast<u32>(target_us * kCyclesPerUs / 2.3 / p.body_instructions));
-  return workloads::build_workload(p, build);
+  return sim::Scenario()
+      .workload(profile)
+      .duration_us(target_us)
+      .seed(seed)
+      .code_base(code_base)
+      .data_base(data_base)
+      .build_program();
 }
 
 }  // namespace
 
 int main() {
-  soc::Soc soc(soc::SocConfig::paper_default(4));
+  // The kernel drives the SoC itself (EDF, context switches, Alg. 1/2), so
+  // the scenario contributes the platform, not a VerifiedExecution.
+  const auto soc_ptr = sim::Scenario().cores(4).build_soc();
+  soc::Soc& soc = *soc_ptr;
   kernel::KernelConfig config;
   config.horizon = us_to_cycles(12'000.0);
   Kernel rtos(soc, config);

@@ -1,70 +1,67 @@
 // Quickstart: the FlexStep public API in ~60 lines.
 //
-//   1. Build the paper's SoC (Tab. II defaults).
-//   2. Run a workload on core 0 with asynchronous dual-core verification on
-//      core 1 (the paper's DCLS-like one-to-one mode).
-//   3. Corrupt one word of the forwarded verification stream and watch the
-//      checker detect it within microseconds.
+//   1. Describe the experiment with sim::Scenario — the paper's SoC (Tab. II
+//      defaults) running a workload on core 0 with asynchronous dual-core
+//      verification on core 1 (the DCLS-like one-to-one mode).
+//   2. Warm the session up and take a soc::Snapshot.
+//   3. Fork an independent session from the snapshot, corrupt one word of its
+//      forwarded verification stream, and watch the checker detect it within
+//      microseconds — while the pristine sibling finishes unperturbed.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
 #include "common/rng.h"
-#include "soc/soc.h"
-#include "soc/verified_run.h"
-#include "workloads/profile.h"
-#include "workloads/program_builder.h"
+#include "sim/scenario.h"
+#include "soc/snapshot.h"
 
 using namespace flexstep;
 
 int main() {
-  // ---- 1. the SoC ----
-  soc::Soc soc(soc::SocConfig::paper_default(/*cores=*/2));
-  std::printf("%s\n", soc.config().describe().c_str());
+  // ---- 1. the scenario ----
+  sim::Scenario scenario;
+  scenario.workload("swaptions").iterations(400).dual();
+  std::printf("%s\n", scenario.soc_config().describe().c_str());
 
-  // ---- 2. a verified run ----
-  const auto& profile = workloads::find_profile("swaptions");
-  workloads::BuildOptions build;
-  build.iterations_override = 400;
-  const isa::Program program = workloads::build_workload(profile, build);
+  sim::Session session = scenario.build();
 
-  soc::VerifiedExecution exec(soc, soc::VerifiedRunConfig{0, {1}});
-  exec.prepare(program);
+  // ---- 2. warm up and snapshot ----
+  session.advance(100'000);
+  const soc::Snapshot warm = session.snapshot();
+  std::printf("snapshot at %.1f us (simulated): %zu memory pages, %.1f KiB\n\n",
+              cycles_to_us(session.soc().max_cycle()), warm.memory.pages.size(),
+              warm.bytes() / 1024.0);
 
-  // ---- 3. inject one fault into the forwarded data mid-run ----
+  // ---- 3. fork, inject, compare ----
+  sim::Session victim = session.fork(warm);
   Rng rng(2025);
-  bool injected = false;
-  while (exec.step_round()) {
-    if (!injected && soc.core(0).instret() > 100'000) {
-      auto channels = soc.fabric().channels();
-      if (!channels.empty() && !channels.front()->empty()) {
-        injected = channels.front()->inject_fault_at_tail(rng, soc.max_cycle()).has_value();
-        if (injected) {
-          std::printf("fault injected into the DBC stream at %.1f us (simulated)\n",
-                      cycles_to_us(soc.max_cycle()));
-        }
-      }
-    }
-  }
-  const auto stats = exec.stats();
+  victim.channel()->inject_fault_at_tail(rng, victim.soc().max_cycle());
+  std::printf("fault injected into the fork's DBC stream; sibling left clean\n");
 
-  std::printf("\nworkload '%s' finished:\n", profile.name.c_str());
-  std::printf("  instructions        %llu (IPC %.2f)\n",
-              static_cast<unsigned long long>(stats.main_instructions), stats.ipc());
-  std::printf("  checking segments   %llu produced, %llu verified, %llu flagged\n",
-              static_cast<unsigned long long>(stats.segments_produced),
-              static_cast<unsigned long long>(stats.segments_verified),
-              static_cast<unsigned long long>(stats.segments_failed));
+  const auto victim_stats = victim.run();
+  const auto clean_stats = session.run();
 
-  const auto& reporter = soc.fabric().reporter();
-  for (const auto& event : reporter.events()) {
+  std::printf("\nworkload '%s' finished:\n", session.program().name.c_str());
+  std::printf("  clean session      %llu instructions (IPC %.2f), %llu segments verified\n",
+              static_cast<unsigned long long>(clean_stats.main_instructions),
+              clean_stats.ipc(),
+              static_cast<unsigned long long>(clean_stats.segments_verified));
+  std::printf("  faulty fork        %llu segments verified, %llu flagged\n",
+              static_cast<unsigned long long>(victim_stats.segments_verified),
+              static_cast<unsigned long long>(victim_stats.segments_failed));
+
+  for (const auto& event : victim.reporter().events()) {
     if (!event.attributed) continue;
     std::printf("  checker core %u detected the fault (%s) after %.1f us\n",
                 event.checker, fs::detect_kind_name(event.kind),
                 cycles_to_us(event.latency));
   }
-  if (reporter.attributed_detections() == 0) {
+  if (victim.reporter().attributed_detections() == 0) {
     std::printf("  (the flipped bit landed in a dead value — masked)\n");
+  }
+  if (session.reporter().detections() != 0) {
+    std::printf("  ERROR: the clean sibling saw a detection — fork isolation broken\n");
+    return 1;
   }
   return 0;
 }

@@ -20,6 +20,25 @@ BranchPredictor::BranchPredictor(const BranchPredictorConfig& config) : config_(
 
 
 
+void BranchPredictor::save(Snapshot& out) const {
+  out.bht = bht_;
+  out.btb = btb_;
+  out.ras = ras_;
+  out.ras_top = ras_top_;
+  out.btb_tick = btb_tick_;
+}
+
+void BranchPredictor::restore(const Snapshot& snapshot) {
+  FLEX_CHECK_MSG(snapshot.bht.size() == bht_.size() && snapshot.btb.size() == btb_.size() &&
+                     snapshot.ras.size() == ras_.size(),
+                 "branch-predictor snapshot geometry mismatch");
+  bht_ = snapshot.bht;
+  btb_ = snapshot.btb;
+  ras_ = snapshot.ras;
+  ras_top_ = snapshot.ras_top;
+  btb_tick_ = snapshot.btb_tick;
+}
+
 void BranchPredictor::btb_insert(Addr pc, Addr target) {
   ++btb_tick_;
   BtbEntry* victim = &btb_.front();

@@ -19,7 +19,30 @@ struct BranchPredictorConfig {
 
 class BranchPredictor {
  public:
+  struct BtbEntry {
+    Addr pc = 0;
+    Addr target = 0;
+    bool valid = false;
+    u64 lru = 0;
+  };
+
+  /// Complete predictor state (BHT counters, BTB, RAS).
+  struct Snapshot {
+    std::vector<u8> bht;
+    std::vector<BtbEntry> btb;
+    std::vector<Addr> ras;
+    u32 ras_top = 0;
+    u64 btb_tick = 0;
+    std::size_t bytes() const {
+      return bht.size() + btb.size() * sizeof(BtbEntry) + ras.size() * sizeof(Addr);
+    }
+  };
+
   explicit BranchPredictor(const BranchPredictorConfig& config);
+
+  void save(Snapshot& out) const;
+  /// Restore; table sizes must match this predictor's config.
+  void restore(const Snapshot& snapshot);
 
   // The predict/update/lookup probes sit on the batched engine's hot path and
   // are inlined here; the BTB insert (miss path) stays out of line.
@@ -64,13 +87,6 @@ class BranchPredictor {
   const BranchPredictorConfig& config() const { return config_; }
 
  private:
-  struct BtbEntry {
-    Addr pc = 0;
-    Addr target = 0;
-    bool valid = false;
-    u64 lru = 0;
-  };
-
   BranchPredictorConfig config_;
   std::vector<u8> bht_;  ///< 2-bit counters, weakly-taken initial state.
   std::vector<BtbEntry> btb_;

@@ -18,6 +18,22 @@ Cache::Cache(const CacheConfig& config, std::string name)
   ways_.resize(static_cast<std::size_t>(num_sets_) * config.ways);
 }
 
+void Cache::save(Snapshot& out) const {
+  out.ways = ways_;
+  out.tick = tick_;
+  out.hits = hits_;
+  out.misses = misses_;
+}
+
+void Cache::restore(const Snapshot& snapshot) {
+  FLEX_CHECK_MSG(snapshot.ways.size() == ways_.size(),
+                 "cache snapshot geometry mismatch");
+  ways_ = snapshot.ways;
+  tick_ = snapshot.tick;
+  hits_ = snapshot.hits;
+  misses_ = snapshot.misses;
+}
+
 void Cache::fill_miss(Way* base, u64 tag) {
   ++misses_;
   // Victim: first invalid way, otherwise least-recently-used.

@@ -26,7 +26,31 @@ struct CacheConfig {
 
 class Cache {
  public:
+  /// An invalid way carries this tag sentinel instead of a separate flag, so
+  /// one set of 4 ways packs into a single 64 B host cache line. Real tags
+  /// cannot collide with it: a tag is `addr >> (line_shift + set_shift)`, and
+  /// an all-ones value would require addresses beyond any simulated mapping.
+  static constexpr u64 kInvalidTag = ~u64{0};
+
+  struct Way {
+    u64 tag = kInvalidTag;
+    u64 lru = 0;  ///< Higher = more recently used.
+  };
+
+  /// Full tag-array + LRU + statistics state (the data lives in Memory).
+  struct Snapshot {
+    std::vector<Way> ways;
+    u64 tick = 0;
+    u64 hits = 0;
+    u64 misses = 0;
+    std::size_t bytes() const { return ways.size() * sizeof(Way); }
+  };
+
   explicit Cache(const CacheConfig& config, std::string name = {});
+
+  void save(Snapshot& out) const;
+  /// Restore; the geometry (sets × ways) must match this cache's config.
+  void restore(const Snapshot& snapshot);
 
   /// Probe (and fill on miss). Returns true on hit.
   bool access(Addr addr) {
@@ -62,17 +86,6 @@ class Cache {
   const std::string& name() const { return name_; }
 
  private:
-  /// An invalid way carries this tag sentinel instead of a separate flag, so
-  /// one set of 4 ways packs into a single 64 B host cache line. Real tags
-  /// cannot collide with it: a tag is `addr >> (line_shift + set_shift)`, and
-  /// an all-ones value would require addresses beyond any simulated mapping.
-  static constexpr u64 kInvalidTag = ~u64{0};
-
-  struct Way {
-    u64 tag = kInvalidTag;
-    u64 lru = 0;  ///< Higher = more recently used.
-  };
-
   void fill_miss(Way* base, u64 tag);
 
   CacheConfig config_;
@@ -92,6 +105,22 @@ class CacheHierarchy {
  public:
   CacheHierarchy(const CacheConfig& l1i, const CacheConfig& l1d, Cache* shared_l2,
                  Cycle memory_latency);
+
+  /// Private-cache state (the shared L2 is snapshotted by its owner, the SoC).
+  struct Snapshot {
+    Cache::Snapshot l1i;
+    Cache::Snapshot l1d;
+    std::size_t bytes() const { return l1i.bytes() + l1d.bytes(); }
+  };
+
+  void save(Snapshot& out) const {
+    l1i_.save(out.l1i);
+    l1d_.save(out.l1d);
+  }
+  void restore(const Snapshot& snapshot) {
+    l1i_.restore(snapshot.l1i);
+    l1d_.restore(snapshot.l1d);
+  }
 
   /// Instruction fetch probe for the line containing `pc`.
   Cycle fetch(Addr pc) {

@@ -109,6 +109,57 @@ void Core::restore_state(const ArchState& state) {
   image_ = nullptr;  // force image re-lookup
 }
 
+void Core::save(Snapshot& out) const {
+  out.regs = regs_;
+  out.pc = pc_;
+  out.user_mode = user_mode_;
+  out.csr_mepc = csr_mepc_;
+  out.csr_mcause = csr_mcause_;
+  out.csr_mscratch = csr_mscratch_;
+  caches_.save(out.caches);
+  bpred_.save(out.bpred);
+  out.last_fetch_line = last_fetch_line_;
+  out.reservation_addr = reservation_addr_;
+  out.reservation_valid = reservation_valid_;
+  out.cycle = cycle_;
+  out.instret = instret_;
+  out.user_instret = user_instret_;
+  out.stall_cycles = stall_cycles_;
+  out.mispredicts = mispredicts_;
+  out.timer_at = timer_at_;
+  out.timer_armed = timer_armed_;
+  out.swi_pending = swi_pending_;
+  out.suppress_traps = suppress_traps_;
+  out.status = status_;
+}
+
+void Core::restore(const Snapshot& snapshot) {
+  regs_ = snapshot.regs;
+  regs_[0] = 0;
+  pc_ = snapshot.pc;
+  user_mode_ = snapshot.user_mode;
+  csr_mepc_ = snapshot.csr_mepc;
+  csr_mcause_ = snapshot.csr_mcause;
+  csr_mscratch_ = snapshot.csr_mscratch;
+  caches_.restore(snapshot.caches);
+  bpred_.restore(snapshot.bpred);
+  last_fetch_line_ = snapshot.last_fetch_line;
+  reservation_addr_ = snapshot.reservation_addr;
+  reservation_valid_ = snapshot.reservation_valid;
+  cycle_ = snapshot.cycle;
+  instret_ = snapshot.instret;
+  user_instret_ = snapshot.user_instret;
+  stall_cycles_ = snapshot.stall_cycles;
+  mispredicts_ = snapshot.mispredicts;
+  timer_at_ = snapshot.timer_at;
+  timer_armed_ = snapshot.timer_armed;
+  swi_pending_ = snapshot.swi_pending;
+  suppress_traps_ = snapshot.suppress_traps;
+  status_ = snapshot.status;
+  quantum_break_ = false;  // never set between scheduling rounds
+  image_ = nullptr;        // may belong to another SoC's registry; re-lookup
+}
+
 u64 Core::read_csr(u16 csr) const {
   switch (csr) {
     case isa::kCsrMhartid: return id_;

@@ -38,6 +38,47 @@ class Core {
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
 
+  /// Complete per-core state: architectural registers and CSRs, private-cache
+  /// tags, branch-predictor tables, LR/SC reservation, interrupt/timer state,
+  /// clocks and counters. Does NOT include the extension seams (hooks, trap
+  /// handler, memory port) — those are ownership wiring, re-established by
+  /// whoever restores the snapshot (fs::CoreUnit, soc::VerifiedExecution).
+  struct Snapshot {
+    // Architectural state.
+    std::array<u64, 32> regs{};
+    Addr pc = 0;
+    bool user_mode = true;
+    u64 csr_mepc = 0;
+    u64 csr_mcause = 0;
+    u64 csr_mscratch = 0;
+
+    // Microarchitectural state.
+    CacheHierarchy::Snapshot caches;
+    BranchPredictor::Snapshot bpred;
+    Addr last_fetch_line = ~Addr{0};
+    Addr reservation_addr = 0;
+    bool reservation_valid = false;
+
+    // Time & counters.
+    Cycle cycle = 0;
+    u64 instret = 0;
+    u64 user_instret = 0;
+    u64 stall_cycles = 0;
+    u64 mispredicts = 0;
+
+    // Interrupts & status.
+    Cycle timer_at = 0;
+    bool timer_armed = false;
+    bool swi_pending = false;
+    bool suppress_traps = false;
+    Status status = Status::kRunning;
+
+    std::size_t bytes() const { return sizeof(*this) + caches.bytes() + bpred.bytes(); }
+  };
+
+  void save(Snapshot& out) const;
+  void restore(const Snapshot& snapshot);
+
   // ---- execution ----
 
   /// Execute (at most) one instruction; advances the local clock. This is the

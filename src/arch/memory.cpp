@@ -1,8 +1,40 @@
 #include "arch/memory.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace flexstep::arch {
+
+void Memory::save(Snapshot& out) const {
+  out.pages.clear();
+  out.pages.reserve(pages_.size());
+  for (const auto& [id, page] : pages_) out.pages.emplace_back(id, *page);
+  // Id-sorted so a snapshot's layout depends only on the touched pages, not on
+  // the hash map's iteration order.
+  std::sort(out.pages.begin(), out.pages.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+void Memory::restore(const Snapshot& snapshot) {
+  // Drop pages the run materialised after the save; they read as zero in the
+  // saved state and will re-materialise zero-filled on next touch.
+  std::erase_if(pages_, [&](const auto& entry) {
+    const auto it = std::lower_bound(
+        snapshot.pages.begin(), snapshot.pages.end(), entry.first,
+        [](const auto& p, u64 id) { return p.first < id; });
+    return it == snapshot.pages.end() || it->first != entry.first;
+  });
+  for (const auto& [id, contents] : snapshot.pages) {
+    auto it = pages_.find(id);
+    if (it == pages_.end()) {
+      it = pages_.emplace(id, std::make_unique<Page>()).first;
+    }
+    *it->second = contents;
+  }
+  // Cached page pointers may reference erased pages.
+  ptr_cache_.fill(PtrSlot{});
+}
 
 u8* Memory::page_data_slow(Addr addr) {
   const u64 id = addr >> kPageBits;

@@ -15,6 +15,8 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "common/types.h"
@@ -25,10 +27,26 @@ class Memory {
  public:
   static constexpr unsigned kPageBits = 12;
   static constexpr Addr kPageSize = Addr{1} << kPageBits;
+  using Page = std::array<u8, kPageSize>;
 
   Memory() = default;
   Memory(const Memory&) = delete;
   Memory& operator=(const Memory&) = delete;
+
+  /// Resident-page image of the address space: only pages a core ever touched
+  /// are copied (a never-written page reads as zero, so dropping it from the
+  /// snapshot loses nothing), never the full 2^addr space.
+  struct Snapshot {
+    std::vector<std::pair<u64, Page>> pages;  ///< (page id, contents), id-sorted.
+    std::size_t bytes() const { return pages.size() * sizeof(Page); }
+  };
+
+  void save(Snapshot& out) const;
+
+  /// Restore to the exact saved state: snapshot pages are copied back and
+  /// pages materialised after the save are dropped (they were implicitly zero
+  /// at save time, so a restored run re-materialises them zero-filled).
+  void restore(const Snapshot& snapshot);
 
   /// Aligned little-endian accessors; `bytes` in {1,2,4,8}. Accesses that
   /// straddle a page split into two chunk copies.
@@ -67,8 +85,6 @@ class Memory {
   std::size_t resident_pages() const { return pages_.size(); }
 
  private:
-  using Page = std::array<u8, kPageSize>;
-
   /// Direct-mapped page-pointer cache. 16 entries cover a core's code, stack
   /// and a few data streams plus the checker's interleaved pages.
   static constexpr std::size_t kPtrCacheSize = 16;

@@ -1,19 +1,16 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "runtime/parallel.h"
-#include "workloads/program_builder.h"
+#include "sim/scenario.h"
 
 namespace flexstep::fault {
 
 using fs::Channel;
-using fs::ErrorReporter;
-using soc::Soc;
-using soc::VerifiedExecution;
-using soc::VerifiedRunConfig;
 
 std::vector<double> CampaignStats::latencies_us() const {
   std::vector<double> out;
@@ -28,6 +25,7 @@ void CampaignStats::merge(CampaignStats&& shard) {
   injected += shard.injected;
   detected += shard.detected;
   undetected += shard.undetected;
+  total_instructions += shard.total_instructions;
   outcomes.insert(outcomes.end(), shard.outcomes.begin(), shard.outcomes.end());
 }
 
@@ -39,52 +37,92 @@ constexpr u64 kResolvePollStride = 64;
 /// Deterministic pacing jitter added to the warmup and to each inter-fault
 /// gap. Without it every injection lands on the same kResolvePollStride grid
 /// at the same program phase in every shard, which biases which stream-item
-/// kind sits at the channel tail; the serial campaign got its phase diversity
-/// for free from resolution-time drift across hundreds of faults. Odd bounds
-/// so the jitter breaks the 64-instruction poll grid.
+/// kind sits at the channel tail. Odd bounds so the jitter breaks the
+/// 64-instruction poll grid.
 constexpr u64 kWarmupJitter = 4099;
 constexpr u64 kGapJitter = 257;
 
-/// One workload execution hosting a sequence of injections.
-class Session {
- public:
-  Session(const workloads::WorkloadProfile& profile, const soc::SocConfig& soc_config,
-          const CampaignConfig& campaign, u64 seed)
-      : soc_(soc_config), exec_(soc_, VerifiedRunConfig{0, {1}}) {
-    workloads::BuildOptions build;
-    build.seed = seed;
-    // Long-running program so one session hosts many injections.
-    build.iterations_override = campaign.workload_iterations != 0
-                                    ? campaign.workload_iterations
-                                    : profile.iterations * 40;
-    program_ = workloads::build_workload(profile, build);
-    exec_.prepare(program_);
+/// Consecutive sessions allowed to die inside the warmup before the campaign
+/// aborts instead of silently looping on a pathological profile.
+constexpr u32 kMaxWarmupRetries = 16;
+
+/// The shared session shape: one long-running workload execution (so one
+/// baseline hosts many injection points) under dual-core verification.
+sim::Scenario campaign_scenario(const workloads::WorkloadProfile& profile,
+                                const soc::SocConfig& soc_config,
+                                const CampaignConfig& campaign, u64 seed) {
+  sim::Scenario scenario;
+  scenario.workload(profile)
+      .seed(seed)
+      .iterations(campaign.workload_iterations != 0 ? campaign.workload_iterations
+                                                    : profile.iterations * 40)
+      .soc(soc_config)
+      .main_core(0)
+      .checkers({1});
+  return scenario;
+}
+
+/// Corrupt the tail of `victim`'s DBC stream and run until the fault resolves:
+/// detected (attributed reporter event) or masked (the corrupted item's
+/// segment verified clean, or the run drained). The victim is disposable;
+/// the caller never advances it again.
+FaultOutcome run_injection(sim::Session& victim, Rng& rng) {
+  Channel* ch = victim.channel();
+  FLEX_CHECK(ch != nullptr);
+  // Corrupt at the forwarding path (the most recently produced item), as the
+  // paper's campaign does — latency then spans the full buffering and replay
+  // pipeline. The baseline guaranteed a queued item before materialising us.
+  const auto fault = ch->inject_fault_at_tail(rng, victim.soc().max_cycle());
+  FLEX_CHECK_MSG(fault.has_value(), "injection point had no queued stream item");
+  const std::size_t events_before = victim.reporter().events().size();
+
+  FaultOutcome outcome;
+  outcome.target_kind = fault->item_kind;
+  bool resolved = false;
+  while (!resolved) {
+    // Resolution conditions are sticky (reporter events accumulate, pop
+    // sequence numbers are monotone), so the quantum engine may advance a
+    // short burst between probes without missing an outcome; detection
+    // latency itself is timestamped by the reporter, not by this poll.
+    const bool alive = victim.advance(kResolvePollStride);
+    const auto& events = victim.reporter().events();
+    for (std::size_t i = events_before; i < events.size(); ++i) {
+      if (events[i].attributed) {
+        outcome.detected = true;
+        outcome.latency_us = cycles_to_us(events[i].latency);
+        outcome.detect_kind = events[i].kind;
+        resolved = true;
+        break;
+      }
+    }
+    if (!resolved && !ch->fault_pending()) {
+      // Cleared without an attributed event cannot happen (only the reporter
+      // clears); guard anyway.
+      resolved = true;
+    }
+    if (!resolved && ch->fault_pending() &&
+        ch->pending_fault().segment_end_seq != fs::kUnresolvedSegmentEnd &&
+        ch->last_popped_seq() > ch->pending_fault().segment_end_seq) {
+      // The segment containing the corruption verified clean: masked.
+      ch->clear_fault();
+      resolved = true;
+    }
+    if (!alive) {
+      // Execution drained with the fault still pending: if the stream is
+      // fully consumed, the fault was masked.
+      if (ch->fault_pending()) ch->clear_fault();
+      resolved = true;
+    }
   }
+  return outcome;
+}
 
-  /// Advances the co-sim by ~`rounds` retired instructions (one stepwise
-  /// round retired at most one instruction, so the campaign's warmup/gap knobs
-  /// keep their meaning) using the quantum engine. Returns false if execution
-  /// finished.
-  bool advance(u64 rounds) { return exec_.advance(rounds); }
-
-  Channel* channel() {
-    auto channels = soc_.fabric().channels();
-    return channels.empty() ? nullptr : channels.front();
-  }
-
-  ErrorReporter& reporter() { return soc_.fabric().reporter(); }
-  Soc& soc() { return soc_; }
-  VerifiedExecution& exec() { return exec_; }
-
- private:
-  Soc soc_;
-  isa::Program program_;
-  VerifiedExecution exec_;
-};
-
-/// One shard: a worker-owned Session sequence hosting `target_faults`
-/// injections. Everything random derives from (campaign.seed, shard_index),
-/// so a shard's outcome stream is independent of which thread runs it.
+/// One shard: a clean baseline session walks warmup + inter-injection gaps;
+/// every injection runs in a disposable session materialised at the baseline's
+/// current state — restored from a snapshot (kSnapshotFork) or re-executed
+/// from scratch (kWarmupReexecution). Everything random derives from
+/// (campaign.seed, shard_index), so a shard's outcome stream is independent
+/// of which thread runs it — and of the materialisation mode.
 CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
                                  const CampaignConfig& campaign, u32 shard_index,
@@ -95,81 +133,68 @@ CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
   Rng pace_rng = shard_rng.split();          // warmup/gap pacing jitter
   u64 session_seed = shard_rng.next_u64();   // workload-build seeds
 
+  const bool fork_mode = campaign.mode == CampaignMode::kSnapshotFork;
+  u32 failed_warmups = 0;
+
   while (stats.injected < target_faults) {
-    Session session(profile, soc_config, campaign, ++session_seed);
-    if (!session.advance(campaign.warmup_rounds + pace_rng.next_below(kWarmupJitter))) {
-      continue;  // too short; retry
+    const sim::Scenario scenario =
+        campaign_scenario(profile, soc_config, campaign, ++session_seed);
+    sim::Session baseline = scenario.build();
+    // Every baseline advance is recorded so the re-execution mode can replay
+    // the exact prefix; the fork mode snapshots its end state instead.
+    std::vector<u64> schedule;
+    auto baseline_advance = [&](u64 rounds) {
+      schedule.push_back(rounds);
+      return baseline.advance(rounds);
+    };
+
+    if (!baseline_advance(campaign.warmup_rounds +
+                          pace_rng.next_below(kWarmupJitter))) {
+      stats.total_instructions += baseline.total_instret();
+      ++failed_warmups;
+      FLEX_CHECK_MSG(failed_warmups < kMaxWarmupRetries,
+                     "fault campaign: workload exhausts before warmup_rounds "
+                     "completes (profile too short) — raise workload_iterations "
+                     "or lower warmup_rounds");
+      continue;  // next seed builds a fresh (differently shaped) workload
     }
+    failed_warmups = 0;
 
-    while (stats.injected < target_faults) {
-      Channel* ch = session.channel();
+    bool session_alive = true;
+    while (session_alive && stats.injected < target_faults) {
+      // The injection corrupts the most recently forwarded item; make sure
+      // one is queued at the baseline's injection point.
+      Channel* ch = baseline.channel();
       if (ch == nullptr) break;
-
-      // Corrupt at the forwarding path (the most recently produced item), as
-      // the paper's campaign does — latency then spans the full buffering and
-      // replay pipeline.
-      const auto fault = ch->inject_fault_at_tail(rng, session.soc().max_cycle());
-      if (!fault.has_value()) {
-        // Queue momentarily empty — let the main core produce more stream.
-        if (!session.advance(512)) break;
-        continue;
+      while (ch->empty()) {
+        if (!(session_alive = baseline_advance(512))) break;
       }
+      if (!session_alive) break;
+
+      // Materialise the disposable pre-injection session.
+      sim::Session victim = fork_mode ? baseline.fork() : scenario.build();
+      u64 restored_instructions = 0;
+      if (fork_mode) {
+        restored_instructions = victim.total_instret();  // restored, not executed
+      } else {
+        for (u64 rounds : schedule) victim.advance(rounds);
+      }
+
+      const FaultOutcome outcome = run_injection(victim, rng);
       ++stats.injected;
-      const std::size_t events_before = session.reporter().events().size();
-
-      // Run until the fault resolves: detected (attributed event) or the
-      // checker consumed past the fault's segment without complaint.
-      FaultOutcome outcome;
-      outcome.target_kind = fault->item_kind;
-      bool resolved = false;
-      bool session_alive = true;
-      while (!resolved) {
-        // Resolution conditions are sticky (reporter events accumulate, pop
-        // sequence numbers are monotone), so the quantum engine may advance a
-        // short burst between probes without missing an outcome; detection
-        // latency itself is timestamped by the reporter, not by this poll.
-        session_alive = session.exec().advance(kResolvePollStride);
-        const auto& events = session.reporter().events();
-        for (std::size_t i = events_before; i < events.size(); ++i) {
-          if (events[i].attributed) {
-            outcome.detected = true;
-            outcome.latency_us = cycles_to_us(events[i].latency);
-            outcome.detect_kind = events[i].kind;
-            resolved = true;
-            break;
-          }
-        }
-        if (!resolved && !ch->fault_pending()) {
-          // Cleared without an attributed event cannot happen (only the
-          // reporter clears); guard anyway.
-          resolved = true;
-        }
-        if (!resolved && ch->fault_pending() &&
-            ch->pending_fault().segment_end_seq != fs::kUnresolvedSegmentEnd &&
-            ch->last_popped_seq() > ch->pending_fault().segment_end_seq) {
-          // The segment containing the corruption verified clean: masked.
-          ch->clear_fault();
-          resolved = true;
-        }
-        if (!session_alive) {
-          // Execution drained with the fault still pending: if the stream is
-          // fully consumed, the fault was masked.
-          if (ch->fault_pending()) ch->clear_fault();
-          resolved = true;
-        }
-      }
       if (outcome.detected) {
         ++stats.detected;
       } else {
         ++stats.undetected;
       }
       stats.outcomes.push_back(outcome);
+      stats.total_instructions += victim.total_instret() - restored_instructions;
 
-      if (!session_alive ||
-          !session.advance(campaign.gap_rounds + pace_rng.next_below(kGapJitter))) {
-        break;
-      }
+      // Advance the clean baseline to the next injection point.
+      session_alive = baseline_advance(campaign.gap_rounds +
+                                       pace_rng.next_below(kGapJitter));
     }
+    stats.total_instructions += baseline.total_instret();
   }
   return stats;
 }

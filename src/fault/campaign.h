@@ -22,14 +22,33 @@ namespace flexstep::fault {
 /// depend on `shards`, never on how many threads execute them.
 inline constexpr u32 kDefaultCampaignShards = 8;
 
+/// How each injection's pre-fault state is materialised. Every injection runs
+/// in a disposable session so its perturbations (checker divergence, reporter
+/// events, timing drift) never contaminate the next injection's starting
+/// state; the two modes differ only in how that session is produced and are
+/// bit-identical outcome-for-outcome (tests/test_sim.cpp holds them to it).
+enum class CampaignMode : u8 {
+  /// Warm the baseline once, soc::Snapshot it, and fork every injection from
+  /// the snapshot (sim::Session::fork). Executes only the baseline prefix
+  /// once plus each injection's resolution tail — the checkpointing-mode
+  /// campaign structure of CFA/gem5-class frameworks.
+  kSnapshotFork,
+  /// Reference: rebuild the session and re-execute the whole warmup + gap
+  /// prefix for every injection. Orders of magnitude more simulated
+  /// instructions at paper-scale warmups; kept as the parity baseline the
+  /// snapshot path is verified against (micro_benchmarks --snapshot).
+  kWarmupReexecution,
+};
+
 struct CampaignConfig {
   u32 target_faults = 2000;     ///< Injections to perform (summed over shards).
-  u64 warmup_rounds = 50'000;   ///< Co-sim steps before the first injection.
-  u64 gap_rounds = 3'000;       ///< Steps between fault resolution and next injection.
+  u64 warmup_rounds = 50'000;   ///< Retired instructions before the first injection.
+  u64 gap_rounds = 3'000;       ///< Baseline advance between injection points.
   u64 seed = 0xF417;
   u32 workload_iterations = 0;  ///< Override profile iterations (0 = default).
   u32 shards = kDefaultCampaignShards;  ///< Independent campaign shards (>= 1).
   u32 threads = 0;  ///< Worker threads (0 = FLEX_THREADS / hardware_concurrency).
+  CampaignMode mode = CampaignMode::kSnapshotFork;
 };
 
 struct FaultOutcome {
@@ -45,6 +64,12 @@ struct CampaignStats {
   u32 detected = 0;
   u32 undetected = 0;  ///< Masked faults (e.g. flip in a dead SCP register).
 
+  /// Instructions actually executed on the host across every session (baseline
+  /// prefixes + per-injection work). A restored snapshot contributes nothing;
+  /// a re-executed prefix contributes in full — this is the counter the
+  /// snapshot-fork speedup claim is asserted against.
+  u64 total_instructions = 0;
+
   double coverage() const {
     return injected == 0 ? 0.0 : static_cast<double>(detected) / injected;
   }
@@ -55,12 +80,14 @@ struct CampaignStats {
   void merge(CampaignStats&& shard);
 };
 
-/// Run a campaign on `profile` under dual-core (or the given) verification.
-/// The campaign is split into `campaign.shards` independent shards — each a
-/// worker-owned Session sequence hosting its share of `target_faults`
-/// injections, seeded from the shard index via runtime::stream_rng — executed
-/// on the parallel runtime and merged in shard order. Results are
-/// bit-identical for a given (seed, shards) at any thread count.
+/// Run a campaign on `profile` under dual-core verification. The campaign is
+/// split into `campaign.shards` independent shards — each a worker-owned
+/// sim::Session sequence hosting its share of `target_faults` injections,
+/// seeded from the shard index via runtime::stream_rng — executed on the
+/// parallel runtime and merged in shard order. Each shard keeps a clean
+/// baseline session and materialises every injection in a disposable session
+/// per `campaign.mode` (snapshot-fork by default). Results are bit-identical
+/// for a given (seed, shards, mode-independent) at any thread count.
 CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
                                  const CampaignConfig& campaign);

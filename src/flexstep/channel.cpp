@@ -122,6 +122,40 @@ std::optional<InjectedFault> Channel::corrupt_item(std::size_t index, Rng& rng,
   return fault;
 }
 
+void Channel::save(Snapshot& out) const {
+  out.main_id = main_id_;
+  out.checker_id = checker_id_;
+  out.items.clear();
+  out.items.reserve(items_.size());
+  for (std::size_t i = 0; i < items_.size(); ++i) out.items.push_back(items_[i]);
+  out.segments.clear();
+  out.segments.reserve(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) out.segments.push_back(segments_[i]);
+  out.next_seq = next_seq_;
+  out.last_popped_seq = last_popped_seq_;
+  out.last_pop_cycle = last_pop_cycle_;
+  out.closed = closed_;
+  out.max_occupancy = max_occupancy_;
+  out.backpressure_events = backpressure_events_;
+  out.fault = fault_;
+}
+
+void Channel::restore(const Snapshot& snapshot) {
+  FLEX_CHECK_MSG(snapshot.main_id == main_id_ && snapshot.checker_id == checker_id_,
+                 "channel snapshot endpoint mismatch");
+  items_.clear();
+  for (const StreamItem& item : snapshot.items) items_.push_back(item);
+  segments_.clear();
+  for (const SegmentMeta& meta : snapshot.segments) segments_.push_back(meta);
+  next_seq_ = snapshot.next_seq;
+  last_popped_seq_ = snapshot.last_popped_seq;
+  last_pop_cycle_ = snapshot.last_pop_cycle;
+  closed_ = snapshot.closed;
+  max_occupancy_ = snapshot.max_occupancy;
+  backpressure_events_ = snapshot.backpressure_events;
+  fault_ = snapshot.fault;
+}
+
 std::optional<InjectedFault> Channel::inject_random_fault(Rng& rng, Cycle now) {
   if (items_.empty() || fault_.has_value()) return std::nullopt;
   const auto index = static_cast<std::size_t>(rng.next_below(items_.size()));

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "common/ring.h"
 #include "common/rng.h"
@@ -40,6 +41,31 @@ struct InjectedFault {
 
 class Channel {
  public:
+  struct SegmentMeta {
+    u64 inst_count = 0;
+    Cycle ready_at = 0;     ///< SegmentEnd visible_at.
+    u64 end_seq = 0;
+  };
+
+  /// Complete channel state, including the routing endpoints so a Fabric can
+  /// recreate the channel object itself from the snapshot.
+  struct Snapshot {
+    CoreId main_id = 0;
+    CoreId checker_id = 0;
+    std::vector<StreamItem> items;
+    std::vector<SegmentMeta> segments;
+    u64 next_seq = 0;
+    u64 last_popped_seq = 0;
+    Cycle last_pop_cycle = 0;
+    bool closed = false;
+    u64 max_occupancy = 0;
+    u64 backpressure_events = 0;
+    std::optional<InjectedFault> fault;
+    std::size_t bytes() const {
+      return items.size() * sizeof(StreamItem) + segments.size() * sizeof(SegmentMeta);
+    }
+  };
+
   Channel(CoreId main_id, CoreId checker_id, const FlexStepConfig& config)
       : config_(config),
         main_id_(main_id),
@@ -117,13 +143,11 @@ class Channel {
   const InjectedFault& pending_fault() const { return *fault_; }
   void clear_fault() { fault_.reset(); }
 
- private:
-  struct SegmentMeta {
-    u64 inst_count = 0;
-    Cycle ready_at = 0;     ///< SegmentEnd visible_at.
-    u64 end_seq = 0;
-  };
+  // ---- state capture ----
+  void save(Snapshot& out) const;
+  void restore(const Snapshot& snapshot);
 
+ private:
   StreamItem& push_raw(StreamItem::Kind kind, Cycle now);
   std::optional<InjectedFault> corrupt_item(std::size_t index, Rng& rng, Cycle now);
 

@@ -150,6 +150,62 @@ CoreUnit::CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& report
 
 CoreUnit::~CoreUnit() = default;
 
+void CoreUnit::save(Snapshot& out) const {
+  out.checking_enabled = checking_enabled_;
+  out.segment_active = segment_active_;
+  out.segment_ic = segment_ic_;
+  out.checking_budget = checking_budget_;
+  out.segment_start_pc = segment_start_pc_;
+  out.checker_busy = checker_busy_;
+  out.replay_active = replay_active_;
+  out.replay_suspended = replay_suspended_;
+  out.have_thread_ctx = have_thread_ctx_;
+  out.ass_thread_ctx = ass_thread_ctx_;
+  out.pending_scp = pending_scp_;
+  out.expected_ic = expected_ic_;
+  out.replayed = replayed_;
+  out.segment_result_ok = segment_result_ok_;
+  out.segment_verify_failed = segment_verify_failed_;
+  out.segment_abort = segment_abort_;
+  out.segments_produced = segments_produced_;
+  out.segments_verified = segments_verified_;
+  out.segments_failed = segments_failed_;
+  out.checkpoints_captured = checkpoints_captured_;
+  out.mem_entries_logged = mem_entries_logged_;
+  out.replayed_total = replayed_total_;
+}
+
+void CoreUnit::restore(const Snapshot& snapshot) {
+  checking_enabled_ = snapshot.checking_enabled;
+  segment_active_ = snapshot.segment_active;
+  segment_ic_ = snapshot.segment_ic;
+  checking_budget_ = snapshot.checking_budget;
+  segment_start_pc_ = snapshot.segment_start_pc;
+  checker_busy_ = snapshot.checker_busy;
+  replay_active_ = snapshot.replay_active;
+  replay_suspended_ = snapshot.replay_suspended;
+  have_thread_ctx_ = snapshot.have_thread_ctx;
+  ass_thread_ctx_ = snapshot.ass_thread_ctx;
+  pending_scp_ = snapshot.pending_scp;
+  expected_ic_ = snapshot.expected_ic;
+  replayed_ = snapshot.replayed;
+  segment_result_ok_ = snapshot.segment_result_ok;
+  segment_verify_failed_ = snapshot.segment_verify_failed;
+  segment_abort_ = snapshot.segment_abort;
+  segments_produced_ = snapshot.segments_produced;
+  segments_verified_ = snapshot.segments_verified;
+  segments_failed_ = snapshot.segments_failed;
+  checkpoints_captured_ = snapshot.checkpoints_captured;
+  mem_entries_logged_ = snapshot.mem_entries_logged;
+  replayed_total_ = snapshot.replayed_total;
+  refresh_passive();
+  // The core's data-memory port is not part of Core::Snapshot (it is a seam
+  // pointer into this unit); re-derive it from the replay state.
+  core_.set_mem_port(replay_active_ ? static_cast<arch::MemPort*>(replay_port_.get())
+                                    : nullptr);
+  core_.set_trap_suppression(replay_active_);
+}
+
 // ---------------------------------------------------------------------------
 // Main-core (producer) side
 // ---------------------------------------------------------------------------

@@ -111,6 +111,44 @@ class CoreUnit final : public arch::CoreHooks {
   using SegmentDoneFn = std::function<void(CoreUnit&, bool ok)>;
   void set_on_segment_done(SegmentDoneFn fn) { on_segment_done_ = std::move(fn); }
 
+  /// Complete unit state minus the channel wiring (out/in channel pointers are
+  /// Fabric topology, captured as indices by fs::Fabric::Snapshot) and the
+  /// on_segment_done callback (driver ownership, re-installed by the restoring
+  /// driver).
+  struct Snapshot {
+    // Producer side.
+    bool checking_enabled = false;
+    bool segment_active = false;
+    u64 segment_ic = 0;
+    u64 checking_budget = 0;
+    Addr segment_start_pc = 0;
+    // Checker side.
+    bool checker_busy = false;
+    bool replay_active = false;
+    bool replay_suspended = false;
+    bool have_thread_ctx = false;
+    arch::ArchState ass_thread_ctx{};
+    arch::ArchState pending_scp{};
+    u64 expected_ic = 0;
+    u64 replayed = 0;
+    bool segment_result_ok = true;
+    bool segment_verify_failed = false;
+    bool segment_abort = false;
+    // Statistics.
+    u64 segments_produced = 0;
+    u64 segments_verified = 0;
+    u64 segments_failed = 0;
+    u64 checkpoints_captured = 0;
+    u64 mem_entries_logged = 0;
+    u64 replayed_total = 0;
+  };
+
+  void save(Snapshot& out) const;
+  /// Restores the unit and re-establishes the core-side wiring the state
+  /// implies: replay memory port + trap suppression while a replay is active,
+  /// the default cache port otherwise, and the hooks passivity flag.
+  void restore(const Snapshot& snapshot);
+
   /// Fetch fault while replaying (corrupted SCP PC): report + abandon. Called
   /// by the trap handler that owns the checker core.
   void on_replay_fetch_fault();

@@ -59,6 +59,20 @@ class ErrorReporter {
     attributed_ = 0;
   }
 
+  // ---- state capture ----
+  struct Snapshot {
+    std::vector<DetectionEvent> events;
+    std::size_t attributed = 0;
+  };
+  void save(Snapshot& out) const {
+    out.events = events_;
+    out.attributed = attributed_;
+  }
+  void restore(const Snapshot& snapshot) {
+    events_ = snapshot.events;
+    attributed_ = snapshot.attributed;
+  }
+
  private:
   std::vector<DetectionEvent> events_;
   std::size_t attributed_ = 0;

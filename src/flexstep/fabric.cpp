@@ -68,6 +68,83 @@ void Fabric::pump_assignments() {
   }
 }
 
+std::size_t Fabric::Snapshot::bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& ch : channels) total += ch.bytes();
+  total += units.size() * sizeof(CoreUnit::Snapshot);
+  total += reporter.events.size() * sizeof(DetectionEvent);
+  return total;
+}
+
+void Fabric::save(Snapshot& out) const {
+  out.main_mask = global_.main_mask();
+  out.checker_mask = global_.checker_mask();
+  reporter_.save(out.reporter);
+
+  // Channel index map (stable: channels_ order is creation order).
+  auto index_of = [&](const Channel* ch) -> std::size_t {
+    for (std::size_t i = 0; i < channels_.size(); ++i) {
+      if (channels_[i].get() == ch) return i;
+    }
+    FLEX_CHECK_MSG(false, "channel not owned by this fabric");
+    return 0;
+  };
+
+  out.channels.resize(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) channels_[i]->save(out.channels[i]);
+
+  out.units.resize(units_.size());
+  out.out_channels.assign(units_.size(), {});
+  out.in_channel.assign(units_.size(), 0);
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    units_[u]->save(out.units[u]);
+    for (const Channel* ch : units_[u]->out_channels()) {
+      out.out_channels[u].push_back(index_of(ch));
+    }
+    if (units_[u]->in_channel() != nullptr) {
+      out.in_channel[u] = index_of(units_[u]->in_channel()) + 1;
+    }
+  }
+
+  out.waitlists.assign(waitlists_.size(), {});
+  for (std::size_t w = 0; w < waitlists_.size(); ++w) {
+    for (const Channel* ch : waitlists_[w]) out.waitlists[w].push_back(index_of(ch));
+  }
+}
+
+void Fabric::restore(const Snapshot& snapshot) {
+  FLEX_CHECK_MSG(snapshot.units.size() == units_.size(),
+                 "fabric snapshot core-count mismatch");
+  global_.configure(snapshot.main_mask, snapshot.checker_mask);
+  reporter_.restore(snapshot.reporter);
+
+  channels_.clear();
+  channels_.reserve(snapshot.channels.size());
+  for (const auto& ch_snap : snapshot.channels) {
+    channels_.push_back(
+        std::make_unique<Channel>(ch_snap.main_id, ch_snap.checker_id, config_));
+    channels_.back()->restore(ch_snap);
+  }
+
+  for (std::size_t u = 0; u < units_.size(); ++u) {
+    units_[u]->clear_out_channels();
+    for (std::size_t index : snapshot.out_channels[u]) {
+      units_[u]->add_out_channel(channels_.at(index).get());
+    }
+    units_[u]->set_in_channel(snapshot.in_channel[u] == 0
+                                  ? nullptr
+                                  : channels_.at(snapshot.in_channel[u] - 1).get());
+    units_[u]->restore(snapshot.units[u]);
+  }
+
+  for (std::size_t w = 0; w < waitlists_.size(); ++w) {
+    waitlists_[w].clear();
+    for (std::size_t index : snapshot.waitlists[w]) {
+      waitlists_[w].push_back(channels_.at(index).get());
+    }
+  }
+}
+
 std::vector<Channel*> Fabric::channels() const {
   std::vector<Channel*> out;
   out.reserve(channels_.size());

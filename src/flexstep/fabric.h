@@ -57,6 +57,30 @@ class Fabric final : public InterconnectControl {
   /// All live channels (diagnostics / fault-injection targeting).
   std::vector<Channel*> channels() const;
 
+  // ---- state capture ----
+
+  /// Fabric topology + state: global registers, error reporter, every channel
+  /// (content + endpoints), every unit, and the wiring between them encoded as
+  /// channel indices so restore() can rebuild the pointer graph — including
+  /// into a freshly constructed SoC (Session::fork).
+  struct Snapshot {
+    u64 main_mask = 0;
+    u64 checker_mask = 0;
+    ErrorReporter::Snapshot reporter;
+    std::vector<Channel::Snapshot> channels;
+    std::vector<CoreUnit::Snapshot> units;
+    std::vector<std::vector<std::size_t>> out_channels;  ///< Per unit: channel indices.
+    std::vector<std::size_t> in_channel;   ///< Per unit: index + 1 (0 = none).
+    std::vector<std::vector<std::size_t>> waitlists;     ///< Per checker: channel indices.
+    std::size_t bytes() const;
+  };
+
+  void save(Snapshot& out) const;
+  /// Restore; the unit count must match (same SocConfig). Channels are
+  /// recreated from scratch, so any Channel* held across a restore dangles —
+  /// re-fetch through channels()/unit wiring.
+  void restore(const Snapshot& snapshot);
+
  private:
   Channel* find_open_channel(CoreId main_id, CoreId checker_id);
 

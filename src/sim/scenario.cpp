@@ -1,0 +1,204 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace flexstep::sim {
+
+// ---------------------------------------------------------------------------
+// Scenario
+// ---------------------------------------------------------------------------
+
+Scenario& Scenario::workload(const std::string& profile_name) {
+  profile_ = workloads::find_profile(profile_name);
+  return *this;
+}
+
+Scenario& Scenario::workload(const workloads::WorkloadProfile& profile) {
+  profile_ = profile;
+  return *this;
+}
+
+Scenario& Scenario::program(isa::Program program) {
+  program_ = std::move(program);
+  return *this;
+}
+
+Scenario& Scenario::seed(u64 seed) {
+  build_.seed = seed;
+  return *this;
+}
+
+Scenario& Scenario::iterations(u32 iterations) {
+  build_.iterations_override = iterations;
+  duration_us_.reset();
+  return *this;
+}
+
+Scenario& Scenario::duration_us(double us) {
+  duration_us_ = us;
+  return *this;
+}
+
+Scenario& Scenario::code_base(Addr base) {
+  build_.code_base = base;
+  return *this;
+}
+
+Scenario& Scenario::data_base(Addr base) {
+  build_.data_base = base;
+  return *this;
+}
+
+Scenario& Scenario::cores(u32 count) {
+  cores_ = count;
+  if (soc_.has_value()) soc_->num_cores = count;
+  return *this;
+}
+
+Scenario& Scenario::soc(const soc::SocConfig& config) {
+  soc_ = config;
+  return *this;
+}
+
+Scenario& Scenario::segment_limit(u32 limit) {
+  segment_limit_ = limit;
+  return *this;
+}
+
+Scenario& Scenario::channel_capacity(u64 entries) {
+  channel_capacity_ = entries;
+  return *this;
+}
+
+Scenario& Scenario::main_core(CoreId id) {
+  run_.main_core = id;
+  return *this;
+}
+
+Scenario& Scenario::checkers(std::vector<CoreId> ids) {
+  run_.checkers = std::move(ids);
+  return *this;
+}
+
+Scenario& Scenario::plain() { return checkers({}); }
+
+Scenario& Scenario::dual() {
+  return checkers({static_cast<CoreId>(run_.main_core + 1)});
+}
+
+Scenario& Scenario::triple() {
+  return checkers({static_cast<CoreId>(run_.main_core + 1),
+                   static_cast<CoreId>(run_.main_core + 2)});
+}
+
+Scenario& Scenario::engine(soc::Engine engine) {
+  run_.engine = engine;
+  return *this;
+}
+
+Scenario& Scenario::os_ticks(bool on) {
+  run_.os_ticks = on;
+  return *this;
+}
+
+Scenario& Scenario::tick(Cycle period, Cycle cost) {
+  run_.os_ticks = true;
+  run_.tick_period = period;
+  run_.tick_cost = cost;
+  return *this;
+}
+
+Scenario& Scenario::ecall_cost(Cycle cycles) {
+  run_.ecall_cost = cycles;
+  return *this;
+}
+
+Scenario& Scenario::max_instructions(u64 cap) {
+  run_.max_instructions = cap;
+  return *this;
+}
+
+soc::SocConfig Scenario::soc_config() const {
+  soc::SocConfig config;
+  if (soc_.has_value()) {
+    config = *soc_;
+  } else {
+    u32 cores = cores_.value_or(0);
+    if (cores == 0) {
+      // Auto-size: the highest core the topology names, plus one.
+      CoreId highest = run_.main_core;
+      for (CoreId id : run_.checkers) highest = std::max(highest, id);
+      cores = static_cast<u32>(highest) + 1;
+    }
+    config = soc::SocConfig::paper_default(cores);
+  }
+  // FlexStep knob overrides apply at resolution time, so knob and topology
+  // calls compose in any order.
+  if (segment_limit_.has_value()) config.flexstep.segment_limit = *segment_limit_;
+  if (channel_capacity_.has_value()) {
+    config.flexstep.channel_capacity = *channel_capacity_;
+  }
+  return config;
+}
+
+soc::VerifiedRunConfig Scenario::run_config() const { return run_; }
+
+isa::Program Scenario::build_program() const {
+  if (program_.has_value()) return *program_;
+  FLEX_CHECK_MSG(profile_.has_value(),
+                 "Scenario needs a workload() profile or an explicit program()");
+  workloads::BuildOptions build = build_;
+  if (duration_us_.has_value()) {
+    // ~2.3 cycles/instruction on the paper core; size the loop count so one
+    // plain execution spans roughly the requested simulated time.
+    build.iterations_override = std::max<u32>(
+        1, static_cast<u32>(*duration_us_ * kCyclesPerUs / 2.3 /
+                            profile_->body_instructions));
+  }
+  return workloads::build_workload(*profile_, build);
+}
+
+std::unique_ptr<soc::Soc> Scenario::build_soc() const {
+  return std::make_unique<soc::Soc>(soc_config());
+}
+
+Session Scenario::build() const { return Session(*this, /*prepare=*/true); }
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Session::Session(const Scenario& scenario, bool prepare)
+    : Session(scenario, scenario.build_program(), prepare) {}
+
+Session::Session(const Scenario& scenario, isa::Program program, bool prepare)
+    : scenario_(scenario), program_(std::move(program)) {
+  const soc::SocConfig soc_config = scenario_.soc_config();
+  const soc::VerifiedRunConfig run_config = scenario_.run_config();
+  FLEX_CHECK_MSG(run_config.main_core < soc_config.num_cores,
+                 "scenario main core outside the SoC");
+  soc_ = std::make_unique<soc::Soc>(soc_config);
+  exec_ = std::make_unique<soc::VerifiedExecution>(*soc_, run_config);
+  if (prepare) {
+    exec_->prepare(program_);
+  } else {
+    // Fork path: register the program image now; the caller restores the
+    // snapshot (which contains the prepared state) on top.
+    soc_->load_program(program_);
+  }
+}
+
+fs::Channel* Session::channel() {
+  auto channels = soc_->fabric().channels();
+  return channels.empty() ? nullptr : channels.front();
+}
+
+Session Session::fork(const soc::Snapshot& snapshot) const {
+  Session child(scenario_, program_, /*prepare=*/false);
+  child.exec_->restore(snapshot);
+  return child;
+}
+
+}  // namespace flexstep::sim

@@ -1,0 +1,175 @@
+// One experiment facade for the whole repository.
+//
+// Every driver used to hand-assemble the same stack — Soc + VerifiedRunConfig
+// + workloads::build_workload + VerifiedExecution::prepare. sim::Scenario is
+// the single construction path: a fluent description of the experiment
+// (workload + build seed, main/checker topology, engine, OS-tick model,
+// instruction caps) that produces a sim::Session owning the Soc / program /
+// VerifiedExecution triple, prepared and ready to run.
+//
+// Sessions are also the unit of state capture: Session::snapshot() captures
+// the full SoC + driver state (soc::Snapshot), Session::restore() rewinds
+// this session to it bit-exactly, and Session::fork() clones an independent
+// warmed session from it — the primitive the snapshot-fork fault campaigns
+// are built on (fault/campaign.cpp).
+//
+//   auto session = sim::Scenario()
+//                      .workload("swaptions").iterations(400)
+//                      .dual()
+//                      .build();
+//   session.advance(100'000);
+//   const soc::Snapshot warm = session.snapshot();
+//   sim::Session probe = session.fork(warm);   // independent clone
+//
+// Determinism contract: a Scenario describes a closed system. Two sessions
+// built from equal Scenarios evolve bit-identically; a forked (or restored)
+// session evolves bit-identically to the session that took the snapshot.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "soc/snapshot.h"
+#include "soc/soc.h"
+#include "soc/verified_run.h"
+#include "workloads/profile.h"
+#include "workloads/program_builder.h"
+
+namespace flexstep::sim {
+
+class Session;
+
+class Scenario {
+ public:
+  Scenario() = default;
+
+  // ---- workload (what the main core runs) ----
+
+  /// Workload by profile name (looked up across the Parsec/SPECint suites).
+  Scenario& workload(const std::string& profile_name);
+  Scenario& workload(const workloads::WorkloadProfile& profile);
+  /// Use this exact program instead of generating one (nZDC transforms,
+  /// hand-assembled tests). Overrides the workload/seed/iterations knobs.
+  Scenario& program(isa::Program program);
+  /// Workload generator seed (default 1).
+  Scenario& seed(u64 seed);
+  /// Override the profile's loop iterations (0 = profile default).
+  Scenario& iterations(u32 iterations);
+  /// Size iterations for ~`us` of simulated single-core time instead.
+  Scenario& duration_us(double us);
+  Scenario& code_base(Addr base);
+  Scenario& data_base(Addr base);
+
+  // ---- platform ----
+
+  /// Core count (default: auto — highest core named by the topology + 1).
+  Scenario& cores(u32 count);
+  /// Full SocConfig override (later cores() calls edit it).
+  Scenario& soc(const soc::SocConfig& config);
+  /// FlexStep knob overrides, applied on top of the resolved SocConfig at
+  /// build time — composable with soc()/cores()/topology in any order.
+  Scenario& segment_limit(u32 limit);
+  Scenario& channel_capacity(u64 entries);
+
+  // ---- verification topology ----
+
+  Scenario& main_core(CoreId id);
+  Scenario& checkers(std::vector<CoreId> ids);
+  /// Convenience topologies relative to main_core: no checker, one, two.
+  Scenario& plain();
+  Scenario& dual();
+  Scenario& triple();
+
+  // ---- co-simulation driver ----
+
+  Scenario& engine(soc::Engine engine);
+  Scenario& os_ticks(bool on);
+  Scenario& tick(Cycle period, Cycle cost);
+  Scenario& ecall_cost(Cycle cycles);
+  Scenario& max_instructions(u64 cap);
+
+  // ---- products ----
+
+  /// The resolved SoC configuration (after cores()/topology auto-sizing).
+  soc::SocConfig soc_config() const;
+  /// The resolved co-simulation driver configuration.
+  soc::VerifiedRunConfig run_config() const;
+  /// Just the workload program (kernel-driver experiments compose it with
+  /// their own scheduler instead of a VerifiedExecution).
+  isa::Program build_program() const;
+  /// Just the SoC.
+  std::unique_ptr<soc::Soc> build_soc() const;
+  /// The full prepared session.
+  Session build() const;
+
+ private:
+  friend class Session;
+
+  std::optional<workloads::WorkloadProfile> profile_;
+  std::optional<isa::Program> program_;
+  workloads::BuildOptions build_;
+  std::optional<double> duration_us_;
+
+  std::optional<soc::SocConfig> soc_;
+  std::optional<u32> cores_;
+  std::optional<u32> segment_limit_;
+  std::optional<u64> channel_capacity_;
+  soc::VerifiedRunConfig run_;
+};
+
+/// A prepared co-simulation owning its Soc / program / VerifiedExecution.
+class Session {
+ public:
+  Session(Session&&) noexcept = default;
+  Session& operator=(Session&&) noexcept = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  soc::Soc& soc() { return *soc_; }
+  const isa::Program& program() const { return program_; }
+  soc::VerifiedExecution& exec() { return *exec_; }
+  const Scenario& scenario() const { return scenario_; }
+
+  // ---- execution (forwarders) ----
+
+  bool advance(u64 instruction_budget) { return exec_->advance(instruction_budget); }
+  soc::RunStats run() { return exec_->run(); }
+  soc::RunStats stats() const { return exec_->stats(); }
+  bool finished() const { return exec_->finished(); }
+  u64 total_instret() const { return exec_->total_instret(); }
+
+  // ---- campaign conveniences ----
+
+  /// First DBC channel (nullptr while no verification job is associated).
+  fs::Channel* channel();
+  fs::ErrorReporter& reporter() { return soc_->fabric().reporter(); }
+
+  // ---- state capture ----
+
+  soc::Snapshot snapshot() const { return exec_->save(); }
+  /// Rewind this session to a snapshot it (or a sibling fork) took.
+  void restore(const soc::Snapshot& snapshot) { exec_->restore(snapshot); }
+  /// Clone an independent session at the snapshot's state: fresh Soc, same
+  /// program (loaded, not re-generated), same driver config. The clone and
+  /// this session share no mutable state and evolve independently.
+  Session fork(const soc::Snapshot& snapshot) const;
+  /// snapshot() + fork() in one step.
+  Session fork() const { return fork(snapshot()); }
+
+ private:
+  friend class Scenario;
+  Session(const Scenario& scenario, bool prepare);
+  /// Fork path: reuse an already-built program instead of re-running the
+  /// workload generator (forks happen once per campaign injection).
+  Session(const Scenario& scenario, isa::Program program, bool prepare);
+
+  Scenario scenario_;  ///< Copy: forks rebuild the platform from it.
+  isa::Program program_;
+  std::unique_ptr<soc::Soc> soc_;
+  std::unique_ptr<soc::VerifiedExecution> exec_;
+};
+
+}  // namespace flexstep::sim

@@ -1,0 +1,50 @@
+// First-class SoC state capture: the unit of checkpoint/restore that the
+// fault campaigns fork injections from and the sim::Session API exposes.
+//
+// A Snapshot spans everything that influences the forward simulation:
+//   * arch::Memory        — every resident (touched) page, not 2^addr space;
+//   * the shared L2 and every core's private L1 tag arrays + LRU state;
+//   * per-core architectural state (registers, PC, CSRs), branch-predictor
+//     tables, LR/SC reservation, timers, clocks and counters;
+//   * the FlexStep fabric — global configuration registers, every DBC
+//     channel's queued stream (rings + segment metadata + pending fault),
+//     every CoreUnit's producer/checker state, the channel wiring and the
+//     checker waitlists, and the error reporter's event log;
+//   * the VerifiedExecution driver flags.
+//
+// Not captured: decoded program images (derived data — the restoring side
+// loads the same programs, cf. sim::Session::fork) and the extension-seam
+// pointers (hooks/handlers/ports), which are re-derived by the restoring
+// owners. Restoring is bit-exact: a restored SoC's subsequent execution is
+// indistinguishable from the original continuing (tests/test_sim.cpp).
+#pragma once
+
+#include <vector>
+
+#include "arch/cache.h"
+#include "arch/core.h"
+#include "arch/memory.h"
+#include "flexstep/fabric.h"
+
+namespace flexstep::soc {
+
+struct Snapshot {
+  arch::Memory::Snapshot memory;
+  arch::Cache::Snapshot l2;
+  std::vector<arch::Core::Snapshot> cores;
+  fs::Fabric::Snapshot fabric;
+
+  // Co-simulation driver state (filled by VerifiedExecution::save; a bare
+  // Soc::save leaves the defaults).
+  bool exec_prepared = false;
+  bool exec_main_halted = false;
+
+  /// Approximate host footprint (dominated by the resident memory pages).
+  std::size_t bytes() const {
+    std::size_t total = memory.bytes() + l2.bytes() + fabric.bytes();
+    for (const auto& core : cores) total += core.bytes();
+    return total;
+  }
+};
+
+}  // namespace flexstep::soc

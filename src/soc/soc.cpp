@@ -1,5 +1,8 @@
 #include "soc/soc.h"
 
+#include "common/check.h"
+#include "soc/snapshot.h"
+
 namespace flexstep::soc {
 
 Soc::Soc(const SocConfig& config)
@@ -22,6 +25,30 @@ Cycle Soc::max_cycle() const {
   Cycle max = 0;
   for (const auto& core : cores_) max = std::max(max, core->cycle());
   return max;
+}
+
+void Soc::save(Snapshot& out) const {
+  memory_.save(out.memory);
+  l2_->save(out.l2);
+  out.cores.resize(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) cores_[i]->save(out.cores[i]);
+  fabric_.save(out.fabric);
+}
+
+Snapshot Soc::save() const {
+  Snapshot out;
+  save(out);
+  return out;
+}
+
+void Soc::restore(const Snapshot& snapshot) {
+  FLEX_CHECK_MSG(snapshot.cores.size() == cores_.size(),
+                 "snapshot core-count mismatch (different SocConfig?)");
+  memory_.restore(snapshot.memory);
+  l2_->restore(snapshot.l2);
+  for (std::size_t i = 0; i < cores_.size(); ++i) cores_[i]->restore(snapshot.cores[i]);
+  // After the cores: unit restore re-derives each core's mem port/suppression.
+  fabric_.restore(snapshot.fabric);
 }
 
 }  // namespace flexstep::soc

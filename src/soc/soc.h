@@ -15,6 +15,8 @@
 
 namespace flexstep::soc {
 
+struct Snapshot;
+
 class Soc {
  public:
   explicit Soc(const SocConfig& config);
@@ -37,6 +39,18 @@ class Soc {
 
   /// Highest local clock across all cores (simulated wall time).
   Cycle max_cycle() const;
+
+  // ---- state capture (soc/snapshot.h) ----
+
+  /// Capture the full SoC state (memory, caches, cores, fabric). Program
+  /// images are derived data and not captured; restore into a fresh Soc
+  /// requires the same programs loaded first (sim::Session::fork does this).
+  void save(Snapshot& out) const;
+  Snapshot save() const;
+
+  /// Restore to a saved state, bit-exactly. Valid on the originating Soc or
+  /// on a freshly constructed one with the same SocConfig.
+  void restore(const Snapshot& snapshot);
 
  private:
   SocConfig config_;

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "isa/instruction.h"
+#include "soc/snapshot.h"
 
 namespace flexstep::soc {
 
@@ -24,14 +25,29 @@ VerifiedExecution::VerifiedExecution(Soc& soc, VerifiedRunConfig config)
 
 VerifiedExecution::~VerifiedExecution() = default;
 
+void VerifiedExecution::install_driver_wiring() {
+  soc_.core(config_.main_core).set_trap_handler(this);
+  for (CoreId id : config_.checkers) {
+    soc_.core(id).set_trap_handler(this);
+    soc_.unit(id).set_on_segment_done([](CoreUnit& unit, bool) {
+      // Start the next pending segment immediately, otherwise park.
+      if (unit.segment_ready(unit.core().cycle())) {
+        unit.begin_replay();
+      } else {
+        unit.core().set_idle();
+      }
+    });
+  }
+}
+
 void VerifiedExecution::prepare(const isa::Program& program) {
   FLEX_CHECK_MSG(!prepared_, "prepare called twice");
   prepared_ = true;
 
   if (soc_.images().find(program.entry()) == nullptr) soc_.load_program(program);
 
+  install_driver_wiring();
   Core& main = soc_.core(config_.main_core);
-  main.set_trap_handler(this);
   main.set_user_mode(false);  // kernel performs the setup
   main.set_pc(program.entry());
   // Conventional initial registers: x2 = stack-ish scratch, x10 = data base.
@@ -58,19 +74,10 @@ void VerifiedExecution::prepare(const isa::Program& program) {
     // Checker side: C.check_state(busy) + C.record, then wait for SCPs.
     for (CoreId id : config_.checkers) {
       Core& checker = soc_.core(id);
-      checker.set_trap_handler(this);
       checker.set_user_mode(false);
       checker.exec_kernel_instruction(
           isa::make_i(isa::Opcode::kCCheckState, 0, 0, 1));
       checker.set_idle();  // parked until a segment is ready
-      soc_.unit(id).set_on_segment_done([](CoreUnit& unit, bool) {
-        // Start the next pending segment immediately, otherwise park.
-        if (unit.segment_ready(unit.core().cycle())) {
-          unit.begin_replay();
-        } else {
-          unit.core().set_idle();
-        }
-      });
     }
 
     // M.associate + M.check.enable on the main core. The enable snapshots the
@@ -81,6 +88,27 @@ void VerifiedExecution::prepare(const isa::Program& program) {
 
   main.set_user_mode(true);
   main.activate();
+}
+
+void VerifiedExecution::save(Snapshot& out) const {
+  soc_.save(out);
+  out.exec_prepared = prepared_;
+  out.exec_main_halted = main_halted_;
+}
+
+Snapshot VerifiedExecution::save() const {
+  Snapshot out;
+  save(out);
+  return out;
+}
+
+void VerifiedExecution::restore(const Snapshot& snapshot) {
+  soc_.restore(snapshot);
+  prepared_ = snapshot.exec_prepared;
+  main_halted_ = snapshot.exec_main_halted;
+  // A freshly constructed driver (fork path) has never wired itself into the
+  // cores; an in-place restore re-asserts the same pointers harmlessly.
+  install_driver_wiring();
 }
 
 TrapAction VerifiedExecution::on_trap(Core& core, TrapCause cause) {

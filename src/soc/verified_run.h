@@ -62,6 +62,10 @@ struct RunStats {
                             : static_cast<double>(main_instructions) /
                                   static_cast<double>(main_cycles);
   }
+
+  /// Field-wise equality: the snapshot bit-identity tests compare a run-on
+  /// session against a restore-and-run sibling through this.
+  friend bool operator==(const RunStats&, const RunStats&) = default;
 };
 
 class VerifiedExecution final : public arch::TrapHandler {
@@ -102,12 +106,29 @@ class VerifiedExecution final : public arch::TrapHandler {
   RunStats stats() const;
 
   Soc& soc() { return soc_; }
+  const VerifiedRunConfig& config() const { return config_; }
+
+  // ---- state capture (soc/snapshot.h) ----
+
+  /// Capture the SoC plus this driver's state. The snapshot can seed either
+  /// an in-place restore() on this driver or a fresh (Soc, VerifiedExecution)
+  /// pair with the same configs and programs — sim::Session::fork.
+  void save(Snapshot& out) const;
+  Snapshot save() const;
+
+  /// Restore SoC + driver state and re-establish the wiring prepare() set up
+  /// (trap handlers, checker segment-done callbacks). The same programs must
+  /// already be loaded in the SoC's image registry.
+  void restore(const Snapshot& snapshot);
 
   // arch::TrapHandler
   arch::TrapAction on_trap(arch::Core& core, arch::TrapCause cause) override;
 
  private:
   void pump_checkers();
+  /// Trap handlers + checker segment-done callbacks; shared by prepare() and
+  /// restore() (a forked driver must point the restored cores at itself).
+  void install_driver_wiring();
   arch::Core* pick_next_core();
   /// Local-clock bound up to which `chosen` would keep being picked by the
   /// stepwise scheduler (smallest-cycle-first, main-core-then-checker-order

@@ -1,0 +1,243 @@
+// sim::Scenario / sim::Session / soc::Snapshot semantics.
+//
+// The contracts under test:
+//   * Round-trip bit-identity — run N instructions, snapshot, then run-on vs
+//     restore-and-run produce identical RunStats (in-place and across forks).
+//   * Fork isolation — a fault injected into a forked session never perturbs
+//     its sibling or the baseline.
+//   * Campaign parity — the snapshot-fork campaign reproduces the
+//     warmup-re-execution campaign outcome-for-outcome at the same
+//     (seed, shards) while executing measurably fewer instructions.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fault/campaign.h"
+#include "sim/scenario.h"
+#include "soc/snapshot.h"
+
+namespace flexstep::sim {
+namespace {
+
+Scenario small_verified_scenario(u64 seed = 7) {
+  Scenario scenario;
+  scenario.workload("swaptions").seed(seed).iterations(600).dual();
+  return scenario;
+}
+
+TEST(Scenario, AutoSizesTheSocToTheTopology) {
+  EXPECT_EQ(Scenario().workload("swaptions").plain().soc_config().num_cores, 1u);
+  EXPECT_EQ(Scenario().workload("swaptions").dual().soc_config().num_cores, 2u);
+  EXPECT_EQ(Scenario().workload("swaptions").triple().soc_config().num_cores, 3u);
+  EXPECT_EQ(Scenario().workload("swaptions").checkers({2, 3}).soc_config().num_cores, 4u);
+  EXPECT_EQ(Scenario().workload("swaptions").dual().cores(8).soc_config().num_cores, 8u);
+}
+
+TEST(Scenario, FlexStepKnobsComposeWithTopologyInAnyOrder) {
+  // Knob-before-topology must not freeze the core count (regression test).
+  const auto knob_first = Scenario()
+                              .workload("swaptions")
+                              .segment_limit(1000)
+                              .channel_capacity(4096)
+                              .dual()
+                              .soc_config();
+  EXPECT_EQ(knob_first.num_cores, 2u);
+  EXPECT_EQ(knob_first.flexstep.segment_limit, 1000u);
+  EXPECT_EQ(knob_first.flexstep.channel_capacity, 4096u);
+
+  const auto knob_last =
+      Scenario().workload("swaptions").dual().segment_limit(1000).soc_config();
+  EXPECT_EQ(knob_last.num_cores, 2u);
+  EXPECT_EQ(knob_last.flexstep.segment_limit, 1000u);
+}
+
+TEST(Scenario, TwoBuildsEvolveBitIdentically) {
+  const Scenario scenario = small_verified_scenario();
+  Session a = scenario.build();
+  Session b = scenario.build();
+  EXPECT_EQ(a.run(), b.run());
+}
+
+TEST(Scenario, BuildProgramMatchesWorkloadBuilder) {
+  workloads::BuildOptions build;
+  build.seed = 3;
+  build.iterations_override = 50;
+  const auto direct = workloads::build_workload(workloads::find_profile("mcf"), build);
+  const auto via_scenario =
+      Scenario().workload("mcf").seed(3).iterations(50).build_program();
+  EXPECT_EQ(direct.code.size(), via_scenario.code.size());
+  EXPECT_EQ(direct.code_base, via_scenario.code_base);
+  EXPECT_EQ(direct.data_base, via_scenario.data_base);
+}
+
+TEST(Snapshot, InPlaceRestoreIsBitIdentical) {
+  const Scenario scenario = small_verified_scenario();
+  Session session = scenario.build();
+  ASSERT_TRUE(session.advance(50'000));
+  const soc::Snapshot warm = session.snapshot();
+
+  const soc::RunStats run_on = session.run();
+  session.restore(warm);
+  const soc::RunStats restored_run = session.run();
+  EXPECT_EQ(run_on, restored_run);
+}
+
+TEST(Snapshot, ForkedSessionRunsBitIdenticalToRunOn) {
+  const Scenario scenario = small_verified_scenario();
+  Session session = scenario.build();
+  ASSERT_TRUE(session.advance(50'000));
+  Session fork = session.fork();
+
+  const soc::RunStats run_on = session.run();
+  const soc::RunStats forked = fork.run();
+  EXPECT_EQ(run_on, forked);
+}
+
+TEST(Snapshot, RestoreRewindsMidFlightState) {
+  // Snapshot early, run further, restore, and check the observable clocks and
+  // counters rewound exactly.
+  Session session = small_verified_scenario().build();
+  ASSERT_TRUE(session.advance(20'000));
+  const u64 instret_at_save = session.total_instret();
+  const Cycle cycle_at_save = session.soc().max_cycle();
+  const soc::Snapshot warm = session.snapshot();
+
+  ASSERT_TRUE(session.advance(30'000));
+  ASSERT_GT(session.total_instret(), instret_at_save);
+
+  session.restore(warm);
+  EXPECT_EQ(session.total_instret(), instret_at_save);
+  EXPECT_EQ(session.soc().max_cycle(), cycle_at_save);
+}
+
+TEST(Snapshot, CapturesResidentMemoryNotAddressSpace) {
+  Session session = small_verified_scenario().build();
+  ASSERT_TRUE(session.advance(20'000));
+  const soc::Snapshot warm = session.snapshot();
+  EXPECT_EQ(warm.memory.pages.size(), session.soc().memory().resident_pages());
+  // Touched pages only: code + working set, nowhere near even 1 MiB of pages.
+  EXPECT_LT(warm.memory.pages.size(), 4096u);
+  EXPECT_GT(warm.bytes(), warm.memory.bytes());  // caches/fabric counted too
+}
+
+TEST(Snapshot, ForkIsolationFaultStaysInTheFork) {
+  const Scenario scenario = small_verified_scenario();
+  Session session = scenario.build();
+  ASSERT_TRUE(session.advance(50'000));
+  while (session.channel() != nullptr && session.channel()->empty()) {
+    ASSERT_TRUE(session.advance(512));
+  }
+  ASSERT_NE(session.channel(), nullptr);
+  const soc::Snapshot warm = session.snapshot();
+
+  Session clean = session.fork(warm);
+  Session faulty = session.fork(warm);
+
+  Rng rng(99);
+  const auto fault =
+      faulty.channel()->inject_fault_at_tail(rng, faulty.soc().max_cycle());
+  ASSERT_TRUE(fault.has_value());
+
+  const soc::RunStats faulty_stats = faulty.run();
+  const soc::RunStats clean_stats = clean.run();
+  const soc::RunStats sibling_stats = session.run();
+
+  // The siblings never saw the fault: bit-identical to each other, reporter
+  // silent, channel fault flag clear.
+  EXPECT_EQ(clean_stats, sibling_stats);
+  EXPECT_EQ(clean.reporter().events().size(), 0u);
+  EXPECT_EQ(session.reporter().events().size(), 0u);
+
+  // The fork either detected its fault or masked it — and any detection stayed
+  // inside the fork.
+  if (faulty_stats.segments_failed > 0) {
+    EXPECT_GT(faulty.reporter().detections(), 0u);
+  }
+  EXPECT_EQ(clean_stats.segments_failed, 0u);
+  EXPECT_EQ(sibling_stats.segments_failed, 0u);
+}
+
+TEST(Snapshot, ForkSurvivesItsParentsDestruction) {
+  // The fork owns its whole platform: run it after the parent (and the
+  // snapshot) are gone.
+  std::unique_ptr<Session> fork;
+  soc::RunStats parent_stats;
+  {
+    Session session = small_verified_scenario().build();
+    EXPECT_TRUE(session.advance(50'000));
+    fork = std::make_unique<Session>(session.fork());
+    parent_stats = session.run();
+  }
+  EXPECT_EQ(fork->run(), parent_stats);
+}
+
+TEST(CampaignParity, SnapshotForkMatchesWarmupReexecution) {
+  // The acceptance bar: bit-identical CampaignStats at the same (seed,
+  // shards) across materialisation modes, with the snapshot path executing
+  // measurably fewer instructions. Three seeds.
+  for (u64 seed : {u64{0xF417}, u64{1}, u64{2025}}) {
+    fault::CampaignConfig config;
+    config.target_faults = 24;
+    config.warmup_rounds = 20'000;
+    config.gap_rounds = 1'000;
+    config.workload_iterations = 20'000;
+    config.shards = 4;
+    config.seed = seed;
+
+    config.mode = fault::CampaignMode::kSnapshotFork;
+    const auto forked = fault::run_fault_campaign(
+        workloads::find_profile("swaptions"), soc::SocConfig::paper_default(2), config);
+
+    config.mode = fault::CampaignMode::kWarmupReexecution;
+    const auto reexecuted = fault::run_fault_campaign(
+        workloads::find_profile("swaptions"), soc::SocConfig::paper_default(2), config);
+
+    EXPECT_EQ(forked.injected, reexecuted.injected) << "seed " << seed;
+    EXPECT_EQ(forked.detected, reexecuted.detected) << "seed " << seed;
+    EXPECT_EQ(forked.undetected, reexecuted.undetected) << "seed " << seed;
+    ASSERT_EQ(forked.outcomes.size(), reexecuted.outcomes.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < forked.outcomes.size(); ++i) {
+      EXPECT_EQ(forked.outcomes[i].detected, reexecuted.outcomes[i].detected)
+          << "seed " << seed << " outcome " << i;
+      EXPECT_DOUBLE_EQ(forked.outcomes[i].latency_us, reexecuted.outcomes[i].latency_us)
+          << "seed " << seed << " outcome " << i;
+      EXPECT_EQ(forked.outcomes[i].detect_kind, reexecuted.outcomes[i].detect_kind)
+          << "seed " << seed << " outcome " << i;
+      EXPECT_EQ(forked.outcomes[i].target_kind, reexecuted.outcomes[i].target_kind)
+          << "seed " << seed << " outcome " << i;
+    }
+
+    // The warmup (20k) dominates each injection's resolution tail, so
+    // re-executing it per fault must cost at least 2x the snapshot path.
+    EXPECT_GT(forked.total_instructions, 0u);
+    EXPECT_GT(reexecuted.total_instructions, 2 * forked.total_instructions)
+        << "seed " << seed;
+  }
+}
+
+TEST(CampaignParity, SnapshotForkDeterministicAcrossThreads) {
+  fault::CampaignConfig config;
+  config.target_faults = 16;
+  config.warmup_rounds = 10'000;
+  config.gap_rounds = 1'000;
+  config.workload_iterations = 20'000;
+  config.shards = 4;
+
+  config.threads = 1;
+  const auto serial = fault::run_fault_campaign(
+      workloads::find_profile("swaptions"), soc::SocConfig::paper_default(2), config);
+  config.threads = 4;
+  const auto parallel = fault::run_fault_campaign(
+      workloads::find_profile("swaptions"), soc::SocConfig::paper_default(2), config);
+
+  EXPECT_EQ(serial.detected, parallel.detected);
+  EXPECT_EQ(serial.undetected, parallel.undetected);
+  EXPECT_EQ(serial.total_instructions, parallel.total_instructions);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  for (std::size_t i = 0; i < serial.outcomes.size(); ++i) {
+    EXPECT_EQ(serial.outcomes[i].detected, parallel.outcomes[i].detected);
+    EXPECT_DOUBLE_EQ(serial.outcomes[i].latency_us, parallel.outcomes[i].latency_us);
+  }
+}
+
+}  // namespace
+}  // namespace flexstep::sim
