@@ -9,13 +9,16 @@
 //   ./bench/micro_benchmarks                  # throughput mode + JSON
 //   ./bench/micro_benchmarks --campaign       # campaign-throughput mode + JSON
 //   ./bench/micro_benchmarks --snapshot       # snapshot-fork vs re-execution + JSON
+//   ./bench/micro_benchmarks --trace          # trace-JIT on/off comparison + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "arch/trace.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -49,7 +52,9 @@ struct ThroughputSample {
 };
 
 ThroughputSample measure(const isa::Program& program, const char* mode, u32 cores,
-                         const std::vector<CoreId>& checkers, soc::Engine engine) {
+                         const std::vector<CoreId>& checkers, soc::Engine engine,
+                         std::optional<bool> trace = {},
+                         arch::TraceCache::Stats* trace_stats = nullptr) {
   ThroughputSample sample;
   sample.mode = mode;
   sample.engine = engine == soc::Engine::kStepwise ? "stepwise" : "quantum";
@@ -58,12 +63,10 @@ ThroughputSample measure(const isa::Program& program, const char* mode, u32 core
   // spread is purely host noise and the minimum is the honest figure.
   const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
   for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
-    sim::Session session = sim::Scenario()
-                               .program(program)
-                               .cores(cores)
-                               .checkers(checkers)
-                               .engine(engine)
-                               .build();
+    sim::Scenario scenario;
+    scenario.program(program).cores(cores).checkers(checkers).engine(engine);
+    if (trace.has_value()) scenario.trace(*trace);
+    sim::Session session = scenario.build();
 
     const auto start = std::chrono::steady_clock::now();
     session.run();
@@ -71,6 +74,9 @@ ThroughputSample measure(const isa::Program& program, const char* mode, u32 core
     const double seconds = std::chrono::duration<double>(stop - start).count();
     if (rep == 0 || seconds < sample.host_seconds) sample.host_seconds = seconds;
     sample.instructions = session.total_instret();
+    if (trace_stats != nullptr && session.soc().core(0).trace_cache() != nullptr) {
+      *trace_stats = session.soc().core(0).trace_cache()->stats();
+    }
   }
   return sample;
 }
@@ -143,6 +149,108 @@ int run_throughput_mode() {
     std::printf("\nwrote BENCH_core_throughput.json\n");
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Trace-JIT mode (--trace): quantum-engine throughput with the
+// superinstruction trace cache off vs on, across plain/dual/triple
+// topologies. Exits non-zero unless the plain-run speedup reaches 1.5x (the
+// CI gate; the PR target is 2x, tracked in the JSON).
+// ---------------------------------------------------------------------------
+
+int run_trace_jit_mode() {
+  const auto iterations = static_cast<u32>(bench::env_u64("FLEX_BENCH_ITERS", 4000));
+  const auto& profile = workloads::find_profile("swaptions");
+  workloads::BuildOptions build;
+  build.iterations_override = iterations;
+  const auto program = workloads::build_workload(profile, build);
+
+  std::printf("== Trace-JIT throughput (workload %s, %u iterations, quantum engine) ==\n\n",
+              profile.name.c_str(), iterations);
+
+  struct ModeSpec {
+    const char* name;
+    u32 cores;
+    std::vector<CoreId> checkers;
+  };
+  const ModeSpec modes[] = {
+      {"plain", 1, {}},
+      {"dual", 2, {1}},
+      {"triple", 3, {1, 2}},
+  };
+
+  std::vector<ThroughputSample> samples;
+  std::vector<double> speedups;
+  arch::TraceCache::Stats plain_stats;
+  u64 plain_instret = 0;
+  Table table({"mode", "trace", "sim inst", "host s", "MIPS", "speedup"});
+  for (const auto& mode : modes) {
+    const auto off = measure(program, mode.name, mode.cores, mode.checkers,
+                             soc::Engine::kQuantum, false);
+    arch::TraceCache::Stats stats;
+    const auto on = measure(program, mode.name, mode.cores, mode.checkers,
+                            soc::Engine::kQuantum, true, &stats);
+    const double speedup = off.mips() > 0.0 ? on.mips() / off.mips() : 0.0;
+    speedups.push_back(speedup);
+    if (std::strcmp(mode.name, "plain") == 0) {
+      plain_stats = stats;
+      plain_instret = on.instructions;
+    }
+    table.add_row({mode.name, "off", std::to_string(off.instructions),
+                   Table::num(off.host_seconds, 3), Table::num(off.mips(), 2), "1.00"});
+    table.add_row({mode.name, "on", std::to_string(on.instructions),
+                   Table::num(on.host_seconds, 3), Table::num(on.mips(), 2),
+                   Table::num(speedup, 2)});
+    samples.push_back(off);
+    samples.push_back(on);
+  }
+  table.print();
+
+  const double coverage =
+      plain_instret > 0
+          ? static_cast<double>(plain_stats.insts_from_traces) / plain_instret
+          : 0.0;
+  std::printf("\nplain-run trace coverage: %.1f%% of instructions "
+              "(%llu traces recorded, mean %.1f inst/dispatch)\n",
+              100.0 * coverage, static_cast<unsigned long long>(plain_stats.recorded),
+              plain_stats.dispatches > 0
+                  ? static_cast<double>(plain_stats.insts_from_traces) /
+                        plain_stats.dispatches
+                  : 0.0);
+
+  FILE* json = std::fopen("BENCH_trace_jit.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"trace_jit\",\n");
+    std::fprintf(json, "  \"workload\": \"%s\",\n  \"iterations\": %u,\n",
+                 profile.name.c_str(), iterations);
+    std::fprintf(json, "  \"samples\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto& s = samples[i];
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"trace\": %s, \"instructions\": %llu, "
+                   "\"host_seconds\": %.6f, \"mips\": %.3f}%s\n",
+                   s.mode.c_str(), i % 2 == 0 ? "false" : "true",
+                   static_cast<unsigned long long>(s.instructions), s.host_seconds,
+                   s.mips(), i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"speedup\": {");
+    for (std::size_t i = 0; i < std::size(modes); ++i) {
+      std::fprintf(json, "\"%s\": %.3f%s", modes[i].name, speedups[i],
+                   i + 1 < std::size(modes) ? ", " : "");
+    }
+    std::fprintf(json,
+                 "},\n  \"plain_coverage\": %.4f,\n  \"traces_recorded\": %llu\n}\n",
+                 coverage, static_cast<unsigned long long>(plain_stats.recorded));
+    std::fclose(json);
+    std::printf("wrote BENCH_trace_jit.json\n");
+  }
+  // CI gate: the trace cache must actually pay for itself on the plain run.
+  const bool gate = speedups[0] >= 1.5;
+  if (!gate) {
+    std::fprintf(stderr, "FAIL: plain-run trace speedup %.2fx below the 1.5x gate\n",
+                 speedups[0]);
+  }
+  return gate ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -408,11 +516,14 @@ int main(int argc, char** argv) {
   bool gbench = false;
   bool campaign = false;
   bool snapshot = false;
+  bool trace = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
     if (std::strcmp(argv[i], "--snapshot") == 0) snapshot = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
   }
+  if (trace) return run_trace_jit_mode();
   if (snapshot) return run_snapshot_fork_mode();
   if (campaign) return run_campaign_throughput_mode();
   if (!gbench) return run_throughput_mode();

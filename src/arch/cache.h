@@ -137,6 +137,12 @@ class CacheHierarchy {
   Cache& l1i() { return l1i_; }
   Cache& l1d() { return l1d_; }
 
+  /// Upper bound on the extra stall any single probe can charge (L1 miss
+  /// descending through the L2 to memory). Trace worst-case cost bounds.
+  Cycle worst_miss_cost() const {
+    return (l2_ != nullptr ? l2_->config().latency : Cycle{0}) + memory_latency_;
+  }
+
  private:
   Cycle beyond_l1(Addr addr);
 

@@ -7,6 +7,21 @@
 
 namespace flexstep::arch {
 
+/// Superinstruction trace cache knobs (arch/trace.h). Traces are a pure host
+/// optimisation: recorded/flushed traces never change architectural outcomes,
+/// so these knobs tune speed, not semantics.
+struct TraceConfig {
+  bool enabled = true;
+  /// Block-entry visits before a region is recorded as a trace.
+  u32 heat_threshold = 4;
+  /// Per-trace instruction cap (a basic block rarely gets near this).
+  u32 max_insts = 192;
+  /// Blocks shorter than this are not worth a trace dispatch.
+  u32 min_insts = 2;
+  /// log2 of the direct-mapped trace table size.
+  u32 slots_log2 = 12;
+};
+
 struct CoreConfig {
   CacheConfig l1i{.size_bytes = 16 * 1024, .ways = 4, .line_bytes = 64, .latency = 2};
   CacheConfig l1d{.size_bytes = 16 * 1024, .ways = 4, .line_bytes = 64, .latency = 2};
@@ -18,6 +33,9 @@ struct CoreConfig {
 
   /// Load-to-use bubble in the 5-stage in-order pipe.
   Cycle load_use_penalty = 1;
+
+  /// Superinstruction trace cache for the batched engine's ALU fast path.
+  TraceConfig trace{};
 };
 
 }  // namespace flexstep::arch

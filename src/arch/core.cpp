@@ -1,5 +1,6 @@
 #include "arch/core.h"
 
+#include "arch/trace.h"
 #include "common/check.h"
 
 namespace flexstep::arch {
@@ -7,6 +8,23 @@ namespace flexstep::arch {
 using isa::Instruction;
 using isa::MemKind;
 using isa::Opcode;
+
+// RV64 M-extension corner cases, shared by all three engines (step(),
+// run_fast_path(), trace replay) so they stay bit-identical: x/0 = -1,
+// x%0 = x, and INT64_MIN / -1 wraps to INT64_MIN with remainder 0 — the
+// naive host division would be undefined behaviour (SIGFPE on x86).
+namespace {
+inline u64 div_signed(u64 a, u64 b) {
+  if (b == 0) return ~u64{0};
+  if (a == (u64{1} << 63) && b == ~u64{0}) return a;
+  return static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+}
+inline u64 rem_signed(u64 a, u64 b) {
+  if (b == 0) return a;
+  if (a == (u64{1} << 63) && b == ~u64{0}) return 0;
+  return static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+}
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Default data-memory port: real memory + cache-hierarchy timing + LR/SC
@@ -23,15 +41,16 @@ class Core::CachePort final : public MemPort {
     return r;
   }
 
+  // Reservation invalidation — own stores, own AMOs (which used to leave the
+  // owner's reservation standing: an AMO is a store too), other cores'
+  // writes to the same granule, and bulk writes — is centralised in the
+  // Memory reservation registry: every write path checks it, so no per-op
+  // special casing can be missed here or in the batched engine's inlined
+  // store paths.
   MemResult store(Opcode, Addr addr, u32 bytes, u64 data) override {
     MemResult r;
     r.stall = core_.caches_.data(addr);
     core_.memory_.write(addr, bytes, data);
-    // A store to the reserved line breaks this core's own reservation too
-    // (conservative but simple; cross-core invalidation handled in sc()).
-    if (core_.reservation_valid_ && (addr & ~Addr{7}) == core_.reservation_addr_) {
-      core_.reservation_valid_ = false;
-    }
     return r;
   }
 
@@ -48,7 +67,7 @@ class Core::CachePort final : public MemPort {
       case Opcode::kAmoorD: next = old | operand; break;
       default: FLEX_CHECK_MSG(false, "not an AMO opcode");
     }
-    core_.memory_.write(addr, 8, next);
+    core_.memory_.write(addr, 8, next);  // breaks any reservation on the granule
     r.data = old;
     return r;
   }
@@ -57,8 +76,7 @@ class Core::CachePort final : public MemPort {
     MemResult r;
     r.stall = core_.caches_.data(addr) + 1;
     r.data = core_.memory_.read(addr, 8);
-    core_.reservation_addr_ = addr & ~Addr{7};
-    core_.reservation_valid_ = true;
+    core_.set_reservation(addr & ~Addr{7});
     return r;
   }
 
@@ -67,7 +85,7 @@ class Core::CachePort final : public MemPort {
     r.stall = core_.caches_.data(addr) + 1;
     const bool ok = core_.reservation_valid_ && core_.reservation_addr_ == (addr & ~Addr{7});
     if (ok) core_.memory_.write(addr, 8, data);
-    core_.reservation_valid_ = false;
+    core_.release_reservation();  // SC consumes the reservation either way
     r.data = ok ? 0 : 1;
     return r;
   }
@@ -88,6 +106,25 @@ Core::Core(CoreId id, const CoreConfig& config, Memory& memory, const ImageRegis
       bpred_(config.bpred),
       cache_port_(std::make_unique<CachePort>(*this)) {
   port_ = cache_port_.get();
+  if (config_.trace.enabled) {
+    trace_cache_ = std::make_unique<TraceCache>(
+        config_.trace, memory_,
+        TraceCostModel{caches_.worst_miss_cost(), config_.load_use_penalty,
+                       bpred_.config().mispredict_penalty});
+  }
+}
+
+Core::~Core() { memory_.clear_reservation(this); }
+
+void Core::set_reservation(Addr granule) {
+  reservation_addr_ = granule;
+  reservation_valid_ = true;
+  memory_.set_reservation(this, granule);
+}
+
+void Core::release_reservation() {
+  reservation_valid_ = false;
+  memory_.clear_reservation(this);
 }
 
 void Core::set_mem_port(MemPort* port) { port_ = port != nullptr ? port : cache_port_.get(); }
@@ -144,8 +181,16 @@ void Core::restore(const Snapshot& snapshot) {
   caches_.restore(snapshot.caches);
   bpred_.restore(snapshot.bpred);
   last_fetch_line_ = snapshot.last_fetch_line;
+  // Re-sync the shared Memory registry with the restored architectural
+  // reservation, so a post-restore (or forked) SC observes invalidations
+  // exactly as the original would have — never spuriously succeeds.
   reservation_addr_ = snapshot.reservation_addr;
   reservation_valid_ = snapshot.reservation_valid;
+  if (reservation_valid_) {
+    memory_.set_reservation(this, reservation_addr_);
+  } else {
+    memory_.clear_reservation(this);
+  }
   cycle_ = snapshot.cycle;
   instret_ = snapshot.instret;
   user_instret_ = snapshot.user_instret;
@@ -158,6 +203,9 @@ void Core::restore(const Snapshot& snapshot) {
   status_ = snapshot.status;
   quantum_break_ = false;  // never set between scheduling rounds
   image_ = nullptr;        // may belong to another SoC's registry; re-lookup
+  // Traces are derived state (never captured): drop them so a restored or
+  // forked session re-records from its own execution, trivially bit-exact.
+  if (trace_cache_ != nullptr) trace_cache_->flush();
 }
 
 u64 Core::read_csr(u16 csr) const {
@@ -319,6 +367,29 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
   u64 instret = instret_;
   const u64 instret_start = instret_;
   Addr last_line = last_fetch_line_;
+  TraceCache* const traces = trace_cache_.get();
+
+trace_point:
+  // Trace dispatch: reached on fast-path entry and after every control
+  // transfer (the only places a recorded region can begin). Chain hot traces
+  // back-to-back while the quantum has headroom for each trace's worst-case
+  // cycle cost and full instruction count — that guarantee is what lets the
+  // replay loop skip every per-instruction bound/interrupt check without
+  // becoming observable (no interrupt, quantum break or bound can land
+  // mid-trace; hooks are passive by the fast path's precondition).
+  if (traces != nullptr) {
+    while (cycle < limit && instret < instret_end && pc - base < end - base) {
+      const Trace* t = traces->lookup(pc);
+      if (t == nullptr) {
+        t = traces->notice_entry(pc, code, base, end);
+        if (t == nullptr) break;
+      }
+      if (t->worst_cost > limit - cycle || t->inst_count > instret_end - instret) {
+        break;  // near a bound: the stepwise loop below handles the tail
+      }
+      execute_trace(*t, pc, cycle, instret, last_line);
+    }
+  }
 
   while (cycle < limit && instret < instret_end) {
     if (pc - base >= end - base) [[unlikely]] {
@@ -387,8 +458,7 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
         cost += isa::opcode_latency(inst.op) - 1;
         break;
       case Opcode::kDiv:
-        rd_value = (b == 0) ? ~u64{0}
-                            : static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+        rd_value = div_signed(a, b);
         write_rd = true;
         cost += isa::opcode_latency(inst.op) - 1;
         break;
@@ -398,8 +468,7 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
         cost += isa::opcode_latency(inst.op) - 1;
         break;
       case Opcode::kRem:
-        rd_value =
-            (b == 0) ? a : static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+        rd_value = rem_signed(a, b);
         write_rd = true;
         cost += isa::opcode_latency(inst.op) - 1;
         break;
@@ -546,14 +615,13 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
       case Opcode::kSd: {
         const Addr addr = a + static_cast<u64>(imm);
         cost += caches_.data(addr);
+        // Reservation invalidation happens inside Memory's write path (the
+        // shared registry), identically for every store flavour and core.
         switch (inst.op) {
           case Opcode::kSb: memory_.write(addr, 1, b & 0xff); break;
           case Opcode::kSh: memory_.write(addr, 2, b & 0xffff); break;
           case Opcode::kSw: memory_.write(addr, 4, b & 0xffff'ffff); break;
           default: memory_.write(addr, 8, b); break;
-        }
-        if (reservation_valid_ && (addr & ~Addr{7}) == reservation_addr_) {
-          reservation_valid_ = false;
         }
         break;
       }
@@ -567,7 +635,13 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
     if (write_rd && inst.rd != 0) regs_[inst.rd] = rd_value;
     cycle += cost;
     ++instret;
-    pc = next_pc;
+    {
+      const bool transfer = next_pc != pc + 4;
+      pc = next_pc;
+      // Control transfers land on block entries — the only PCs a trace can
+      // start at. Re-attempt trace dispatch there (also counts entry heat).
+      if (transfer && traces != nullptr) goto trace_point;
+    }
   }
 
 writeback:
@@ -581,6 +655,366 @@ writeback:
   stall_cycles_ += (cycle - cycle_start) - retired;
   last_fetch_line_ = last_line;
 }
+
+// ---------------------------------------------------------------------------
+// Trace replay.
+//
+// On GCC/Clang the dispatch is threaded (computed goto): every
+// superinstruction ends in its own indirect jump, so the host BTB learns
+// per-op successor patterns instead of thrashing one shared switch jump
+// (Ertl & Gregg, "The Structure and Performance of Efficient Interpreters").
+// The portable fallback is a conventional switch loop with identical bodies.
+// ---------------------------------------------------------------------------
+#if defined(__GNUC__) || defined(__clang__)
+#define FLEX_TRACE_THREADED 1
+#endif
+
+#if FLEX_TRACE_THREADED
+#define TRACE_OP(name) lbl_##name:
+#define TRACE_NEXT() do { ++op; goto *kDispatch[op->kind]; } while (0)
+#else
+#define TRACE_OP(name) case TraceOpKind::name:
+#define TRACE_NEXT() break
+#endif
+#define TRACE_DONE() goto trace_done
+
+void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
+                         Addr& last_line) {
+  // Dynamic stalls only; every static cost (1/inst, multiplier/divider
+  // latency, load-use bubbles) was pre-summed into t.base_cost at record
+  // time. Equivalence with the stepwise loop holds because all state-bearing
+  // probes (I-fetch, D-cache, BHT/BTB/RAS) still run in program order and the
+  // per-instruction commits only differ in WHEN the shared counters are
+  // summed — never in what any probe or operand observes: within a trace no
+  // instruction reads cycle/instret (CSR reads are slow-path), and x0 stays
+  // zero because ops writing it were dropped at record time.
+  Cycle extra = 0;
+  if ((t.entry_pc >> 6) != last_line) extra += caches_.fetch(t.entry_pc);
+  Addr next_pc = t.exit_pc;
+  u64* const regs = regs_.data();
+  const TraceOp* op = t.ops.data();
+
+#if FLEX_TRACE_THREADED
+#define FLEX_TRACE_LABEL(name) &&lbl_##name,
+#define FLEX_TRACE_PAIR_LABEL(name, first, second) &&lbl_kPair##name,
+  static const void* const kDispatch[] = {
+      FLEX_TRACE_KIND_LIST(FLEX_TRACE_LABEL)
+      FLEX_TRACE_PAIR_LIST(FLEX_TRACE_PAIR_LABEL)};
+#undef FLEX_TRACE_PAIR_LABEL
+#undef FLEX_TRACE_LABEL
+  goto *kDispatch[op->kind];
+#else
+  for (;;) {
+    switch (static_cast<TraceOpKind>(op->kind)) {
+#endif
+
+  // ---- ALU register-register ----
+  TRACE_OP(kAdd) regs[op->rd] = regs[op->rs1] + regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP(kSub) regs[op->rd] = regs[op->rs1] - regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP(kSll) regs[op->rd] = regs[op->rs1] << (regs[op->rs2] & 63); TRACE_NEXT();
+  TRACE_OP(kSrl) regs[op->rd] = regs[op->rs1] >> (regs[op->rs2] & 63); TRACE_NEXT();
+  TRACE_OP(kSra)
+    regs[op->rd] = static_cast<u64>(static_cast<i64>(regs[op->rs1]) >>
+                                    (regs[op->rs2] & 63));
+    TRACE_NEXT();
+  TRACE_OP(kAnd) regs[op->rd] = regs[op->rs1] & regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP(kOr) regs[op->rd] = regs[op->rs1] | regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP(kXor) regs[op->rd] = regs[op->rs1] ^ regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP(kSlt)
+    regs[op->rd] =
+        static_cast<i64>(regs[op->rs1]) < static_cast<i64>(regs[op->rs2]) ? 1 : 0;
+    TRACE_NEXT();
+  TRACE_OP(kSltu) regs[op->rd] = regs[op->rs1] < regs[op->rs2] ? 1 : 0; TRACE_NEXT();
+  TRACE_OP(kMul) regs[op->rd] = regs[op->rs1] * regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP(kMulh)
+    regs[op->rd] = static_cast<u64>((static_cast<__int128>(static_cast<i64>(
+                                         regs[op->rs1])) *
+                                     static_cast<i64>(regs[op->rs2])) >>
+                                    64);
+    TRACE_NEXT();
+  TRACE_OP(kDiv)
+    regs[op->rd] = div_signed(regs[op->rs1], regs[op->rs2]);
+    TRACE_NEXT();
+  TRACE_OP(kDivu) {
+    const u64 b = regs[op->rs2];
+    regs[op->rd] = (b == 0) ? ~u64{0} : regs[op->rs1] / b;
+  }
+  TRACE_NEXT();
+  TRACE_OP(kRem)
+    regs[op->rd] = rem_signed(regs[op->rs1], regs[op->rs2]);
+    TRACE_NEXT();
+  TRACE_OP(kRemu) {
+    const u64 a = regs[op->rs1];
+    const u64 b = regs[op->rs2];
+    regs[op->rd] = (b == 0) ? a : a % b;
+  }
+  TRACE_NEXT();
+
+  // ---- ALU register-immediate (shift amounts & LUI pre-masked) ----
+  TRACE_OP(kAddi)
+    regs[op->rd] = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    TRACE_NEXT();
+  TRACE_OP(kAndi)
+    regs[op->rd] = regs[op->rs1] & static_cast<u64>(static_cast<i64>(op->imm));
+    TRACE_NEXT();
+  TRACE_OP(kOri)
+    regs[op->rd] = regs[op->rs1] | static_cast<u64>(static_cast<i64>(op->imm));
+    TRACE_NEXT();
+  TRACE_OP(kXori)
+    regs[op->rd] = regs[op->rs1] ^ static_cast<u64>(static_cast<i64>(op->imm));
+    TRACE_NEXT();
+  TRACE_OP(kSlli) regs[op->rd] = regs[op->rs1] << op->imm; TRACE_NEXT();
+  TRACE_OP(kSrli) regs[op->rd] = regs[op->rs1] >> op->imm; TRACE_NEXT();
+  TRACE_OP(kSrai)
+    regs[op->rd] = static_cast<u64>(static_cast<i64>(regs[op->rs1]) >> op->imm);
+    TRACE_NEXT();
+  TRACE_OP(kSlti)
+    regs[op->rd] = static_cast<i64>(regs[op->rs1]) < static_cast<i64>(op->imm) ? 1 : 0;
+    TRACE_NEXT();
+  TRACE_OP(kSltiu)
+    regs[op->rd] = regs[op->rs1] < static_cast<u64>(static_cast<i64>(op->imm)) ? 1 : 0;
+    TRACE_NEXT();
+  TRACE_OP(kLui)
+    regs[op->rd] = static_cast<u64>(static_cast<i64>(op->imm));
+    TRACE_NEXT();
+
+  // ---- terminal control transfers ----
+#define FLEX_TRACE_BRANCH_TAIL(taken_expr)                                   \
+  {                                                                          \
+    const bool taken = (taken_expr);                                         \
+    const Addr bpc = t.entry_pc + static_cast<Addr>(op->imm) * 4;            \
+    if (bpred_.predict_taken(bpc) != taken) {                                \
+      extra += bpred_.config().mispredict_penalty;                           \
+      ++mispredicts_;                                                        \
+    }                                                                        \
+    bpred_.update(bpc, taken);                                               \
+    if (taken) next_pc = op->target;                                         \
+  }                                                                          \
+  TRACE_DONE()
+
+  TRACE_OP(kBeq) FLEX_TRACE_BRANCH_TAIL(regs[op->rs1] == regs[op->rs2]);
+  TRACE_OP(kBne) FLEX_TRACE_BRANCH_TAIL(regs[op->rs1] != regs[op->rs2]);
+  TRACE_OP(kBlt)
+    FLEX_TRACE_BRANCH_TAIL(static_cast<i64>(regs[op->rs1]) <
+                           static_cast<i64>(regs[op->rs2]));
+  TRACE_OP(kBge)
+    FLEX_TRACE_BRANCH_TAIL(static_cast<i64>(regs[op->rs1]) >=
+                           static_cast<i64>(regs[op->rs2]));
+  TRACE_OP(kBltu) FLEX_TRACE_BRANCH_TAIL(regs[op->rs1] < regs[op->rs2]);
+  TRACE_OP(kBgeu) FLEX_TRACE_BRANCH_TAIL(regs[op->rs1] >= regs[op->rs2]);
+
+  TRACE_OP(kJal) {
+    const Addr jpc = t.entry_pc + static_cast<Addr>(op->imm) * 4;
+    next_pc = op->target;
+    const auto hit = bpred_.btb_lookup(jpc);
+    if (!hit.has_value() || *hit != next_pc) {
+      extra += 1;  // decode-stage redirect bubble
+      bpred_.btb_insert(jpc, next_pc);
+    }
+    if (op->rd == 1) bpred_.ras_push(jpc + 4);
+    if (op->rd != 0) regs[op->rd] = jpc + 4;
+  }
+  TRACE_DONE();
+  TRACE_OP(kJalr) {
+    const Addr jpc = op->target;
+    const Addr target =
+        (regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm))) & ~u64{1};
+    if (op->rd == 0 && op->rs1 == 1) {
+      const auto predicted = bpred_.ras_pop();
+      if (!predicted.has_value() || *predicted != target) {
+        extra += bpred_.config().mispredict_penalty;
+        ++mispredicts_;
+      }
+    } else {
+      const auto hit = bpred_.btb_lookup(jpc);
+      if (!hit.has_value() || *hit != target) {
+        extra += bpred_.config().mispredict_penalty;
+        ++mispredicts_;
+        bpred_.btb_insert(jpc, target);
+      }
+      if (op->rd == 1) bpred_.ras_push(jpc + 4);
+    }
+    if (op->rd != 0) regs[op->rd] = jpc + 4;
+    next_pc = target;
+  }
+  TRACE_DONE();
+
+  // ---- loads (load-use bubble folded into base_cost) ----
+  TRACE_OP(kLb) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 1);
+    if (op->rd != 0) {
+      regs[op->rd] = static_cast<u64>(static_cast<i64>(static_cast<i8>(value)));
+    }
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLbu) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 1);
+    if (op->rd != 0) regs[op->rd] = value;
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLh) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 2);
+    if (op->rd != 0) {
+      regs[op->rd] = static_cast<u64>(static_cast<i64>(static_cast<i16>(value)));
+    }
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLhu) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 2);
+    if (op->rd != 0) regs[op->rd] = value;
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLw) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 4);
+    if (op->rd != 0) {
+      regs[op->rd] = static_cast<u64>(static_cast<i64>(static_cast<i32>(value)));
+    }
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLwu) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 4);
+    if (op->rd != 0) regs[op->rd] = value;
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLd) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 8);
+    if (op->rd != 0) regs[op->rd] = value;
+  }
+  TRACE_NEXT();
+
+  // ---- stores (reservation invalidation inside Memory::write) ----
+  TRACE_OP(kSb) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    memory_.write(addr, 1, regs[op->rs2] & 0xff);
+  }
+  TRACE_NEXT();
+  TRACE_OP(kSh) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    memory_.write(addr, 2, regs[op->rs2] & 0xffff);
+  }
+  TRACE_NEXT();
+  TRACE_OP(kSw) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    memory_.write(addr, 4, regs[op->rs2] & 0xffff'ffff);
+  }
+  TRACE_NEXT();
+  TRACE_OP(kSd) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    memory_.write(addr, 8, regs[op->rs2]);
+  }
+  TRACE_NEXT();
+
+  // ---- pseudo-ops ----
+  TRACE_OP(kIFetchProbe) extra += caches_.fetch(op->target); TRACE_NEXT();
+  TRACE_OP(kExit) TRACE_DONE();
+
+  // ---- fused superinstructions (both commits, in order) ----
+  TRACE_OP(kLdAddAcc) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 8);
+    regs[op->rd] = value;
+    regs[op->rs2] += value;
+  }
+  TRACE_NEXT();
+  TRACE_OP(kLdXorAcc) {
+    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
+    extra += caches_.data(addr);
+    const u64 value = memory_.read(addr, 8);
+    regs[op->rd] = value;
+    regs[op->rs2] ^= value;
+  }
+  TRACE_NEXT();
+  TRACE_OP(kAndiBne) {
+    const u64 masked = regs[op->rs1] & static_cast<u64>(static_cast<i64>(op->imm));
+    regs[op->rd] = masked;
+    const bool taken = masked != 0;
+    const Addr bpc = t.entry_pc + static_cast<Addr>(op->rs2) * 4;
+    if (bpred_.predict_taken(bpc) != taken) {
+      extra += bpred_.config().mispredict_penalty;
+      ++mispredicts_;
+    }
+    bpred_.update(bpc, taken);
+    if (taken) next_pc = op->target;
+  }
+  TRACE_DONE();
+  TRACE_OP(kAndiBeq) {
+    const u64 masked = regs[op->rs1] & static_cast<u64>(static_cast<i64>(op->imm));
+    regs[op->rd] = masked;
+    const bool taken = masked == 0;
+    const Addr bpc = t.entry_pc + static_cast<Addr>(op->rs2) * 4;
+    if (bpred_.predict_taken(bpc) != taken) {
+      extra += bpred_.config().mispredict_penalty;
+      ++mispredicts_;
+    }
+    bpred_.update(bpc, taken);
+    if (taken) next_pc = op->target;
+  }
+  TRACE_DONE();
+  TRACE_OP(kMulAddi)
+    regs[op->rd] = regs[op->rs1] * regs[op->rs2] +
+                   static_cast<u64>(static_cast<i64>(op->imm));
+    TRACE_NEXT();
+  TRACE_OP(kAndAdd)
+    regs[op->rd] = regs[static_cast<u8>(op->imm)] + (regs[op->rs1] & regs[op->rs2]);
+    TRACE_NEXT();
+
+  // ---- generic ALU pairs: first half in the pair op, second in the payload
+  // slot it consumes. Sequential execution keeps intra-pair dependencies
+  // (second half reading the first's rd) exact. ----
+#define FLEX_ALU_HALF_Add(o) regs[(o)->rd] = regs[(o)->rs1] + regs[(o)->rs2]
+#define FLEX_ALU_HALF_Sub(o) regs[(o)->rd] = regs[(o)->rs1] - regs[(o)->rs2]
+#define FLEX_ALU_HALF_Xor(o) regs[(o)->rd] = regs[(o)->rs1] ^ regs[(o)->rs2]
+#define FLEX_ALU_HALF_Or(o) regs[(o)->rd] = regs[(o)->rs1] | regs[(o)->rs2]
+#define FLEX_ALU_HALF_Slli(o) regs[(o)->rd] = regs[(o)->rs1] << (o)->imm
+#define FLEX_ALU_HALF_Addi(o) \
+  regs[(o)->rd] = regs[(o)->rs1] + static_cast<u64>(static_cast<i64>((o)->imm))
+#define FLEX_TRACE_PAIR_HANDLER(name, first, second) \
+  TRACE_OP(kPair##name) {                            \
+    FLEX_ALU_HALF_##first(op);                       \
+    ++op;                                            \
+    FLEX_ALU_HALF_##second(op);                      \
+  }                                                  \
+  TRACE_NEXT();
+  FLEX_TRACE_PAIR_LIST(FLEX_TRACE_PAIR_HANDLER)
+#undef FLEX_TRACE_PAIR_HANDLER
+
+#if !FLEX_TRACE_THREADED
+    }
+    ++op;
+  }
+#endif
+
+trace_done:
+  pc = next_pc;
+  cycle += t.base_cost + extra;
+  instret += t.inst_count;
+  last_line = t.exit_line;
+  trace_cache_->count_dispatch(t.inst_count);
+}
+
+#undef TRACE_OP
+#undef TRACE_NEXT
+#undef TRACE_DONE
+#undef FLEX_TRACE_BRANCH_TAIL
 
 Core::Status Core::step() {
   if (status_ != Status::kRunning) return status_;
@@ -655,8 +1089,7 @@ Core::Status Core::step() {
       cost += isa::opcode_latency(inst.op) - 1;
       break;
     case Opcode::kDiv:
-      rd_value = (b == 0) ? ~u64{0}
-                          : static_cast<u64>(static_cast<i64>(a) / static_cast<i64>(b));
+      rd_value = div_signed(a, b);
       write_rd = true;
       cost += isa::opcode_latency(inst.op) - 1;
       break;
@@ -666,8 +1099,7 @@ Core::Status Core::step() {
       cost += isa::opcode_latency(inst.op) - 1;
       break;
     case Opcode::kRem:
-      rd_value =
-          (b == 0) ? a : static_cast<u64>(static_cast<i64>(a) % static_cast<i64>(b));
+      rd_value = rem_signed(a, b);
       write_rd = true;
       cost += isa::opcode_latency(inst.op) - 1;
       break;

@@ -19,10 +19,13 @@
 
 namespace flexstep::arch {
 
+struct Trace;
+class TraceCache;
+
 /// "No cycle bound" sentinel for Core::run_until.
 inline constexpr Cycle kNoCycleBound = ~Cycle{0};
 
-class Core {
+class Core : private ReservationObserver {
  public:
   enum class Status : u8 {
     kIdle,              ///< Parked by the kernel; nothing to run.
@@ -37,6 +40,7 @@ class Core {
 
   Core(const Core&) = delete;
   Core& operator=(const Core&) = delete;
+  ~Core();
 
   /// Complete per-core state: architectural registers and CSRs, private-cache
   /// tags, branch-predictor tables, LR/SC reservation, interrupt/timer state,
@@ -193,6 +197,10 @@ class Core {
   u64 stall_cycles() const { return stall_cycles_; }
   u64 mispredicts() const { return mispredicts_; }
 
+  /// Superinstruction trace cache (nullptr when disabled by CoreConfig).
+  /// Purely derived state: flushed on restore, never part of snapshots.
+  const TraceCache* trace_cache() const { return trace_cache_.get(); }
+
  private:
   class CachePort;  // default MemPort through the cache hierarchy
 
@@ -206,6 +214,20 @@ class Core {
   /// condition, image exit, bound or quantum break requires the caller to fall
   /// back to step() / re-evaluate hoisted state.
   void run_fast_path(Cycle stop_before, u64 instret_end);
+
+  /// Replay one recorded trace (arch/trace.h). Caller guarantees headroom:
+  /// cycle + trace.worst_cost stays below the quantum limit and
+  /// instret + trace.inst_count within the instruction bound.
+  void execute_trace(const Trace& trace, Addr& pc, Cycle& cycle, u64& instret,
+                     Addr& last_line);
+
+  /// LR/SC reservation: the local flags are the architectural state (they
+  /// round-trip through Snapshot); the shared Memory registry mirrors them so
+  /// any write to the granule — own store/AMO or another core's — invalidates.
+  void set_reservation(Addr granule);
+  void release_reservation();
+  // ReservationObserver (called from Memory's write path).
+  void on_reservation_invalidated() override { reservation_valid_ = false; }
 
   CoreId id_;
   CoreConfig config_;
@@ -251,6 +273,9 @@ class Core {
 
   // Fetch fast path.
   const LoadedImage* image_ = nullptr;
+
+  // Superinstruction trace cache (arch/trace.h); null when disabled.
+  std::unique_ptr<TraceCache> trace_cache_;
 };
 
 }  // namespace flexstep::arch

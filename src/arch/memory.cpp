@@ -34,6 +34,66 @@ void Memory::restore(const Snapshot& snapshot) {
   }
   // Cached page pointers may reference erased pages.
   ptr_cache_.fill(PtrSlot{});
+  // Reservations are derived per-core state: whoever restores the cores
+  // re-registers any reservation the snapshot carried (Core::restore), so a
+  // stale registry entry must not survive the memory rewind.
+  for (const Reservation& r : reservations_) r.owner->on_reservation_invalidated();
+  reservations_.clear();
+}
+
+void Memory::watch_code_pages(CodeWriteListener* listener, u64 first_page,
+                              u64 last_page) {
+  FLEX_CHECK(first_page <= last_page);
+  if (std::find(code_listeners_.begin(), code_listeners_.end(), listener) ==
+      code_listeners_.end()) {
+    code_listeners_.push_back(listener);
+  }
+  const u64 min = std::min(watch_min_page_ == ~u64{0} ? first_page : watch_min_page_,
+                           first_page);
+  const u64 max = std::max(watch_min_page_ == ~u64{0} ? last_page
+                                                      : watch_min_page_ + watch_page_span_,
+                           last_page);
+  watch_min_page_ = min;
+  watch_page_span_ = max - min;
+}
+
+void Memory::unwatch_code_pages(CodeWriteListener* listener) {
+  std::erase(code_listeners_, listener);
+  if (code_listeners_.empty()) {
+    watch_min_page_ = ~u64{0};
+    watch_page_span_ = 0;
+  }
+}
+
+void Memory::notify_code_write(u64 page_id) {
+  for (CodeWriteListener* listener : code_listeners_) {
+    listener->on_code_page_written(page_id);
+  }
+}
+
+void Memory::set_reservation(ReservationObserver* owner, Addr granule_addr) {
+  FLEX_DCHECK((granule_addr & 7) == 0);
+  for (Reservation& r : reservations_) {
+    if (r.owner == owner) {
+      r.granule = granule_addr;
+      return;
+    }
+  }
+  reservations_.push_back({owner, granule_addr});
+}
+
+void Memory::clear_reservation(ReservationObserver* owner) {
+  std::erase_if(reservations_, [&](const Reservation& r) { return r.owner == owner; });
+}
+
+void Memory::invalidate_reservations(Addr addr, std::size_t bytes) {
+  const Addr lo = addr & ~Addr{7};
+  const Addr hi = (addr + bytes - 1) & ~Addr{7};
+  std::erase_if(reservations_, [&](const Reservation& r) {
+    if (r.granule < lo || r.granule > hi) return false;
+    r.owner->on_reservation_invalidated();
+    return true;
+  });
 }
 
 u8* Memory::page_data_slow(Addr addr) {
@@ -62,6 +122,12 @@ u64 Memory::read_split(Addr addr, u32 bytes) {
 
 void Memory::write_split(Addr addr, u32 bytes, u64 value) {
   FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+  // write() already ran the guards for the first page; the split also lands
+  // on the next page, which may be watched independently.
+  const u64 second_page = (addr >> kPageBits) + 1;
+  if (second_page - watch_min_page_ <= watch_page_span_) {
+    notify_code_write(second_page);
+  }
   const u32 first = static_cast<u32>(kPageSize - (addr & (kPageSize - 1)));
   const auto* src = reinterpret_cast<const u8*>(&value);
   std::memcpy(page_data(addr) + (addr & (kPageSize - 1)), src, first);
@@ -69,6 +135,12 @@ void Memory::write_split(Addr addr, u32 bytes, u64 value) {
 }
 
 void Memory::write_block(Addr addr, const void* src, std::size_t n) {
+  if (n == 0) return;
+  for (u64 page = addr >> kPageBits, last = (addr + n - 1) >> kPageBits; page <= last;
+       ++page) {
+    if (page - watch_min_page_ <= watch_page_span_) notify_code_write(page);
+  }
+  if (!reservations_.empty()) invalidate_reservations(addr, n);
   const auto* bytes = static_cast<const u8*>(src);
   while (n > 0) {
     const Addr offset = addr & (kPageSize - 1);

@@ -23,6 +23,35 @@
 
 namespace flexstep::arch {
 
+/// Receives a deferred notification when a watched (code) page is written.
+/// Used by the per-core trace caches: a store into a page covered by recorded
+/// traces must eventually drop those traces. Handlers run inside Memory's
+/// write path, so they must only set flags / record the page — never free
+/// trace storage that might be executing (TraceCache defers the flush to its
+/// next lookup boundary).
+class CodeWriteListener {
+ public:
+  virtual void on_code_page_written(u64 page_id) = 0;
+
+ protected:
+  ~CodeWriteListener() = default;
+};
+
+/// Holder of an LR/SC reservation. Memory tracks every live reservation in
+/// the (shared) physical address space and invalidates it when ANY agent —
+/// the owning core, another core's store/AMO/SC, a bulk write — touches the
+/// reserved 8-byte granule. This centralises what the per-core cache port
+/// used to approximate locally ("cross-core invalidation handled in sc()"),
+/// which let a different core's store to the reserved line slip through and
+/// an AMO leave the owner's own reservation standing.
+class ReservationObserver {
+ public:
+  virtual void on_reservation_invalidated() = 0;
+
+ protected:
+  ~ReservationObserver() = default;
+};
+
 class Memory {
  public:
   static constexpr unsigned kPageBits = 12;
@@ -64,6 +93,14 @@ class Memory {
 
   void write(Addr addr, u32 bytes, u64 value) {
     FLEX_DCHECK(bytes == 1 || bytes == 2 || bytes == 4 || bytes == 8);
+    // Write guards, filtered to two predictable compares on the hot path:
+    // code-page watch (trace invalidation) and live LR/SC reservations.
+    if ((addr >> kPageBits) - watch_min_page_ <= watch_page_span_) [[unlikely]] {
+      notify_code_write(addr >> kPageBits);
+    }
+    if (!reservations_.empty()) [[unlikely]] {
+      invalidate_reservations(addr, bytes);
+    }
     const Addr offset = addr & (kPageSize - 1);
     if (offset + bytes <= kPageSize) [[likely]] {
       std::memcpy(page_data(addr) + offset, &value, bytes);
@@ -84,6 +121,23 @@ class Memory {
   /// Number of materialised pages (tests / footprint accounting).
   std::size_t resident_pages() const { return pages_.size(); }
 
+  // ---- code-page write watching (trace-cache invalidation) ----
+
+  /// Ask for on_code_page_written() whenever any page in [first, last] is
+  /// stored to. Ranges from repeated calls merge; watching is idempotent.
+  void watch_code_pages(CodeWriteListener* listener, u64 first_page, u64 last_page);
+  void unwatch_code_pages(CodeWriteListener* listener);
+
+  // ---- LR/SC reservation registry ----
+
+  /// Register/replace `owner`'s reservation on the 8-byte granule at
+  /// `granule_addr` (already masked). Any subsequent write overlapping the
+  /// granule — from any core or bulk path — invalidates it and notifies.
+  void set_reservation(ReservationObserver* owner, Addr granule_addr);
+  void clear_reservation(ReservationObserver* owner);
+  /// Live reservations (tests).
+  std::size_t reservation_count() const { return reservations_.size(); }
+
  private:
   /// Direct-mapped page-pointer cache. 16 entries cover a core's code, stack
   /// and a few data streams plus the checker's interleaved pages.
@@ -103,9 +157,23 @@ class Memory {
   u8* page_data_slow(Addr addr);
   u64 read_split(Addr addr, u32 bytes);
   void write_split(Addr addr, u32 bytes, u64 value);
+  void notify_code_write(u64 page_id);
+  void invalidate_reservations(Addr addr, std::size_t bytes);
 
   std::unordered_map<u64, std::unique_ptr<Page>> pages_;
   std::array<PtrSlot, kPtrCacheSize> ptr_cache_{};
+
+  // Code-page watch: the hot-path filter is a single range compare over the
+  // union of all watched ranges; listeners narrow to their own pages.
+  std::vector<CodeWriteListener*> code_listeners_;
+  u64 watch_min_page_ = ~u64{0};  ///< ~0 disarms the filter (page - ~0 wraps).
+  u64 watch_page_span_ = 0;
+
+  struct Reservation {
+    ReservationObserver* owner;
+    Addr granule;  ///< 8-byte-aligned reserved address.
+  };
+  std::vector<Reservation> reservations_;  ///< At most one entry per core.
 };
 
 }  // namespace flexstep::arch

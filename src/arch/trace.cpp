@@ -1,0 +1,339 @@
+#include "arch/trace.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "isa/opcode.h"
+
+namespace flexstep::arch {
+
+using isa::Opcode;
+
+// The first TraceOpKind block mirrors the fast-path opcode prefix
+// value-for-value so recording a plain instruction is a cast. Pin the
+// anchors; the fast-path contiguity itself is asserted in core.cpp.
+static_assert(static_cast<u8>(TraceOpKind::kAdd) == static_cast<u8>(Opcode::kAdd));
+static_assert(static_cast<u8>(TraceOpKind::kAddi) == static_cast<u8>(Opcode::kAddi));
+static_assert(static_cast<u8>(TraceOpKind::kLui) == static_cast<u8>(Opcode::kLui));
+static_assert(static_cast<u8>(TraceOpKind::kBeq) == static_cast<u8>(Opcode::kBeq));
+static_assert(static_cast<u8>(TraceOpKind::kJalr) == static_cast<u8>(Opcode::kJalr));
+static_assert(static_cast<u8>(TraceOpKind::kLd) == static_cast<u8>(Opcode::kLd));
+static_assert(static_cast<u8>(TraceOpKind::kSd) == static_cast<u8>(Opcode::kSd));
+static_assert(static_cast<u8>(TraceOpKind::kIFetchProbe) ==
+              static_cast<u8>(Opcode::kLrD));
+// ALU-pair kinds are laid out row-major over the 6-op alphabet right after
+// the named fused ops, so the recorder computes base + 6*first + second.
+static_assert(static_cast<u8>(TraceOpKind::kPairAddAdd) ==
+              static_cast<u8>(TraceOpKind::kAndAdd) + 1);
+static_assert(static_cast<u8>(TraceOpKind::kPairAddiAddi) ==
+              static_cast<u8>(TraceOpKind::kPairAddAdd) + 35);
+
+namespace {
+
+/// Index into the ALU-pair alphabet {Add, Sub, Xor, Or, Slli, Addi}, or -1.
+int alu_pair_index(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return 0;
+    case Opcode::kSub: return 1;
+    case Opcode::kXor: return 2;
+    case Opcode::kOr: return 3;
+    case Opcode::kSlli: return 4;
+    case Opcode::kAddi: return 5;
+    default: return -1;
+  }
+}
+
+i32 alu_pair_imm(Opcode op, i32 imm) { return op == Opcode::kSlli ? (imm & 63) : imm; }
+
+}  // namespace
+
+TraceCache::TraceCache(const TraceConfig& config, Memory& memory,
+                       const TraceCostModel& cost)
+    : config_(config), memory_(memory), cost_(cost) {
+  const std::size_t slots = std::size_t{1} << config_.slots_log2;
+  slot_mask_ = slots - 1;
+  slots_.resize(slots);
+  heat_.resize(slots);
+}
+
+TraceCache::~TraceCache() { memory_.unwatch_code_pages(this); }
+
+void TraceCache::on_code_page_written(u64 page_id) {
+  // Deferred: the store may execute inside the very trace it invalidates, so
+  // freeing trace storage here would be use-after-free. lookup()/
+  // notice_entry() process the flush at the next dispatch boundary.
+  pending_invalidation_ = true;
+  if (std::find(dirty_pages_.begin(), dirty_pages_.end(), page_id) ==
+      dirty_pages_.end()) {
+    dirty_pages_.push_back(page_id);
+  }
+}
+
+void TraceCache::process_pending_invalidation() {
+  for (Slot& slot : slots_) {
+    if (slot.trace == nullptr) continue;
+    const bool dirty = std::any_of(
+        dirty_pages_.begin(), dirty_pages_.end(), [&](u64 page) {
+          return page >= slot.trace->first_page && page <= slot.trace->last_page;
+        });
+    if (dirty) {
+      slot.entry_pc = ~Addr{0};
+      slot.trace.reset();
+      ++stats_.code_write_flushes;
+    }
+  }
+  dirty_pages_.clear();
+  pending_invalidation_ = false;
+}
+
+void TraceCache::flush() {
+  for (Slot& slot : slots_) {
+    slot.entry_pc = ~Addr{0};
+    slot.trace.reset();
+  }
+  for (Heat& heat : heat_) heat = Heat{};
+  dirty_pages_.clear();
+  pending_invalidation_ = false;
+  ++stats_.full_flushes;
+}
+
+const Trace* TraceCache::notice_entry(Addr pc, const isa::Instruction* code,
+                                      Addr base, Addr end) {
+  if (pending_invalidation_) process_pending_invalidation();
+  Heat& heat = heat_[slot_index(pc)];
+  if (heat.pc != pc) {
+    // Cold (or aliased) entry: start counting afresh.
+    heat.pc = pc;
+    heat.count = 1;
+    return nullptr;
+  }
+  if (heat.count == kRefused) return nullptr;
+  if (++heat.count < config_.heat_threshold) return nullptr;
+
+  auto trace = std::make_unique<Trace>();
+  if (!record(pc, code, base, end, *trace)) {
+    heat.count = kRefused;  // too short / starts at a slow op: never re-walk
+    ++stats_.refused;
+    return nullptr;
+  }
+  memory_.watch_code_pages(this, trace->first_page, trace->last_page);
+  Slot& slot = slots_[slot_index(pc)];
+  slot.entry_pc = pc;
+  slot.trace = std::move(trace);
+  ++stats_.recorded;
+  return slot.trace.get();
+}
+
+bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
+                        Addr end, Trace& out) const {
+  out.entry_pc = entry_pc;
+  out.ops.clear();
+  out.inst_count = 0;
+  out.base_cost = 0;
+  // The first fetch line is probed dynamically (it may equal the incoming
+  // last_fetch_line); budget its worst case up front.
+  Cycle worst_extra = cost_.worst_miss;
+
+  // Phase 1: bound the straight-line region [entry_pc, region_end): stop
+  // before the first slow-path opcode, after the first control transfer, at
+  // the image end, or at the length cap.
+  Addr pc = entry_pc;
+  bool terminal = false;
+  u32 insts = 0;
+  while (!terminal && pc >= base && pc < end && insts < config_.max_insts) {
+    const Opcode op = code[(pc - base) / 4].op;
+    if (static_cast<u8>(op) > static_cast<u8>(Opcode::kSd)) break;  // slow path
+    terminal = (static_cast<u8>(op) >= static_cast<u8>(Opcode::kBeq) &&
+                static_cast<u8>(op) <= static_cast<u8>(Opcode::kJalr));
+    ++insts;
+    pc += 4;
+  }
+  // A zero-instruction trace (entry at a slow-path opcode) would advance
+  // nothing and spin the dispatch loop forever, whatever min_insts says.
+  if (insts == 0 || insts < config_.min_insts) return false;
+  const Addr region_end = pc;
+  out.inst_count = insts;
+
+  // Phase 2: translate, with a peephole over adjacent pairs. A fused
+  // superinstruction performs both architectural commits in order — fusion
+  // only skips one dispatch, never an effect. Pairs are not fused across a
+  // fetch-line boundary: the second instruction's I-probe must stay ordered
+  // between the two commits (it can contend with data probes in the L2).
+  const auto at = [&](Addr p) -> const isa::Instruction& {
+    return code[(p - base) / 4];
+  };
+  const auto line_boundary = [&](Addr p) {
+    return p != entry_pc && (p >> 6) != ((p - 4) >> 6);
+  };
+  const auto inst_index = [&](Addr p) { return static_cast<u32>((p - entry_pc) / 4); };
+
+  for (Addr p = entry_pc; p < region_end; p += 4) {
+    const isa::Instruction& inst = at(p);
+    if (line_boundary(p)) {
+      // Straight-line code enters a new 64 B line: always a fresh probe
+      // (last_fetch_line trails by exactly one line here).
+      TraceOp probe;
+      probe.kind = static_cast<u8>(TraceOpKind::kIFetchProbe);
+      probe.target = p;
+      out.ops.push_back(probe);
+      worst_extra += cost_.worst_miss;
+    }
+
+    TraceOp op;
+    op.kind = static_cast<u8>(inst.op);
+    op.rd = inst.rd;
+    op.rs1 = inst.rs1;
+    op.rs2 = inst.rs2;
+    op.imm = inst.imm;
+    bool emit = true;
+    out.base_cost += 1;
+
+    // ---- pair fusion (second instruction must exist, carry no probe) ----
+    const isa::Instruction* next =
+        (p + 4 < region_end && !line_boundary(p + 4)) ? &at(p + 4) : nullptr;
+    if (next != nullptr) {
+      const Addr np = p + 4;
+      bool fused = false;
+      if (inst.op == Opcode::kLd && inst.rd != 0 &&
+          (next->op == Opcode::kAdd || next->op == Opcode::kXor) &&
+          next->rd != 0 && next->rd == next->rs1 && next->rs2 == inst.rd) {
+        // ld rd,(rs1)imm ; acc op= rd
+        op.kind = static_cast<u8>(next->op == Opcode::kAdd ? TraceOpKind::kLdAddAcc
+                                                           : TraceOpKind::kLdXorAcc);
+        op.rs2 = next->rd;
+        out.base_cost += 1 + cost_.load_use;
+        worst_extra += cost_.worst_miss;
+        fused = true;
+      } else if (inst.op == Opcode::kAndi && inst.rd != 0 &&
+                 (next->op == Opcode::kBne || next->op == Opcode::kBeq) &&
+                 next->rs1 == inst.rd && next->rs2 == 0 &&
+                 inst_index(np) <= 0xFF) {  // branch index rides in a u8 field
+        // andi rd,rs1,imm ; bne/beq rd,x0,target  (terminal)
+        op.kind = static_cast<u8>(next->op == Opcode::kBne ? TraceOpKind::kAndiBne
+                                                           : TraceOpKind::kAndiBeq);
+        op.rs2 = static_cast<u8>(inst_index(np));
+        op.target = np + static_cast<Addr>(static_cast<i64>(next->imm));
+        out.base_cost += 1;
+        worst_extra += cost_.mispredict;
+        fused = true;
+      } else if (inst.op == Opcode::kMul && inst.rd != 0 &&
+                 next->op == Opcode::kAddi && next->rd == inst.rd &&
+                 next->rs1 == inst.rd) {
+        // mul rd,rs1,rs2 ; addi rd,rd,imm
+        op.kind = static_cast<u8>(TraceOpKind::kMulAddi);
+        op.imm = next->imm;
+        out.base_cost += isa::opcode_latency(Opcode::kMul) - 1 + 1;
+        fused = true;
+      } else if (inst.op == Opcode::kAnd && inst.rd != 0 &&
+                 next->op == Opcode::kAdd && next->rd == inst.rd &&
+                 next->rs2 == inst.rd && next->rs1 != inst.rd) {
+        // and rd,rs1,rs2 ; add rd,base,rd  (base register carried in imm)
+        op.kind = static_cast<u8>(TraceOpKind::kAndAdd);
+        op.imm = next->rs1;
+        out.base_cost += 1;
+        fused = true;
+      } else if (inst.rd != 0 && next->rd != 0) {
+        // Generic single-cycle ALU pair: one dispatch, second half in a
+        // payload slot the handler consumes.
+        const int first = alu_pair_index(inst.op);
+        const int second = alu_pair_index(next->op);
+        if (first >= 0 && second >= 0) {
+          op.kind = static_cast<u8>(
+              static_cast<u8>(TraceOpKind::kPairAddAdd) + 6 * first + second);
+          op.imm = alu_pair_imm(inst.op, inst.imm);
+          out.ops.push_back(op);
+          TraceOp payload;
+          payload.kind = static_cast<u8>(next->op);  // informational only
+          payload.rd = next->rd;
+          payload.rs1 = next->rs1;
+          payload.rs2 = next->rs2;
+          payload.imm = alu_pair_imm(next->op, next->imm);
+          out.base_cost += 1;
+          op = payload;  // pushed by the shared tail below
+          fused = true;
+        }
+      }
+      if (fused) {
+        out.ops.push_back(op);
+        p += 4;
+        continue;
+      }
+    }
+
+    switch (inst.op) {
+      case Opcode::kMul:
+      case Opcode::kMulh:
+      case Opcode::kDiv:
+      case Opcode::kDivu:
+      case Opcode::kRem:
+      case Opcode::kRemu:
+        out.base_cost += isa::opcode_latency(inst.op) - 1;
+        emit = inst.rd != 0;
+        break;
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kSll: case Opcode::kSrl:
+      case Opcode::kSra: case Opcode::kAnd: case Opcode::kOr: case Opcode::kXor:
+      case Opcode::kSlt: case Opcode::kSltu:
+      case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri: case Opcode::kXori:
+      case Opcode::kSlti: case Opcode::kSltiu:
+        emit = inst.rd != 0;  // pure ALU into x0: only the cycle counts
+        break;
+      case Opcode::kSlli:
+      case Opcode::kSrli:
+      case Opcode::kSrai:
+        op.imm = inst.imm & 63;
+        emit = inst.rd != 0;
+        break;
+      case Opcode::kLui:
+        // Pre-shift: imm19 << 13 spans exactly [-2^31, 2^31 - 2^13].
+        op.imm = static_cast<i32>(static_cast<i64>(inst.imm) << isa::kLuiShift);
+        emit = inst.rd != 0;
+        break;
+
+      case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+        op.imm = static_cast<i32>(inst_index(p));
+        op.target = p + static_cast<Addr>(static_cast<i64>(inst.imm));
+        worst_extra += cost_.mispredict;
+        break;
+      case Opcode::kJal:
+        op.imm = static_cast<i32>(inst_index(p));
+        op.target = p + static_cast<Addr>(static_cast<i64>(inst.imm));
+        worst_extra += 1;  // decode-stage redirect bubble on BTB miss
+        break;
+      case Opcode::kJalr:
+        op.target = p;  // needed for link value / BTB / RAS
+        worst_extra += cost_.mispredict;
+        break;
+
+      case Opcode::kLb: case Opcode::kLbu: case Opcode::kLh: case Opcode::kLhu:
+      case Opcode::kLw: case Opcode::kLwu: case Opcode::kLd:
+        out.base_cost += cost_.load_use;
+        worst_extra += cost_.worst_miss;
+        break;
+      case Opcode::kSb: case Opcode::kSh: case Opcode::kSw: case Opcode::kSd:
+        worst_extra += cost_.worst_miss;
+        break;
+
+      default:
+        FLEX_CHECK_MSG(false, "non-fast-path opcode reached the trace recorder");
+    }
+
+    if (emit) out.ops.push_back(op);
+  }
+
+  if (!terminal) {
+    // Sentinel so the replay loop needs no bound check.
+    TraceOp exit_op;
+    exit_op.kind = static_cast<u8>(TraceOpKind::kExit);
+    out.ops.push_back(exit_op);
+  }
+
+  out.exit_pc = region_end;
+  out.exit_line = (region_end - 4) >> 6;
+  out.worst_cost = out.base_cost + worst_extra;
+  out.first_page = entry_pc >> Memory::kPageBits;
+  out.last_page = (region_end - 1) >> Memory::kPageBits;
+  return true;
+}
+
+}  // namespace flexstep::arch

@@ -1,0 +1,229 @@
+// Superinstruction trace cache for the batched execution engine.
+//
+// Core::run_fast_path still pays a full decode-dispatch iteration per
+// instruction (bounds check, fetch-line compare, opcode-range test, loop
+// bounds, 70-way switch). Classic threaded-code results (Ertl & Gregg;
+// QEMU-style TB chaining) show hot straight-line regions can amortise nearly
+// all of that: record the region once, pre-decode it into a dense array of
+// superinstructions (operands extracted, immediates pre-extended, static
+// stall costs pre-summed), then replay the whole region with one tight loop
+// and a single cycle/instret update at the end.
+//
+// Equivalence contract: executing a trace is bit-identical to stepping the
+// same instructions through Core::step() — same registers, memory, cache
+// tags/LRU, branch-predictor state, cycle/stall/mispredict accounting. The
+// engine guarantees this by construction:
+//   * traces contain only fast-path opcodes (the contiguous [kAdd, kSd]
+//     prefix: ALU, branches, jumps, plain loads/stores) — nothing that can
+//     trap, block, or touch the extension seams;
+//   * a trace only dispatches when the quantum has headroom for its
+//     worst-case cycle cost and full instruction count, so no interrupt
+//     poll, quantum break, or instruction bound can land mid-trace;
+//   * all dynamic microarchitectural probes (I-fetch at line boundaries,
+//     D-cache per access, BHT/BTB/RAS per control transfer) execute in
+//     program order inside the replay loop.
+//
+// Traces are derived state: flushed on snapshot restore (forks stay
+// bit-exact trivially — they never influence outcomes, only host speed) and
+// invalidated when any agent stores to a code page they cover. Invalidation
+// is deferred to the next lookup boundary because the write may originate
+// from inside the executing trace itself.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/config.h"
+#include "arch/memory.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+
+namespace flexstep::arch {
+
+/// Superinstruction kinds, defined through one X-macro so the enum and the
+/// threaded-dispatch table in core.cpp can never drift out of order.
+///
+/// The first block mirrors the fast-path prefix of isa::Opcode
+/// value-for-value (static_asserts in trace.cpp pin the anchors), so
+/// recording a plain instruction is a cast. Then the pseudo-ops:
+///   * kIFetchProbe — I-cache probe for a 64 B fetch-line boundary inside
+///     the trace (`target` = the boundary pc). The trace's first line is
+///     probed dynamically against last_fetch_line before the replay loop.
+///   * kExit — sentinel terminating every trace that does not end in a
+///     control transfer; lets the replay loop drop its bound check.
+/// And the fused superinstructions (one dispatch for a hot two-instruction
+/// idiom; both architectural commits still happen, in order):
+///   * kLdAddAcc / kLdXorAcc — ld rd,(rs1)imm ; add/xor rs2,rs2,rd
+///   * kAndiBne / kAndiBeq   — andi rd,rs1,imm ; bne/beq rd,x0 (terminal;
+///                             branch pc = entry + 4*rs2, taken pc = target)
+///   * kMulAddi              — mul rd,rs1,rs2 ; addi rd,rd,imm
+///   * kAndAdd               — and rd,rs1,rs2 ; add rd,imm-reg,rd
+// clang-format off
+#define FLEX_TRACE_KIND_LIST(X)                                    \
+  X(kAdd) X(kSub) X(kSll) X(kSrl) X(kSra) X(kAnd) X(kOr) X(kXor)   \
+  X(kSlt) X(kSltu) X(kMul) X(kMulh) X(kDiv) X(kDivu) X(kRem)       \
+  X(kRemu)                                                         \
+  X(kAddi) X(kAndi) X(kOri) X(kXori) X(kSlli) X(kSrli) X(kSrai)    \
+  X(kSlti) X(kSltiu) X(kLui)                                       \
+  X(kBeq) X(kBne) X(kBlt) X(kBge) X(kBltu) X(kBgeu)                \
+  X(kJal) X(kJalr)                                                 \
+  X(kLb) X(kLbu) X(kLh) X(kLhu) X(kLw) X(kLwu) X(kLd)              \
+  X(kSb) X(kSh) X(kSw) X(kSd)                                      \
+  X(kIFetchProbe) X(kExit)                                         \
+  X(kLdAddAcc) X(kLdXorAcc) X(kAndiBne) X(kAndiBeq) X(kMulAddi)    \
+  X(kAndAdd)
+// clang-format on
+
+/// Generic fused pairs of single-cycle ALU ops (the bulk of any workload's
+/// straight-line filler): one dispatch executes both halves. The first
+/// half's operands live in the pair op itself, the second half's in the
+/// next (payload) slot, which the handler consumes. The list is row-major in
+/// (first, second) over a fixed 6-op alphabet, so the recorder computes the
+/// kind as base + 6*first + second (static_asserts in trace.cpp pin it).
+// clang-format off
+#define FLEX_TRACE_ALU_ALPHABET(X) X(Add) X(Sub) X(Xor) X(Or) X(Slli) X(Addi)
+#define FLEX_TRACE_PAIR_LIST(X)                                                  \
+  X(AddAdd, Add, Add)   X(AddSub, Add, Sub)   X(AddXor, Add, Xor)                \
+  X(AddOr, Add, Or)     X(AddSlli, Add, Slli) X(AddAddi, Add, Addi)              \
+  X(SubAdd, Sub, Add)   X(SubSub, Sub, Sub)   X(SubXor, Sub, Xor)                \
+  X(SubOr, Sub, Or)     X(SubSlli, Sub, Slli) X(SubAddi, Sub, Addi)              \
+  X(XorAdd, Xor, Add)   X(XorSub, Xor, Sub)   X(XorXor, Xor, Xor)                \
+  X(XorOr, Xor, Or)     X(XorSlli, Xor, Slli) X(XorAddi, Xor, Addi)              \
+  X(OrAdd, Or, Add)     X(OrSub, Or, Sub)     X(OrXor, Or, Xor)                  \
+  X(OrOr, Or, Or)       X(OrSlli, Or, Slli)   X(OrAddi, Or, Addi)                \
+  X(SlliAdd, Slli, Add) X(SlliSub, Slli, Sub) X(SlliXor, Slli, Xor)              \
+  X(SlliOr, Slli, Or)   X(SlliSlli, Slli, Slli) X(SlliAddi, Slli, Addi)          \
+  X(AddiAdd, Addi, Add) X(AddiSub, Addi, Sub) X(AddiXor, Addi, Xor)              \
+  X(AddiOr, Addi, Or)   X(AddiSlli, Addi, Slli) X(AddiAddi, Addi, Addi)
+// clang-format on
+
+enum class TraceOpKind : u8 {
+#define FLEX_TRACE_ENUM(name) name,
+  FLEX_TRACE_KIND_LIST(FLEX_TRACE_ENUM)
+#undef FLEX_TRACE_ENUM
+#define FLEX_TRACE_PAIR_ENUM(name, first, second) kPair##name,
+  FLEX_TRACE_PAIR_LIST(FLEX_TRACE_PAIR_ENUM)
+#undef FLEX_TRACE_PAIR_ENUM
+};
+
+/// One pre-decoded superinstruction. 16 bytes; meaning of the fields varies
+/// by kind (see Core::execute_trace):
+///   * ALU-imm / loads / stores: `imm` is the sign-extended immediate
+///     (shift amounts pre-masked, LUI pre-shifted).
+///   * branches / kJal: `imm` is the instruction index from the trace entry
+///     (pc = entry_pc + 4*imm), `target` the precomputed taken/jump target.
+///   * kJalr: `imm` is the offset, `target` the instruction's own pc.
+///   * kIFetchProbe: `target` is the pc whose line to probe.
+struct TraceOp {
+  u8 kind = 0;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;
+  u64 target = 0;
+};
+
+/// A recorded straight-line region: at most one control transfer, as the
+/// final instruction. Ends early before any slow-path opcode, at the image
+/// end, or at the configured length cap.
+struct Trace {
+  Addr entry_pc = 0;
+  /// Fall-through continuation: pc after the last instruction. The terminal
+  /// control op overrides it dynamically (taken branch / jump target).
+  Addr exit_pc = 0;
+  /// Fetch line of the last instruction — last_fetch_line after replay.
+  Addr exit_line = 0;
+  u32 inst_count = 0;
+  /// Static cycle cost: 1/instruction + multiplier/divider latencies +
+  /// load-use bubbles. Dynamic stalls (cache misses, mispredicts, redirect
+  /// bubbles) are accumulated during replay and added on top.
+  Cycle base_cost = 0;
+  /// base_cost + worst-case dynamic stalls: the quantum-headroom bound that
+  /// guarantees no cycle limit can expire mid-trace.
+  Cycle worst_cost = 0;
+  u64 first_page = 0;  ///< Code pages covered (write-invalidation range).
+  u64 last_page = 0;
+  std::vector<TraceOp> ops;  ///< Includes pseudo-ops; size() >= inst_count.
+};
+
+/// Worst-case/static cost parameters captured from the owning core's
+/// configuration at construction (used to precompute trace cost bounds).
+struct TraceCostModel {
+  Cycle worst_miss = 0;  ///< Upper bound on one cache-probe stall (L2 + DRAM).
+  Cycle load_use = 0;
+  Cycle mispredict = 0;
+};
+
+/// Per-core trace store: direct-mapped table keyed by entry pc, with a heat
+/// table in front so only genuinely hot block entries get recorded.
+class TraceCache final : public CodeWriteListener {
+ public:
+  struct Stats {
+    u64 dispatches = 0;       ///< Traces replayed.
+    u64 insts_from_traces = 0;
+    u64 recorded = 0;
+    u64 refused = 0;          ///< Too-short blocks marked never-record.
+    u64 code_write_flushes = 0;  ///< Traces dropped by stores to code pages.
+    u64 full_flushes = 0;        ///< flush() calls (snapshot restore).
+  };
+
+  TraceCache(const TraceConfig& config, Memory& memory, const TraceCostModel& cost);
+  ~TraceCache();
+
+  TraceCache(const TraceCache&) = delete;
+  TraceCache& operator=(const TraceCache&) = delete;
+
+  /// Trace starting exactly at `pc`, or nullptr. Processes any pending
+  /// write-invalidation first — callers must therefore not hold a Trace
+  /// pointer across lookups.
+  const Trace* lookup(Addr pc) {
+    if (pending_invalidation_) [[unlikely]] process_pending_invalidation();
+    const Slot& slot = slots_[slot_index(pc)];
+    return slot.entry_pc == pc ? slot.trace.get() : nullptr;
+  }
+
+  /// Lookup miss at a block entry: bump the heat counter and, at threshold,
+  /// record the region from the pre-decoded image stream. Returns the fresh
+  /// trace when one was recorded.
+  const Trace* notice_entry(Addr pc, const isa::Instruction* code, Addr base, Addr end);
+
+  /// Drop every trace (snapshot restore: traces are derived state).
+  void flush();
+
+  void count_dispatch(u32 insts) {
+    ++stats_.dispatches;
+    stats_.insts_from_traces += insts;
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  // CodeWriteListener: deferred — the store may run inside a live trace.
+  void on_code_page_written(u64 page_id) override;
+
+ private:
+  struct Slot {
+    Addr entry_pc = ~Addr{0};
+    std::unique_ptr<Trace> trace;
+  };
+  struct Heat {
+    Addr pc = ~Addr{0};
+    u32 count = 0;
+  };
+  static constexpr u32 kRefused = ~u32{0};
+
+  std::size_t slot_index(Addr pc) const { return (pc >> 2) & slot_mask_; }
+  bool record(Addr pc, const isa::Instruction* code, Addr base, Addr end, Trace& out) const;
+  void process_pending_invalidation();
+
+  TraceConfig config_;
+  Memory& memory_;
+  TraceCostModel cost_;
+  std::size_t slot_mask_;
+  std::vector<Slot> slots_;
+  std::vector<Heat> heat_;
+  bool pending_invalidation_ = false;
+  std::vector<u64> dirty_pages_;
+  Stats stats_;
+};
+
+}  // namespace flexstep::arch

@@ -72,6 +72,11 @@ Scenario& Scenario::channel_capacity(u64 entries) {
   return *this;
 }
 
+Scenario& Scenario::trace(bool enabled) {
+  trace_ = enabled;
+  return *this;
+}
+
 Scenario& Scenario::main_core(CoreId id) {
   run_.main_core = id;
   return *this;
@@ -140,6 +145,7 @@ soc::SocConfig Scenario::soc_config() const {
   if (channel_capacity_.has_value()) {
     config.flexstep.channel_capacity = *channel_capacity_;
   }
+  if (trace_.has_value()) config.core.trace.enabled = *trace_;
   return config;
 }
 

@@ -73,6 +73,9 @@ class Scenario {
   /// build time — composable with soc()/cores()/topology in any order.
   Scenario& segment_limit(u32 limit);
   Scenario& channel_capacity(u64 entries);
+  /// Superinstruction trace cache on/off (default: on, unless FLEX_TRACE=0).
+  /// A pure host-speed knob: results are bit-identical either way.
+  Scenario& trace(bool enabled);
 
   // ---- verification topology ----
 
@@ -117,6 +120,7 @@ class Scenario {
   std::optional<u32> cores_;
   std::optional<u32> segment_limit_;
   std::optional<u64> channel_capacity_;
+  std::optional<bool> trace_;
   soc::VerifiedRunConfig run_;
 };
 

@@ -13,9 +13,14 @@
 //   * the VerifiedExecution driver flags.
 //
 // Not captured: decoded program images (derived data — the restoring side
-// loads the same programs, cf. sim::Session::fork) and the extension-seam
+// loads the same programs, cf. sim::Session::fork), the extension-seam
 // pointers (hooks/handlers/ports), which are re-derived by the restoring
-// owners. Restoring is bit-exact: a restored SoC's subsequent execution is
+// owners, and the per-core superinstruction trace caches (arch/trace.h) —
+// pure host-speed state that Core::restore flushes so a restored or forked
+// session re-records from its own execution. The per-core LR/SC reservation
+// IS captured (arch::Core::Snapshot) and restore re-registers it in the
+// shared arch::Memory registry so cross-agent invalidation keeps working in
+// forks. Restoring is bit-exact: a restored SoC's subsequent execution is
 // indistinguishable from the original continuing (tests/test_sim.cpp).
 #pragma once
 

@@ -1,12 +1,28 @@
 #include "soc/soc_config.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <string_view>
 
 namespace flexstep::soc {
+
+namespace {
+/// FLEX_TRACE=0 disables the superinstruction trace cache fleet-wide (A/B
+/// measurement, bisecting). Read once: the answer must not change between two
+/// Scenario builds that are expected to evolve bit-identically.
+bool trace_env_enabled() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("FLEX_TRACE");
+    return value == nullptr || std::string_view(value) != "0";
+  }();
+  return enabled;
+}
+}  // namespace
 
 SocConfig SocConfig::paper_default(u32 cores) {
   SocConfig config;
   config.num_cores = cores;
+  config.core.trace.enabled = trace_env_enabled();
   return config;
 }
 

@@ -210,6 +210,80 @@ TEST_F(CoreTest, AmoAndLrSc) {
   EXPECT_EQ(core.reg(9), 1u);
 }
 
+TEST_F(CoreTest, DivisionCornerCasesWrapLikeRv64) {
+  // INT64_MIN / -1 must wrap to INT64_MIN (remainder 0) and x / 0 must give
+  // all-ones (remainder x) — the naive host division is UB / SIGFPE.
+  Assembler a;
+  a.li(1, 1);
+  a.slli(1, 1, 63);   // x1 = INT64_MIN
+  a.li(2, -1);
+  a.div(3, 1, 2);
+  a.rem(4, 1, 2);
+  a.div(5, 1, 0);     // divide by x0 (= 0)
+  a.rem(6, 1, 0);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(3), u64{1} << 63);
+  EXPECT_EQ(core.reg(4), 0u);
+  EXPECT_EQ(core.reg(5), ~u64{0});
+  EXPECT_EQ(core.reg(6), u64{1} << 63);
+}
+
+TEST_F(CoreTest, AmoBreaksOwnReservation) {
+  // Regression: an AMO is a store. One that hits this core's own reserved
+  // granule must break the reservation exactly as an ordinary store does —
+  // the following SC has to fail, and its data must not reach memory.
+  Assembler a;
+  a.li(10, 0x30000);
+  a.li(1, 5);
+  a.sd(1, 10, 0);
+  a.lr_d(5, 10);          // reserve 0x30000; value 5
+  a.li(2, 3);
+  a.amoadd_d(3, 10, 2);   // old = 5, mem = 8 — and the reservation dies
+  a.sc_d(7, 10, 2);       // must fail = 1
+  a.ld(8, 10, 0);
+  a.halt();
+  Core& core = run_program(a);
+  EXPECT_EQ(core.reg(5), 5u);
+  EXPECT_EQ(core.reg(3), 5u);
+  EXPECT_EQ(core.reg(7), 1u);  // SC failed
+  EXPECT_EQ(core.reg(8), 8u);  // memory holds the AMO result, not the SC data
+}
+
+TEST_F(CoreTest, CrossCoreStoreBreaksReservation) {
+  // Same-address-different-core store: previously nothing invalidated the
+  // reservation (the old comment claimed sc() handled it — it only checked
+  // the local flags), so the SC spuriously succeeded.
+  Assembler a;
+  a.li(10, 0x30000);
+  a.li(1, 5);
+  a.sd(1, 10, 0);
+  a.lr_d(5, 10);
+  a.sc_d(7, 10, 1);
+  a.ld(8, 10, 0);
+  a.halt();
+  program_ = a.finalize("test");
+  images_.load(memory_, program_);
+  Core& core = make_core();
+  core.set_pc(program_.entry());
+
+  // Run core 0 up to (and including) the LR, detected via the shared
+  // reservation registry rather than instruction counting.
+  while (memory_.reservation_count() == 0 && core.status() == Core::Status::kRunning) {
+    core.step();
+  }
+  ASSERT_EQ(memory_.reservation_count(), 1u);
+
+  // Another core stores to the reserved granule through its own cache port.
+  Core other(1, CoreConfig{}, memory_, images_, nullptr);
+  other.cache_mem_port().store(Opcode::kSd, 0x30000, 8, 99);
+  EXPECT_EQ(memory_.reservation_count(), 0u);
+
+  core.run(100);
+  EXPECT_EQ(core.reg(7), 1u);   // SC failed: the other core's store intervened
+  EXPECT_EQ(core.reg(8), 99u);  // the other core's value survived
+}
+
 TEST_F(CoreTest, CsrAccess) {
   Assembler a;
   a.csrrs(1, isa::kCsrMhartid, 0);

@@ -6,7 +6,9 @@
 
 #include <vector>
 
+#include "arch/trace.h"
 #include "common/rng.h"
+#include "sim/scenario.h"
 #include "soc/soc.h"
 #include "soc/verified_run.h"
 #include "workloads/profile.h"
@@ -243,6 +245,166 @@ TEST(ExecEngine, TinyChannelBackpressureIdentical) {
   const auto quantum = run_engine(program, 2, {1}, Engine::kQuantum, soc_config);
   EXPECT_GT(stepwise.stats.backpressure_events, 0u);
   expect_equal(stepwise, quantum);
+}
+
+// ---------------------------------------------------------------------------
+// Trace cache: engagement, write-invalidation, snapshot interplay, quantum
+// breaks. Every path must degrade to the stepwise semantics bit-identically.
+// ---------------------------------------------------------------------------
+
+TEST(ExecEngine, TraceCacheEngagesAndStaysIdentical) {
+  // The existing equivalence proofs run with traces live (they are on by
+  // default); this pins down that they actually engage — a silently disabled
+  // trace path would make those proofs vacuous. Long enough a run that the
+  // record warmup (heat thresholds) amortises away.
+  const auto program = tiny_workload("swaptions", 150);
+  const auto stepwise = run_engine(program, 1, {}, Engine::kStepwise);
+
+  VerifiedRunConfig config;
+  config.main_core = 0;
+  config.engine = Engine::kQuantum;
+  Soc soc(SocConfig::paper_default(1));
+  VerifiedExecution exec(soc, config);
+  exec.prepare(program);
+  exec.run();
+  expect_equal(stepwise, collect(soc, exec, config));
+
+  const arch::TraceCache* traces = soc.core(0).trace_cache();
+  ASSERT_NE(traces, nullptr);
+  EXPECT_GT(traces->stats().recorded, 0u);
+  // The bulk of the run must flow through traces, not the stepwise loop.
+  EXPECT_GT(traces->stats().insts_from_traces, soc.core(0).instret() / 2);
+}
+
+TEST(ExecEngine, StoreToTracedCodePageFlushesAndStaysIdentical) {
+  // The hot loop stores into its own code page every iteration, so the
+  // write-invalidation fires from INSIDE the executing trace: the flush must
+  // defer to the next dispatch boundary (freeing the trace mid-replay would
+  // be a use-after-free), drop the covering traces, and the run must stay
+  // bit-identical to stepwise. Decoded images are the fetch source, so the
+  // store does not change the executed program — only the derived traces.
+  isa::Assembler a;
+  a.li(5, 300);                                       // loop counter
+  a.li(7, static_cast<i64>(isa::kDefaultCodeBase));   // address inside the code page
+  auto loop = a.new_label();
+  a.bind(loop);
+  for (int i = 0; i < 12; ++i) a.addi(6, 6, 1);
+  a.sd(6, 7, 0);                                      // store into traced code
+  a.addi(5, 5, -1);
+  a.bne(5, 0, loop);
+  a.halt();
+  const isa::Program program = a.finalize("code-page-store");
+
+  Soc ref_soc(SocConfig::paper_default(1));
+  ref_soc.load_program(program);
+  Core& ref = ref_soc.core(0);
+  ref.set_pc(program.entry());
+  while (ref.status() == Core::Status::kRunning) ref.step();
+
+  Soc soc(SocConfig::paper_default(1));
+  soc.load_program(program);
+  Core& core = soc.core(0);
+  core.set_pc(program.entry());
+  core.run(~u64{0});
+
+  EXPECT_EQ(core.instret(), ref.instret());
+  EXPECT_EQ(core.cycle(), ref.cycle());
+  EXPECT_EQ(core.capture_state(), ref.capture_state());
+
+  const arch::TraceCache* traces = core.trace_cache();
+  ASSERT_NE(traces, nullptr);
+  EXPECT_GT(traces->stats().recorded, 0u);
+  EXPECT_GT(traces->stats().code_write_flushes, 0u);
+}
+
+TEST(ExecEngine, SnapshotRestoreMidHotRegionBitIdentical) {
+  // Land a snapshot in the middle of hot (traced) execution: run-on, a fork,
+  // and an in-place restore must all evolve bit-identically, and the restore
+  // must flush the trace cache (derived state is never captured).
+  sim::Session session =
+      sim::Scenario().workload("swaptions").iterations(40).plain().build();
+  ASSERT_TRUE(session.advance(30'000));
+  const arch::TraceCache* traces = session.soc().core(0).trace_cache();
+  ASSERT_NE(traces, nullptr);
+  ASSERT_GT(traces->stats().dispatches, 0u);  // snapshot lands in hot execution
+  const u64 flushes_before = traces->stats().full_flushes;
+  const soc::Snapshot warm = session.snapshot();
+
+  sim::Session fork = session.fork(warm);
+  const soc::RunStats run_on = session.run();
+  const soc::RunStats forked = fork.run();
+  EXPECT_EQ(run_on, forked);
+
+  session.restore(warm);
+  EXPECT_EQ(traces->stats().full_flushes, flushes_before + 1);
+  const soc::RunStats rerun = session.run();
+  EXPECT_EQ(run_on, rerun);
+}
+
+namespace trace_quantum {
+class QuantumEndingHandler final : public arch::TrapHandler {
+ public:
+  arch::TrapAction on_trap(arch::Core& core, arch::TrapCause cause) override {
+    using arch::TrapAction;
+    if (cause == arch::TrapCause::kEcall) {
+      core.request_quantum_end();
+      return {TrapAction::Kind::kResumeUser, 50};
+    }
+    if (cause == arch::TrapCause::kTaskExit) return {TrapAction::Kind::kHalt, 0};
+    return {TrapAction::Kind::kResumeUser, 0};
+  }
+};
+}  // namespace trace_quantum
+
+TEST(ExecEngine, QuantumEndRequestInsideHotRegionEndsQuantumExactly) {
+  // A hot ALU loop with an ECALL whose handler requests a quantum end (the
+  // way FlexStep hooks end quanta on cross-core events). Every run_until()
+  // must stop exactly one instruction past the ECALL commit — even though
+  // the trace cache has ample cycle/instret headroom to keep going — and the
+  // state at every quantum boundary must match a stepwise core.
+  isa::Assembler a;
+  a.li(5, 60);
+  auto loop = a.new_label();
+  a.bind(loop);
+  for (int i = 0; i < 24; ++i) a.addi(6, 6, 1);
+  a.ecall();
+  a.addi(5, 5, -1);
+  a.bne(5, 0, loop);
+  a.halt();
+  const isa::Program program = a.finalize("quantum-end");
+
+  trace_quantum::QuantumEndingHandler handler;
+  Soc soc(SocConfig::paper_default(1));
+  soc.load_program(program);
+  Core& core = soc.core(0);
+  core.set_trap_handler(&handler);
+  core.set_pc(program.entry());
+
+  trace_quantum::QuantumEndingHandler ref_handler;
+  Soc ref_soc(SocConfig::paper_default(1));
+  ref_soc.load_program(program);
+  Core& ref = ref_soc.core(0);
+  ref.set_trap_handler(&ref_handler);
+  ref.set_pc(program.entry());
+
+  while (core.status() == Core::Status::kRunning) {
+    core.run_until(arch::kNoCycleBound);
+    while (ref.instret() < core.instret() && ref.status() == Core::Status::kRunning) {
+      ref.step();
+    }
+    ASSERT_EQ(ref.instret(), core.instret());
+    EXPECT_EQ(ref.capture_state(), core.capture_state());
+    EXPECT_EQ(ref.cycle(), core.cycle());
+    if (core.status() == Core::Status::kRunning) {
+      // The quantum ended exactly one instruction past the ECALL commit.
+      const std::size_t index = (core.pc() - program.entry()) / 4;
+      ASSERT_GT(index, 0u);
+      EXPECT_EQ(program.code[index - 1].op, isa::Opcode::kEcall);
+    }
+  }
+  const arch::TraceCache* traces = core.trace_cache();
+  ASSERT_NE(traces, nullptr);
+  EXPECT_GT(traces->stats().dispatches, 0u);  // the loop body really was traced
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "fault/campaign.h"
+#include "isa/assembler.h"
 #include "sim/scenario.h"
 #include "soc/snapshot.h"
 
@@ -107,6 +108,51 @@ TEST(Snapshot, RestoreRewindsMidFlightState) {
   session.restore(warm);
   EXPECT_EQ(session.total_instret(), instret_at_save);
   EXPECT_EQ(session.soc().max_cycle(), cycle_at_save);
+}
+
+TEST(Snapshot, LrScReservationRoundTripsThroughSnapshotAndFork) {
+  // A reservation pending at snapshot time must behave identically after an
+  // in-place restore and in a fork: the SC succeeds unless someone touched
+  // the granule. The second half is the regression — the architectural flags
+  // always round-tripped through Core::Snapshot, but the shared Memory
+  // registry that delivers cross-agent invalidation has to be rebuilt on
+  // restore, or a forked session's SC can spuriously succeed.
+  constexpr Addr kGranule = 0x30000;
+  isa::Assembler a;
+  a.li(10, static_cast<i64>(kGranule));
+  a.li(1, 5);
+  a.sd(1, 10, 0);
+  a.lr_d(5, 10);
+  a.sc_d(7, 10, 1);
+  a.halt();
+  const Scenario scenario =
+      Scenario().program(a.finalize("lr-sc")).plain().os_ticks(false);
+  Session session = scenario.build();
+
+  // Advance one instruction at a time until the LR retired (visible through
+  // the shared reservation registry), leaving the SC as the next commit.
+  while (session.soc().memory().reservation_count() == 0) {
+    ASSERT_TRUE(session.advance(1));
+  }
+  const soc::Snapshot pending = session.snapshot();
+
+  const auto sc_result = [](Session& s) {
+    s.run();
+    return s.soc().core(0).reg(7);  // 0 = SC success, 1 = failure
+  };
+
+  Session fork_clean = session.fork(pending);
+  EXPECT_EQ(fork_clean.soc().memory().reservation_count(), 1u);
+  EXPECT_EQ(sc_result(fork_clean), 0u) << "reservation lost across fork";
+
+  Session fork_dirty = session.fork(pending);
+  // Any agent writing the reserved granule must kill the restored
+  // reservation — this is exactly what a stale (unrebuilt) registry misses.
+  fork_dirty.soc().memory().write(kGranule, 8, 77);
+  EXPECT_EQ(sc_result(fork_dirty), 1u) << "SC spuriously succeeded in the fork";
+
+  session.restore(pending);
+  EXPECT_EQ(sc_result(session), 0u) << "reservation lost across in-place restore";
 }
 
 TEST(Snapshot, CapturesResidentMemoryNotAddressSpace) {
