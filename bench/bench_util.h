@@ -23,6 +23,10 @@ struct SlowdownModes {
   bool dual = true;
   bool triple = false;
   bool nzdc = false;
+  /// Co-simulation engine for every run (unset: Scenario's FLEX_ENGINE
+  /// default). Simulated results are engine-independent by the exec-engine
+  /// equivalence proofs; fig6 cross-checks that across all three.
+  std::optional<soc::Engine> engine;
 };
 
 struct SlowdownResult {
@@ -60,6 +64,7 @@ inline SlowdownResult measure_workload(const workloads::WorkloadProfile& profile
   sim::Scenario scenario;
   scenario.workload(profile).seed(seed).iterations(iterations).soc(
       soc::SocConfig::paper_default(4));
+  if (modes.engine.has_value()) scenario.engine(*modes.engine);
   const isa::Program program = scenario.build_program();
   scenario.program(program);
 

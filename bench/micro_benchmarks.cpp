@@ -10,6 +10,7 @@
 //   ./bench/micro_benchmarks --campaign       # campaign-throughput mode + JSON
 //   ./bench/micro_benchmarks --snapshot       # snapshot-fork vs re-execution + JSON
 //   ./bench/micro_benchmarks --trace          # trace-JIT on/off comparison + JSON
+//   ./bench/micro_benchmarks --cosim          # dual/triple x three engines + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
 #include <chrono>
 #include <cstdio>
@@ -149,6 +150,143 @@ int run_throughput_mode() {
     std::printf("\nwrote BENCH_core_throughput.json\n");
   }
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Batched co-simulation mode (--cosim): dual/triple verified-run throughput
+// under all three engines (stepwise reference, kQuantum, kQuantumBounded).
+// Exits non-zero unless dual-mode kQuantumBounded reaches 2x stepwise MIPS
+// (the CI gate) AND every engine produced identical detection/segment/cycle
+// results (the equivalence spot-check riding along with the perf gate).
+// ---------------------------------------------------------------------------
+
+int run_cosim_mode() {
+  const auto iterations = static_cast<u32>(bench::env_u64("FLEX_BENCH_ITERS", 4000));
+  const auto& profile = workloads::find_profile("swaptions");
+  workloads::BuildOptions build;
+  build.iterations_override = iterations;
+  const auto program = workloads::build_workload(profile, build);
+
+  std::printf("== Batched verified co-simulation (workload %s, %u iterations) ==\n\n",
+              profile.name.c_str(), iterations);
+
+  struct ModeSpec {
+    const char* name;
+    u32 cores;
+    std::vector<CoreId> checkers;
+  };
+  const ModeSpec modes[] = {
+      {"dual", 2, {1}},
+      {"triple", 3, {1, 2}},
+  };
+  const soc::Engine engines[] = {soc::Engine::kStepwise, soc::Engine::kQuantum,
+                                 soc::Engine::kQuantumBounded};
+
+  const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
+  std::vector<ThroughputSample> samples;
+  std::vector<double> speedups;  // per mode: bounded vs stepwise
+  bool identical = true;
+  u64 max_skew_cycles = 0;
+  u64 skew_instructions = 0;
+  Table table({"mode", "engine", "sim inst", "host s", "MIPS", "speedup"});
+  for (const auto& mode : modes) {
+    soc::RunStats reference{};
+    double stepwise_mips = 0.0;
+    for (const soc::Engine engine : engines) {
+      ThroughputSample sample;
+      sample.mode = mode.name;
+      sample.engine = soc::engine_name(engine);
+      soc::RunStats stats{};
+      for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
+        sim::Session session = sim::Scenario()
+                                   .program(program)
+                                   .cores(mode.cores)
+                                   .checkers(mode.checkers)
+                                   .engine(engine)
+                                   .build();
+        const auto start = std::chrono::steady_clock::now();
+        stats = session.run();
+        const auto stop = std::chrono::steady_clock::now();
+        const double seconds = std::chrono::duration<double>(stop - start).count();
+        if (rep == 0 || seconds < sample.host_seconds) sample.host_seconds = seconds;
+        sample.instructions = session.total_instret();
+        if (engine == soc::Engine::kQuantumBounded) {
+          max_skew_cycles = std::max(
+              max_skew_cycles, session.exec().cosim_stats().max_skew_cycles);
+          skew_instructions = session.exec().skew_instructions();
+        }
+      }
+      // Equivalence spot-check: the relaxed engine's whole claim is that
+      // these are bit-identical to stepwise (max_channel_occupancy is the
+      // one wall-order diagnostic allowed to grow — see the test suite).
+      if (engine == soc::Engine::kStepwise) {
+        reference = stats;
+        stepwise_mips = sample.mips();
+      } else if (stats.main_cycles != reference.main_cycles ||
+                 stats.completion_cycles != reference.completion_cycles ||
+                 stats.segments_produced != reference.segments_produced ||
+                 stats.segments_verified != reference.segments_verified ||
+                 stats.segments_failed != reference.segments_failed ||
+                 stats.mem_entries != reference.mem_entries ||
+                 stats.backpressure_events != reference.backpressure_events) {
+        identical = false;
+        std::fprintf(stderr, "FAIL: %s/%s diverged from stepwise\n", mode.name,
+                     sample.engine.c_str());
+      }
+      const double speedup =
+          stepwise_mips > 0.0 ? sample.mips() / stepwise_mips : 1.0;
+      if (engine == soc::Engine::kQuantumBounded) speedups.push_back(speedup);
+      table.add_row({mode.name, sample.engine, std::to_string(sample.instructions),
+                     Table::num(sample.host_seconds, 3), Table::num(sample.mips(), 2),
+                     Table::num(speedup, 2)});
+      samples.push_back(sample);
+    }
+  }
+  table.print();
+  std::printf("\nresults identical across engines: %s\n",
+              identical ? "yes" : "NO (equivalence bug!)");
+  std::printf("relaxed skew window: %llu instructions/burst "
+              "(max observed clock lead %llu cycles)\n",
+              static_cast<unsigned long long>(skew_instructions),
+              static_cast<unsigned long long>(max_skew_cycles));
+
+  FILE* json = std::fopen("BENCH_cosim_batched.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"cosim_batched\",\n");
+    std::fprintf(json, "  \"workload\": \"%s\",\n  \"iterations\": %u,\n",
+                 profile.name.c_str(), iterations);
+    std::fprintf(json, "  \"samples\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto& s = samples[i];
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"engine\": \"%s\", \"instructions\": %llu, "
+                   "\"host_seconds\": %.6f, \"mips\": %.3f}%s\n",
+                   s.mode.c_str(), s.engine.c_str(),
+                   static_cast<unsigned long long>(s.instructions), s.host_seconds,
+                   s.mips(), i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"bounded_speedup\": {");
+    for (std::size_t i = 0; i < std::size(modes); ++i) {
+      std::fprintf(json, "\"%s\": %.3f%s", modes[i].name, speedups[i],
+                   i + 1 < std::size(modes) ? ", " : "");
+    }
+    std::fprintf(json,
+                 "},\n  \"skew_instructions\": %llu,\n"
+                 "  \"max_skew_cycles\": %llu,\n  \"results_identical\": %s\n}\n",
+                 static_cast<unsigned long long>(skew_instructions),
+                 static_cast<unsigned long long>(max_skew_cycles),
+                 identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_cosim_batched.json\n");
+  }
+  // CI gates: dual-mode relaxed engine must reach 2x stepwise, and every
+  // engine must have produced the same verified-run results.
+  const bool gate = speedups[0] >= 2.0;
+  if (!gate) {
+    std::fprintf(stderr, "FAIL: dual-mode bounded speedup %.2fx below the 2x gate\n",
+                 speedups[0]);
+  }
+  return gate && identical ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -517,12 +655,15 @@ int main(int argc, char** argv) {
   bool campaign = false;
   bool snapshot = false;
   bool trace = false;
+  bool cosim = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
     if (std::strcmp(argv[i], "--snapshot") == 0) snapshot = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
+    if (std::strcmp(argv[i], "--cosim") == 0) cosim = true;
   }
+  if (cosim) return run_cosim_mode();
   if (trace) return run_trace_jit_mode();
   if (snapshot) return run_snapshot_fork_mode();
   if (campaign) return run_campaign_throughput_mode();

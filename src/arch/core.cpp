@@ -202,6 +202,7 @@ void Core::restore(const Snapshot& snapshot) {
   suppress_traps_ = snapshot.suppress_traps;
   status_ = snapshot.status;
   quantum_break_ = false;  // never set between scheduling rounds
+  run_exit_ = RunExit::kNone;
   image_ = nullptr;        // may belong to another SoC's registry; re-lookup
   // Traces are derived state (never captured): drop them so a restored or
   // forked session re-records from its own execution, trivially bit-exact.
@@ -324,21 +325,43 @@ Core::Status Core::run_until(Cycle stop_before, u64 max_instructions) {
     // cache memory port, and no pending software interrupt. All of these can
     // only change inside slow-path events, so they are hoisted out of the
     // hot loop and re-evaluated here after every slow-path instruction.
-    if (user_mode_ && (hooks_ == nullptr || hooks_->passive()) &&
-        port_ == cache_port_.get() && !swi_pending_) {
-      run_fast_path(stop_before, instret_end);
-      if (status_ != Status::kRunning || cycle_ >= stop_before ||
-          instret_ >= instret_end || quantum_break_) {
-        break;
+    if (user_mode_ && !swi_pending_) {
+      if ((hooks_ == nullptr || hooks_->passive()) && port_ == cache_port_.get()) {
+        run_fast_path(stop_before, instret_end, /*counting=*/false);
+        if (status_ != Status::kRunning || cycle_ >= stop_before ||
+            instret_ >= instret_end || quantum_break_) {
+          break;
+        }
+      } else if (hooks_ != nullptr && !hooks_->passive()) {
+        // Counting mode: hooks are live (FlexStep segment production or
+        // checker replay) but declare a span over which they only need commit
+        // counts for non-memory instructions. Memory ops, custom ISA and the
+        // declared boundary itself stay on the step() path below.
+        const u64 batch = hooks_->commit_batch_limit();
+        if (batch > 0) {
+          const u64 batch_end =
+              batch < instret_end - instret_ ? instret_ + batch : instret_end;
+          const u64 before = instret_;
+          run_fast_path(stop_before, batch_end, /*counting=*/true);
+          if (instret_ != before) hooks_->on_commit_batch(*this, instret_ - before);
+          if (status_ != Status::kRunning || cycle_ >= stop_before ||
+              instret_ >= instret_end || quantum_break_) {
+            break;
+          }
+        }
       }
     }
     // Slow path: one instruction (or trap delivery) in full generality.
     step();
   }
+  run_exit_ = status_ != Status::kRunning ? RunExit::kStatusChange
+              : quantum_break_            ? RunExit::kQuantumBreak
+              : cycle_ >= stop_before     ? RunExit::kCycleBound
+                                          : RunExit::kInstretBound;
   return status_;
 }
 
-void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
+void Core::run_fast_path(Cycle stop_before, u64 instret_end, bool counting) {
   // Hoisted fetch window: while the PC stays inside the cached image,
   // straight-line fetch is a bounds check and an indexed load off the
   // pre-decoded stream (no registry lookup).
@@ -367,7 +390,13 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end) {
   u64 instret = instret_;
   const u64 instret_start = instret_;
   Addr last_line = last_fetch_line_;
-  TraceCache* const traces = trace_cache_.get();
+  // Counting mode: live hooks must see every memory instruction (CommitInfo
+  // logging / replay verification / backpressure pre-check), so the fast set
+  // shrinks to the non-memory prefix [kAdd, kJalr] and traces stay off
+  // (recorded traces embed inlined loads/stores).
+  TraceCache* const traces = counting ? nullptr : trace_cache_.get();
+  const u8 max_fast_op =
+      static_cast<u8>(counting ? Opcode::kJalr : Opcode::kSd);
 
 trace_point:
   // Trace dispatch: reached on fast-path entry and after every control
@@ -411,7 +440,10 @@ trace_point:
                       static_cast<u8>(Opcode::kLrD) ==
                           static_cast<u8>(Opcode::kSd) + 1,
                   "fast-path opcode range must stay contiguous");
-    if (static_cast<u8>(inst.op) > static_cast<u8>(Opcode::kSd)) goto writeback;
+    static_assert(static_cast<u8>(Opcode::kLb) ==
+                      static_cast<u8>(Opcode::kJalr) + 1,
+                  "counting-mode opcode range must end where memory ops begin");
+    if (static_cast<u8>(inst.op) > max_fast_op) goto writeback;
 
     Cycle cost = 1;
     const Addr fetch_line = pc >> 6;

@@ -25,6 +25,18 @@ class TraceCache;
 /// "No cycle bound" sentinel for Core::run_until.
 inline constexpr Cycle kNoCycleBound = ~Cycle{0};
 
+/// Why the last run_until() burst returned. The co-simulation driver reads
+/// this after every quantum to attribute burst ends (soc::CosimStats — hook
+/// break vs scheduling bound vs status change); tests use it to pin the
+/// zero-progress classification the drivers' progress guard relies on.
+enum class RunExit : u8 {
+  kNone,          ///< No run_until() has completed yet.
+  kStatusChange,  ///< Core left kRunning (halt, block, WFI, idle).
+  kCycleBound,    ///< Local clock reached stop_before.
+  kInstretBound,  ///< max_instructions commits retired.
+  kQuantumBreak,  ///< A hook requested the quantum end (cross-core event).
+};
+
 class Core : private ReservationObserver {
  public:
   enum class Status : u8 {
@@ -110,6 +122,9 @@ class Core : private ReservationObserver {
   /// completing a checking segment or freeing DBC space a blocked producer
   /// waits on — so the driver can reschedule.
   void request_quantum_end() { quantum_break_ = true; }
+
+  /// Why the most recent run_until() returned (kNone before the first one).
+  RunExit last_run_exit() const { return run_exit_; }
 
   // ---- identity & time ----
 
@@ -213,7 +228,12 @@ class Core : private ReservationObserver {
   /// no slow-path condition holds. Returns when a slow-path instruction, trap
   /// condition, image exit, bound or quantum break requires the caller to fall
   /// back to step() / re-evaluate hoisted state.
-  void run_fast_path(Cycle stop_before, u64 instret_end);
+  ///
+  /// `counting` engages the restricted variant used while hooks are active
+  /// but batchable (CoreHooks::commit_batch_limit): memory instructions bail
+  /// to step() (full CommitInfo + backpressure pre-check), traces stay off,
+  /// and the caller reports the retired count through on_commit_batch.
+  void run_fast_path(Cycle stop_before, u64 instret_end, bool counting);
 
   /// Replay one recorded trace (arch/trace.h). Caller guarantees headroom:
   /// cycle + trace.worst_cost stays below the quantum limit and
@@ -264,6 +284,7 @@ class Core : private ReservationObserver {
 
   Status status_ = Status::kRunning;
   bool quantum_break_ = false;  ///< Set by request_quantum_end(); ends run_until.
+  RunExit run_exit_ = RunExit::kNone;  ///< Why the last run_until returned.
 
   // Extension seams.
   CoreHooks* hooks_ = nullptr;

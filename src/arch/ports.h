@@ -70,6 +70,25 @@ class CoreHooks {
   /// are active.
   bool passive() const { return passive_; }
 
+  /// While non-passive, a hook may still let the batched engine run spans of
+  /// NON-MEMORY user-mode instructions without per-commit dispatch, provided
+  /// (a) every memory instruction takes the one-at-a-time path (full
+  /// CommitInfo + memory_can_commit pre-check), and (b) the span's commit
+  /// count is delivered afterwards through on_commit_batch. Returns how many
+  /// instructions may be batch-committed before the next boundary where the
+  /// hook needs a full per-instruction view (e.g. a segment about to close);
+  /// 0 disables batching (the default, and mandatory whenever on_commit does
+  /// anything beyond counting for non-memory commits).
+  virtual u64 commit_batch_limit() const { return 0; }
+
+  /// Deliver `count` batch-committed non-memory user-mode instructions. Must
+  /// be state-equivalent to `count` successive on_commit calls for such
+  /// instructions (commit_batch_limit guarantees no boundary sits inside).
+  virtual void on_commit_batch(Core& core, u64 count) {
+    (void)core;
+    (void)count;
+  }
+
   /// Called before a memory instruction executes (checking active only
   /// matters to FlexStep): return false to stall the core until buffer space
   /// exists (DBC backpressure). The instruction has NOT executed yet.

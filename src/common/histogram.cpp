@@ -36,7 +36,11 @@ double Histogram::cdf(double x) const {
   if (total_ == 0) return 0.0;
   u64 below = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    const double upper = lo_ + static_cast<double>(i + 1) * width_;
+    // The last bin's upper edge is hi_ by construction; accumulating
+    // lo_ + (i+1)*width_ can land a ULP above it under floating-point
+    // rounding, making cdf(hi_) < 1. Pin it instead of recomputing it.
+    const double upper =
+        i + 1 == counts_.size() ? hi_ : lo_ + static_cast<double>(i + 1) * width_;
     if (upper <= x) {
       below += counts_[i];
     } else {
@@ -50,14 +54,19 @@ std::string Histogram::render(std::size_t width) const {
   u64 peak = 0;
   for (u64 c : counts_) peak = std::max(peak, c);
   std::string out;
-  char line[256];
+  char label[32];
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const std::size_t bar =
         peak == 0 ? 0 : static_cast<std::size_t>(counts_[i] * width / peak);
-    std::snprintf(line, sizeof line, "%10.2f | %-*s %llu\n", bin_center(i),
-                  static_cast<int>(width), std::string(bar, '#').c_str(),
+    std::snprintf(label, sizeof label, "%10.2f | ", bin_center(i));
+    out += label;
+    // Assemble the bar in the string itself: a fixed stack line would
+    // silently truncate wide charts (width ≳ 240) including the count.
+    out.append(bar, '#');
+    out.append(width - std::min(bar, width) + 1, ' ');
+    std::snprintf(label, sizeof label, "%llu\n",
                   static_cast<unsigned long long>(counts_[i]));
-    out += line;
+    out += label;
   }
   return out;
 }

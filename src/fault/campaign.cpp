@@ -59,6 +59,7 @@ sim::Scenario campaign_scenario(const workloads::WorkloadProfile& profile,
       .soc(soc_config)
       .main_core(0)
       .checkers({1});
+  if (campaign.engine.has_value()) scenario.engine(*campaign.engine);
   return scenario;
 }
 

@@ -7,6 +7,7 @@
 // mismatch report. One long run hosts many sequential injections.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "common/types.h"
@@ -49,6 +50,11 @@ struct CampaignConfig {
   u32 shards = kDefaultCampaignShards;  ///< Independent campaign shards (>= 1).
   u32 threads = 0;  ///< Worker threads (0 = FLEX_THREADS / hardware_concurrency).
   CampaignMode mode = CampaignMode::kSnapshotFork;
+  /// Co-simulation engine the sessions run under (FLEX_ENGINE when unset).
+  /// Injection placement keys off advance() rendezvous points, so absolute
+  /// outcomes at a given seed are engine-specific; snapshot-fork vs
+  /// re-execution parity holds within any one engine.
+  std::optional<soc::Engine> engine;
 };
 
 struct FaultOutcome {

@@ -13,6 +13,13 @@ bool Channel::producer_can_push(u32 entries) const {
   return segments_.empty();
 }
 
+u64 Channel::producer_headroom_entries() const {
+  if (segments_.empty()) return ~u64{0};
+  const u64 occupancy = items_.size();
+  return occupancy < config_.channel_capacity ? config_.channel_capacity - occupancy
+                                              : 0;
+}
+
 StreamItem& Channel::push_raw(StreamItem::Kind kind, Cycle now) {
   FLEX_CHECK_MSG(!closed_, "push on closed channel");
   StreamItem& item = items_.emplace_back();

@@ -85,6 +85,14 @@ class Channel {
   /// (DMA spill rule; see header comment).
   bool producer_can_push(u32 entries) const;
 
+  /// Space horizon: how many further entries are guaranteed pushable without
+  /// any backpressure decision turning negative, assuming no consumer pop in
+  /// between. ~u64{0} (unbounded) while no complete segment is queued — the
+  /// DMA-spill rule makes a stall impossible then. The relaxed co-simulation
+  /// engine sizes producer bursts from this up front instead of probing
+  /// producer_can_push per instruction.
+  u64 producer_headroom_entries() const;
+
   void push_scp(const arch::ArchState& scp, Cycle now);
   void push_mem(const MemLogEntry& entry, Cycle now);
   void push_segment_end(const arch::ArchState& ecp, u64 inst_count, Cycle now);

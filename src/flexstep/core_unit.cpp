@@ -235,6 +235,21 @@ Cycle CoreUnit::out_channel_space_available_at() const {
   return at;
 }
 
+u64 CoreUnit::producer_burst_headroom() const {
+  if (!checking_enabled_ || out_channels_.empty()) return ~u64{0};
+  u64 entries = ~u64{0};
+  for (const Channel* ch : out_channels_) {
+    entries = std::min(entries, ch->producer_headroom_entries());
+  }
+  if (entries == ~u64{0}) return entries;
+  // Reserve one segment boundary (SegmentEnd + the next segment's SCP — the
+  // boundary itself ends the burst via request_quantum_end) plus the resume
+  // headroom the next memory pre-check asks for; the rest is two entries per
+  // worst-case instruction (LR/SC, AMO).
+  constexpr u64 kReserve = 2 + kProducerResumeHeadroom;
+  return entries > kReserve ? (entries - kReserve) / 2 : 0;
+}
+
 bool CoreUnit::memory_can_commit(arch::Core& core, const Instruction& inst) {
   if (!checking_enabled_ || !segment_active_ || out_channels_.empty()) return true;
   const u32 need = entries_for(inst.op);
@@ -590,6 +605,40 @@ Cycle CoreUnit::on_replay_commit(const CommitInfo& info) {
 // ---------------------------------------------------------------------------
 // CoreHooks dispatch
 // ---------------------------------------------------------------------------
+
+u64 CoreUnit::commit_batch_limit() const {
+  // For non-memory user commits both live modes reduce to counter increments
+  // (on_replay_commit / on_main_commit below); the batch may therefore run up
+  // to — but must exclude — the next instruction whose commit does more.
+  if (replay_active_) {
+    if (segment_abort_) return 0;  // next commit abandons the segment
+    const u64 runaway =
+        u64{config_.segment_limit} * config_.max_replay_factor;
+    const u64 horizon = std::min(expected_ic_, runaway);
+    return horizon > replayed_ + 1 ? horizon - replayed_ - 1 : 0;
+  }
+  if (checking_enabled_ && segment_active_) {
+    u64 limit = config_.segment_limit > segment_ic_
+                    ? config_.segment_limit - segment_ic_
+                    : 0;
+    if (checking_budget_ > 0) limit = std::min(limit, checking_budget_);
+    return limit > 1 ? limit - 1 : 0;
+  }
+  return 0;  // unreachable while non-passive; be conservative
+}
+
+void CoreUnit::on_commit_batch(arch::Core& core, u64 count) {
+  (void)core;
+  if (replay_active_) {
+    replayed_ += count;
+    replayed_total_ += count;
+    return;
+  }
+  segment_ic_ += count;
+  // commit_batch_limit kept the batch short of exhausting the selective-
+  // checking budget, so the closing instruction still commits one at a time.
+  if (checking_budget_ > 0) checking_budget_ -= count;
+}
 
 Cycle CoreUnit::on_commit(arch::Core& core, const CommitInfo& info) {
   (void)core;

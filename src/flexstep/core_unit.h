@@ -63,6 +63,16 @@ class CoreUnit final : public arch::CoreHooks {
   /// Latest consumer pop time across out channels (resume timestamp).
   Cycle out_channel_space_available_at() const;
 
+  /// Producer burst horizon for the relaxed co-simulation engine: how many
+  /// instructions this core may commit before any DBC backpressure decision
+  /// could turn negative — i.e. before the burst's behaviour could depend on
+  /// consumer pops the relaxed schedule has deferred. Worst case every
+  /// instruction logs two stream entries; one segment boundary (SegmentEnd +
+  /// next SCP) inside the burst and the resume-headroom of the next memory
+  /// pre-check are reserved up front. ~u64{0} when unbounded (not producing,
+  /// or every out channel is in checker-starved DMA-spill mode).
+  u64 producer_burst_headroom() const;
+
   // ---- checker-core state ----
   bool checker_busy() const { return checker_busy_; }
   bool replay_active() const { return replay_active_; }
@@ -162,6 +172,8 @@ class CoreUnit final : public arch::CoreHooks {
   u64 replayed_instructions() const { return replayed_total_; }
 
   // ---- CoreHooks ----
+  u64 commit_batch_limit() const override;
+  void on_commit_batch(arch::Core& core, u64 count) override;
   bool memory_can_commit(arch::Core& core, const isa::Instruction& inst) override;
   Cycle on_commit(arch::Core& core, const arch::CommitInfo& info) override;
   void on_enter_kernel(arch::Core& core) override;

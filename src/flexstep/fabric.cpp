@@ -1,5 +1,7 @@
 #include "flexstep/fabric.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 #include "common/log.h"
 
@@ -66,6 +68,15 @@ void Fabric::pump_assignments() {
       waitlists_[checker].pop_front();
     }
   }
+}
+
+Cycle Fabric::next_replay_ready_at() const {
+  Cycle earliest = kNever;
+  for (const auto& unit : units_) {
+    if (unit->replay_active() || unit->replay_suspended()) continue;
+    earliest = std::min(earliest, unit->next_segment_ready_at());
+  }
+  return earliest;
 }
 
 std::size_t Fabric::Snapshot::bytes() const {

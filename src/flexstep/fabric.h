@@ -54,6 +54,12 @@ class Fabric final : public InterconnectControl {
   /// ones. The SoC driver calls this every scheduling round.
   void pump_assignments();
 
+  /// Ready horizon: the earliest cycle at which any unit that is not already
+  /// replaying has a complete segment to pick up (kNever if none). Co-sim
+  /// drivers use it to tell "everything drained / parked for good" apart from
+  /// "work is pending but nobody is runnable" when diagnosing a stall.
+  Cycle next_replay_ready_at() const;
+
   /// All live channels (diagnostics / fault-injection targeting).
   std::vector<Channel*> channels() const;
 

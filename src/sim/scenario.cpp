@@ -100,6 +100,12 @@ Scenario& Scenario::triple() {
 
 Scenario& Scenario::engine(soc::Engine engine) {
   run_.engine = engine;
+  engine_set_ = true;
+  return *this;
+}
+
+Scenario& Scenario::skew(u64 instructions) {
+  run_.skew_instructions = instructions;
   return *this;
 }
 
@@ -149,7 +155,11 @@ soc::SocConfig Scenario::soc_config() const {
   return config;
 }
 
-soc::VerifiedRunConfig Scenario::run_config() const { return run_; }
+soc::VerifiedRunConfig Scenario::run_config() const {
+  soc::VerifiedRunConfig config = run_;
+  if (!engine_set_) config.engine = soc::default_engine();
+  return config;
+}
 
 isa::Program Scenario::build_program() const {
   if (program_.has_value()) return *program_;

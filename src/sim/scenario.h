@@ -88,7 +88,13 @@ class Scenario {
 
   // ---- co-simulation driver ----
 
+  /// Engine selection. When never called, the FLEX_ENGINE environment
+  /// variable ("stepwise" / "quantum" / "bounded") picks the engine, default
+  /// kQuantum — so whole experiment binaries can be A/B'd without rebuilds.
   Scenario& engine(soc::Engine engine);
+  /// kQuantumBounded burst cap in instructions (0 = auto: one DBC segment /
+  /// channel-capacity worth of work). See VerifiedRunConfig::skew_instructions.
+  Scenario& skew(u64 instructions);
   Scenario& os_ticks(bool on);
   Scenario& tick(Cycle period, Cycle cost);
   Scenario& ecall_cost(Cycle cycles);
@@ -121,6 +127,7 @@ class Scenario {
   std::optional<u32> segment_limit_;
   std::optional<u64> channel_capacity_;
   std::optional<bool> trace_;
+  bool engine_set_ = false;  ///< engine() called; otherwise FLEX_ENGINE rules.
   soc::VerifiedRunConfig run_;
 };
 

@@ -1,6 +1,8 @@
 #include "soc/verified_run.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -14,6 +16,34 @@ using arch::TrapAction;
 using arch::TrapCause;
 using fs::CoreUnit;
 
+Engine default_engine() {
+  // Read once: the answer must not change between two Scenario builds that
+  // are expected to evolve bit-identically (same rule as FLEX_TRACE).
+  static const Engine engine = [] {
+    const char* value = std::getenv("FLEX_ENGINE");
+    if (value == nullptr || *value == '\0') return Engine::kQuantum;
+    const std::string_view name(value);
+    if (name == "stepwise") return Engine::kStepwise;
+    if (name == "quantum") return Engine::kQuantum;
+    if (name == "bounded" || name == "quantum_bounded") {
+      return Engine::kQuantumBounded;
+    }
+    FLEX_CHECK_MSG(false,
+                   "FLEX_ENGINE must be one of stepwise / quantum / bounded");
+    return Engine::kQuantum;
+  }();
+  return engine;
+}
+
+const char* engine_name(Engine engine) {
+  switch (engine) {
+    case Engine::kStepwise: return "stepwise";
+    case Engine::kQuantum: return "quantum";
+    case Engine::kQuantumBounded: return "bounded";
+  }
+  return "?";
+}
+
 VerifiedExecution::VerifiedExecution(Soc& soc, VerifiedRunConfig config)
     : soc_(soc), config_(std::move(config)) {
   FLEX_CHECK(config_.main_core < soc_.num_cores());
@@ -21,6 +51,12 @@ VerifiedExecution::VerifiedExecution(Soc& soc, VerifiedRunConfig config)
     FLEX_CHECK(checker < soc_.num_cores());
     FLEX_CHECK(checker != config_.main_core);
   }
+  const fs::FlexStepConfig& fs_config = soc_.config().flexstep;
+  skew_insts_ = config_.skew_instructions != 0
+                    ? config_.skew_instructions
+                    : std::max<u64>(fs_config.segment_limit,
+                                    fs_config.channel_capacity / 2);
+  FLEX_CHECK(skew_insts_ > 0);
 }
 
 VerifiedExecution::~VerifiedExecution() = default;
@@ -218,7 +254,12 @@ bool VerifiedExecution::step_round() {
     if (finished()) return false;
     pump_checkers();
     core = pick_next_core();
-    FLEX_CHECK_MSG(core != nullptr, "co-simulation deadlock");
+    FLEX_CHECK_MSG(core != nullptr,
+                   soc_.fabric().next_replay_ready_at() == fs::kNever
+                       ? "co-simulation deadlock: no core runnable and no "
+                         "segment pending"
+                       : "co-simulation deadlock: segments pending but no "
+                         "core runnable");
   }
   core->step();
 
@@ -255,6 +296,57 @@ Cycle VerifiedExecution::quantum_bound(const arch::Core& chosen) const {
   return bound;
 }
 
+Cycle VerifiedExecution::bounded_quantum(const arch::Core& chosen, u64& budget) {
+  if (chosen.id() == config_.main_core) {
+    // The producer may ignore the consumers' clocks entirely while its DBC
+    // channels guarantee headroom for the whole burst: no backpressure
+    // decision inside it can depend on pops the relaxed schedule defers, so
+    // the burst commits exactly what the strict interleaving would. Burst-end
+    // hooks (segment publish) still fire; the skew window caps the lead.
+    const u64 headroom = soc_.unit(config_.main_core).producer_burst_headroom();
+    if (headroom == 0) {
+      // Contended: a block decision could land inside the burst. Fall back to
+      // the strict leapfrog — the laggard checkers then catch up first (they
+      // are picked while behind), restoring the exact stepwise interleaving
+      // before the producer commits anything near the threshold.
+      ++cosim_.strict_fallbacks;
+      return quantum_bound(chosen);
+    }
+    ++cosim_.relaxed_bursts;
+    budget = std::min(budget, std::min(headroom, skew_insts_));
+    return arch::kNoCycleBound;
+  }
+  // Checkers: free of each other (their pops land in disjoint channels), but
+  // never past the producer's clock — every pop must stay in the producer's
+  // past so future backpressure decisions see exactly the stepwise-visible
+  // pop set. With the producer not running (blocked, halted, draining), pops
+  // can wake it: stay on the strict bound so the wake cycle stays exact.
+  const Core& main = soc_.core(config_.main_core);
+  if (main.status() == Core::Status::kRunning) {
+    ++cosim_.relaxed_bursts;
+    return main.cycle();
+  }
+  ++cosim_.strict_fallbacks;
+  return quantum_bound(chosen);
+}
+
+void VerifiedExecution::note_burst_skew(const arch::Core& chosen) {
+  // Clock lead over the slowest still-runnable core: how far past the strict
+  // leapfrog the burst ran. Parked cores are excluded — their clocks lag in
+  // every engine (they only advance again at their wake time).
+  Cycle trailing = chosen.cycle();
+  auto consider = [&](CoreId id) {
+    const Core& core = soc_.core(id);
+    if (&core != &chosen && core.status() == Core::Status::kRunning) {
+      trailing = std::min(trailing, core.cycle());
+    }
+  };
+  consider(config_.main_core);
+  for (CoreId id : config_.checkers) consider(id);
+  cosim_.max_skew_cycles =
+      std::max<u64>(cosim_.max_skew_cycles, chosen.cycle() - trailing);
+}
+
 bool VerifiedExecution::quantum_round(u64 max_instructions) {
   FLEX_CHECK_MSG(prepared_, "call prepare() first");
   if (finished()) return false;
@@ -265,17 +357,40 @@ bool VerifiedExecution::quantum_round(u64 max_instructions) {
     if (finished()) return false;
     pump_checkers();
     core = pick_next_core();
-    FLEX_CHECK_MSG(core != nullptr, "co-simulation deadlock");
+    FLEX_CHECK_MSG(core != nullptr,
+                   soc_.fabric().next_replay_ready_at() == fs::kNever
+                       ? "co-simulation deadlock: no core runnable and no "
+                         "segment pending"
+                       : "co-simulation deadlock: segments pending but no "
+                         "core runnable");
   }
+  ++cosim_.rounds;
 
+  const bool bounded = config_.engine == Engine::kQuantumBounded;
   u64 budget = max_instructions;
+  const Cycle bound = bounded ? bounded_quantum(*core, budget) : quantum_bound(*core);
   if (core->id() == config_.main_core) {
     // Leave one instruction of headroom so the safety check below can fire
     // exactly like the stepwise driver's.
     const u64 cap_left = config_.max_instructions + 1 - core->instret();
     budget = std::min(budget, cap_left);
   }
-  core->run_until(quantum_bound(*core), budget);
+
+  // Zero-progress guard: a round that neither retires, advances the clock nor
+  // changes the core's status would hand the next round the identical pick
+  // and bound — the driver would spin forever (e.g. a burst-end hook firing
+  // at the chosen core's current cycle). Crash instead of hanging.
+  const Cycle cycle_before = core->cycle();
+  const u64 instret_before = core->instret();
+  const Core::Status status_before = core->status();
+  core->run_until(bound, budget);
+  FLEX_CHECK_MSG(core->cycle() != cycle_before || core->instret() != instret_before ||
+                     core->status() != status_before,
+                 "co-simulation deadlock: quantum round made no progress");
+  if (bounded) {
+    if (core->last_run_exit() == arch::RunExit::kQuantumBreak) ++cosim_.hook_breaks;
+    note_burst_skew(*core);
+  }
 
   if (core->id() == config_.main_core) {
     FLEX_CHECK_MSG(core->instret() <= config_.max_instructions,

@@ -23,7 +23,29 @@ enum class Engine : u8 {
   kQuantum,   ///< Batched: each round runs the picked core for as long as the
               ///< stepwise scheduler would have kept picking it
               ///< (Core::run_until). Bit-identical state evolution.
+  kQuantumBounded,  ///< Relaxed-skew batched: bursts may overrun the strict
+                    ///< cycle-leapfrog bound by up to a skew window wherever
+                    ///< the overrun is provably invisible — the main core
+                    ///< while its DBC channels guarantee headroom (no
+                    ///< backpressure decision can depend on deferred consumer
+                    ///< pops), checkers up to the main's local clock (their
+                    ///< pops stay in the producer's past). Bursts still end
+                    ///< at every cross-core interaction point (segment
+                    ///< publish, space-freeing pop, backpressure block), and
+                    ///< the contended regime falls back to the strict bound —
+                    ///< so the observable schedule, and with it every
+                    ///< verdict, stat and cycle count, stays bit-identical to
+                    ///< kStepwise. tests/test_exec_engine.cpp enforces this.
 };
+
+/// The engine FLEX_ENGINE selects ("stepwise" / "quantum" / "bounded", also
+/// accepted: "quantum_bounded"); kQuantum when unset. Read once per process —
+/// sim::Scenario applies it whenever the experiment didn't pick an engine
+/// explicitly.
+Engine default_engine();
+
+/// Short lowercase name for tables/JSON ("stepwise", "quantum", "bounded").
+const char* engine_name(Engine engine);
 
 struct VerifiedRunConfig {
   CoreId main_core = 0;
@@ -44,6 +66,29 @@ struct VerifiedRunConfig {
   /// Engine selection. kQuantum is the default hot path; kStepwise remains
   /// available as the reference baseline (equivalence tests, bench baseline).
   Engine engine = Engine::kQuantum;
+
+  /// kQuantumBounded: cap on the instructions one relaxed burst may run
+  /// (bounds the clock lead a burst can build over the other cores, and with
+  /// it the interleaving granularity advance() rendezvous points see).
+  /// 0 = auto: max(segment_limit, channel_capacity / 2) — one DBC segment /
+  /// channel-capacity worth of work.
+  u64 skew_instructions = 0;
+};
+
+/// Quantum-engine burst accounting (diagnostics; deliberately not part of
+/// RunStats, whose field-wise equality the bit-identity proofs compare).
+/// `rounds` counts every quantum_round() under kQuantum AND kQuantumBounded
+/// (stepwise drives no quanta); the remaining fields are kQuantumBounded-only
+/// and stay zero under the other engines.
+struct CosimStats {
+  u64 rounds = 0;           ///< Quantum scheduling rounds driven.
+  u64 relaxed_bursts = 0;   ///< Bursts freed from the strict leapfrog bound.
+  u64 strict_fallbacks = 0; ///< Contended rounds driven at the strict bound.
+  u64 hook_breaks = 0;      ///< Bursts ended by a cross-core interaction hook
+                            ///< (Core::RunExit::kQuantumBreak): segment
+                            ///< publish, space-freeing pop, drain transition.
+  u64 max_skew_cycles = 0;  ///< Largest clock lead a burst built over the
+                            ///< slowest still-runnable core.
 };
 
 struct RunStats {
@@ -105,6 +150,12 @@ class VerifiedExecution final : public arch::TrapHandler {
   bool finished() const;
   RunStats stats() const;
 
+  /// Burst accounting of the relaxed engine (all-zero under other engines).
+  const CosimStats& cosim_stats() const { return cosim_; }
+  /// The resolved kQuantumBounded burst cap (config_.skew_instructions, or
+  /// the auto default derived from the SoC's FlexStep geometry).
+  u64 skew_instructions() const { return skew_insts_; }
+
   Soc& soc() { return soc_; }
   const VerifiedRunConfig& config() const { return config_; }
 
@@ -134,9 +185,17 @@ class VerifiedExecution final : public arch::TrapHandler {
   /// stepwise scheduler (smallest-cycle-first, main-core-then-checker-order
   /// tie-break), assuming no other core's state changes meanwhile.
   Cycle quantum_bound(const arch::Core& chosen) const;
+  /// kQuantumBounded bound: relax the strict bound where provably invisible
+  /// (see Engine::kQuantumBounded), shrinking `budget` to the producer's
+  /// guaranteed-headroom / skew window when the main core is chosen. Falls
+  /// back to quantum_bound() in the contended regime.
+  Cycle bounded_quantum(const arch::Core& chosen, u64& budget);
+  void note_burst_skew(const arch::Core& chosen);
 
   Soc& soc_;
   VerifiedRunConfig config_;
+  u64 skew_insts_ = 0;  ///< Resolved kQuantumBounded burst cap.
+  CosimStats cosim_;
   bool main_halted_ = false;
   bool prepared_ = false;
 };

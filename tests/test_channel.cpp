@@ -82,6 +82,27 @@ TEST(Channel, DmaSpillWhenConsumerStarved) {
   EXPECT_GT(ch.size(), small_config().channel_capacity);
 }
 
+TEST(Channel, ProducerHeadroomTracksSpaceHorizon) {
+  Channel ch(0, 1, small_config());  // capacity 8
+  MemLogEntry e;
+  // Consumer starved (no complete segment): the spill rule makes a stall
+  // impossible, so the horizon is unbounded — even past capacity.
+  ch.push_scp(state_with(1), 0);
+  EXPECT_EQ(ch.producer_headroom_entries(), ~u64{0});
+  for (int i = 0; i < 10; ++i) ch.push_mem(e, 1);
+  EXPECT_EQ(ch.producer_headroom_entries(), ~u64{0});
+
+  // A complete segment arms backpressure: the horizon is the remaining space.
+  ch.push_segment_end(state_with(2), 10, 2);  // occupancy 12 > capacity 8
+  EXPECT_EQ(ch.producer_headroom_entries(), 0u);
+  while (ch.size() > 5) ch.pop(10);
+  EXPECT_EQ(ch.producer_headroom_entries(), 3u);
+
+  // The horizon is exactly the guaranteed-no-stall push count.
+  EXPECT_TRUE(ch.producer_can_push(3));
+  EXPECT_FALSE(ch.producer_can_push(4));
+}
+
 TEST(Channel, DrainedRequiresCloseAndEmpty) {
   Channel ch(0, 1, small_config());
   ch.push_scp(state_with(1), 0);

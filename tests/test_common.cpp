@@ -147,6 +147,49 @@ TEST(Histogram, ClampsOutOfRange) {
   EXPECT_EQ(h.bin(9), 1u);
 }
 
+TEST(Histogram, CdfExactAtRangeEdges) {
+  // Awkward (lo, hi, bins) triples where lo + bins*width lands a ULP off hi
+  // under floating-point rounding: cdf(hi) used to drop the last bin.
+  const struct {
+    double lo, hi;
+    std::size_t bins;
+  } triples[] = {{0.0, 0.7, 7}, {0.1, 0.7, 6}, {0.0, 1.0 / 3.0, 9},
+                 {1e-3, 2.3e-1, 11}, {0.0, 100.0, 50}};
+  for (const auto& t : triples) {
+    Histogram h(t.lo, t.hi, t.bins);
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) h.add(rng.next_double_in(t.lo, t.hi));
+    EXPECT_EQ(h.cdf(t.lo), 0.0) << t.lo << " " << t.hi << " " << t.bins;
+    EXPECT_EQ(h.cdf(t.hi), 1.0) << t.lo << " " << t.hi << " " << t.bins;
+  }
+}
+
+TEST(Histogram, RenderSurvivesWideWidths) {
+  // Rows used to be assembled in a fixed char[256]: width ≳ 240 silently
+  // truncated the bar and dropped the trailing count.
+  Histogram h(0.0, 4.0, 4);
+  h.add_n(0.5, 123456);  // peak bin: full-width bar
+  h.add_n(1.5, 61728);
+  for (const std::size_t width : {60u, 400u, 1000u}) {
+    const std::string out = h.render(width);
+    // Every row: 10-char center + " | " + width bar columns + " " + count.
+    std::size_t rows = 0;
+    std::size_t start = 0;
+    while (start < out.size()) {
+      const std::size_t end = out.find('\n', start);
+      ASSERT_NE(end, std::string::npos);
+      const std::string line = out.substr(start, end - start);
+      EXPECT_GT(line.size(), 13 + width) << "width " << width;
+      start = end + 1;
+      ++rows;
+    }
+    EXPECT_EQ(rows, h.bin_count());
+    // The peak bin renders a full-width bar and keeps its exact count.
+    EXPECT_NE(out.find(std::string(width, '#') + " 123456"), std::string::npos)
+        << "width " << width;
+  }
+}
+
 TEST(Histogram, CdfMonotone) {
   Histogram h(0.0, 100.0, 50);
   Rng rng(4);

@@ -175,5 +175,54 @@ TEST(VerifiedRun, StatsIpcPositive) {
   EXPECT_LE(stats.ipc(), 1.0);
 }
 
+TEST(VerifiedRun, RunUntilReportsExitReason) {
+  // The building blocks the quantum drivers' progress accounting rests on:
+  // every run_until() return is classified, including the zero-progress
+  // cycle-bound return the drivers must never produce from their own bounds.
+  Soc soc(SocConfig::paper_default(1));
+  VerifiedExecution exec(soc, VerifiedRunConfig{0, {}});
+  exec.prepare(tiny_workload("swaptions", 4));
+  arch::Core& core = soc.core(0);
+  EXPECT_EQ(core.last_run_exit(), arch::RunExit::kNone);
+
+  core.run_until(arch::kNoCycleBound, 100);
+  EXPECT_EQ(core.last_run_exit(), arch::RunExit::kInstretBound);
+
+  const Cycle now = core.cycle();
+  const u64 instret = core.instret();
+  core.run_until(now);  // bound at (or before) the current clock
+  EXPECT_EQ(core.last_run_exit(), arch::RunExit::kCycleBound);
+  EXPECT_EQ(core.cycle(), now);        // zero progress, classified as such
+  EXPECT_EQ(core.instret(), instret);
+
+  core.run_until(arch::kNoCycleBound);  // to completion
+  EXPECT_EQ(core.last_run_exit(), arch::RunExit::kStatusChange);
+  EXPECT_NE(core.status(), arch::Core::Status::kRunning);
+}
+
+using VerifiedRunDeathTest = testing::Test;
+
+TEST(VerifiedRunDeathTest, QuantumDriverCrashesOnDeadlockInsteadOfSpinning) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Park the main core mid-job without halting it: the stream stays open, the
+  // checker drains what is queued and parks, and no core is ever runnable
+  // again. The driver must trip its deadlock FLEX_CHECK (after the double
+  // pump_checkers retry) rather than spin forever.
+  auto deadlock = [](soc::Engine engine) {
+    Soc soc(SocConfig::paper_default(2));
+    VerifiedRunConfig config{0, {1}};
+    config.engine = engine;
+    VerifiedExecution exec(soc, config);
+    exec.prepare(tiny_workload("swaptions", 20));
+    exec.advance(30'000);
+    soc.core(0).set_idle();  // kernel parked the main core; nobody resumes it
+    while (exec.advance(10'000)) {
+    }
+  };
+  EXPECT_DEATH(deadlock(soc::Engine::kQuantum), "co-simulation deadlock");
+  EXPECT_DEATH(deadlock(soc::Engine::kQuantumBounded), "co-simulation deadlock");
+  EXPECT_DEATH(deadlock(soc::Engine::kStepwise), "co-simulation deadlock");
+}
+
 }  // namespace
 }  // namespace flexstep
