@@ -11,6 +11,7 @@
 //   ./bench/micro_benchmarks --snapshot       # snapshot-fork vs re-execution + JSON
 //   ./bench/micro_benchmarks --trace          # trace-JIT on/off comparison + JSON
 //   ./bench/micro_benchmarks --cosim          # dual/triple x three engines + JSON
+//   ./bench/micro_benchmarks --vuln           # whole-SoC vulnerability campaign + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
 #include <chrono>
 #include <cstdio>
@@ -24,6 +25,8 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "fault/campaign.h"
+#include "fault/sites.h"
+#include "fault/vuln.h"
 #include "runtime/job_pool.h"
 #include "sched/flexstep_partition.h"
 #include "sched/hmr_partition.h"
@@ -553,6 +556,105 @@ int run_snapshot_fork_mode() {
   return identical && forked.total_instructions < reexecuted.total_instructions ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Vulnerability-campaign mode (--vuln): whole-SoC fault injection with the
+// four-way masked/detected/SDC/DUE classification. Runs the same campaign
+// three ways — snapshot-fork wide, warmup-re-execution wide, snapshot-fork
+// serial — and exits non-zero unless all three classified every injection
+// identically (the parity gate CI holds the classifier to).
+// ---------------------------------------------------------------------------
+
+int run_vuln_mode() {
+  const auto faults = static_cast<u32>(bench::env_u64("FLEX_VULN_FAULTS", 126));
+  const auto horizon = bench::env_u64("FLEX_VULN_HORIZON", 30'000);
+  const u32 max_threads = bench::thread_count();
+  const auto& profile = workloads::find_profile("swaptions");
+
+  fault::VulnConfig config;
+  config.target_faults = faults;
+  config.warmup_rounds = 20'000;
+  config.gap_rounds = 1'000;
+  config.horizon = horizon;
+  config.workload_iterations = 20'000;
+
+  std::printf("== Whole-SoC vulnerability campaign (workload %s, %u faults, "
+              "horizon %llu, %u shards) ==\n\n",
+              profile.name.c_str(), faults,
+              static_cast<unsigned long long>(horizon), config.shards);
+
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  const auto measure_run = [&](fault::CampaignMode mode, u32 threads,
+                               fault::VulnReport* out) {
+    config.mode = mode;
+    config.threads = threads;
+    const auto start = std::chrono::steady_clock::now();
+    *out = fault::run_vuln_campaign(profile, soc_config, config);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  fault::VulnReport fork_wide;
+  fault::VulnReport reexec_wide;
+  fault::VulnReport fork_serial;
+  const double fork_s =
+      measure_run(fault::CampaignMode::kSnapshotFork, max_threads, &fork_wide);
+  const double reexec_s =
+      measure_run(fault::CampaignMode::kWarmupReexecution, max_threads, &reexec_wide);
+  measure_run(fault::CampaignMode::kSnapshotFork, 1, &fork_serial);
+
+  const bool mode_parity = fork_wide.digest() == reexec_wide.digest();
+  const bool thread_parity = fork_wide.digest() == fork_serial.digest();
+  const double injections_per_s = fork_s > 0.0 ? faults / fork_s : 0.0;
+
+  std::printf("%s\n", fork_wide.render().c_str());
+  std::printf("snapshot-fork: %.3f s (%.1f injections/s), "
+              "re-execution: %.3f s\n",
+              fork_s, injections_per_s, reexec_s);
+  std::printf("classification parity fork-vs-reexec: %s\n",
+              mode_parity ? "yes" : "NO (mode divergence!)");
+  std::printf("classification parity across thread counts: %s\n",
+              thread_parity ? "yes" : "NO (determinism bug!)");
+
+  FILE* json = std::fopen("BENCH_vuln_campaign.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"vuln_campaign\",\n");
+    std::fprintf(json, "  \"workload\": \"%s\",\n  \"faults\": %u,\n"
+                       "  \"horizon\": %llu,\n  \"shards\": %u,\n",
+                 profile.name.c_str(), faults,
+                 static_cast<unsigned long long>(horizon), config.shards);
+    std::fprintf(json, "  \"components\": [\n");
+    for (std::size_t c = 0; c < fault::kComponentCount; ++c) {
+      const auto& v = fork_wide.components[c];
+      std::fprintf(json,
+                   "    {\"component\": \"%s\", \"injected\": %u, \"masked\": %u, "
+                   "\"detected\": %u, \"sdc\": %u, \"due\": %u, "
+                   "\"coverage\": %.4f, \"sdc_rate\": %.4f}%s\n",
+                   fault::component_name(static_cast<fault::Component>(c)),
+                   v.injected, v.masked, v.detected, v.sdc, v.due, v.coverage(),
+                   v.sdc_rate(), c + 1 < fault::kComponentCount ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"totals\": {\"injected\": %u, \"masked\": %u, "
+                 "\"detected\": %u, \"sdc\": %u, \"due\": %u},\n",
+                 fork_wide.injected, fork_wide.masked, fork_wide.detected,
+                 fork_wide.sdc, fork_wide.due);
+    std::fprintf(json,
+                 "  \"host_seconds\": %.6f,\n  \"injections_per_second\": %.3f,\n"
+                 "  \"digest\": \"%llx\",\n  \"mode_parity\": %s,\n"
+                 "  \"thread_parity\": %s\n}\n",
+                 fork_s, injections_per_s,
+                 static_cast<unsigned long long>(fork_wide.digest()),
+                 mode_parity ? "true" : "false",
+                 thread_parity ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_vuln_campaign.json\n");
+  }
+  if (!mode_parity || !thread_parity) {
+    std::fprintf(stderr, "FAIL: vuln campaign classification parity broken\n");
+  }
+  return mode_parity && thread_parity ? 0 : 1;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -656,13 +758,16 @@ int main(int argc, char** argv) {
   bool snapshot = false;
   bool trace = false;
   bool cosim = false;
+  bool vuln = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
     if (std::strcmp(argv[i], "--snapshot") == 0) snapshot = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--cosim") == 0) cosim = true;
+    if (std::strcmp(argv[i], "--vuln") == 0) vuln = true;
   }
+  if (vuln) return run_vuln_mode();
   if (cosim) return run_cosim_mode();
   if (trace) return run_trace_jit_mode();
   if (snapshot) return run_snapshot_fork_mode();

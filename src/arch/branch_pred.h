@@ -84,6 +84,42 @@ class BranchPredictor {
 
   void reset();
 
+  // ---- fault-site adapter (fault/sites.h) ----
+
+  /// Indexable predictor fault sites: every BHT counter, BTB entry and RAS
+  /// slot, in that order.
+  std::size_t fault_site_count() const {
+    return bht_.size() + btb_.size() + ras_.size();
+  }
+  /// Flippable bits of site `index`: 2 (BHT saturating counter), 129 (BTB
+  /// target + pc + valid) or 64 (RAS return address).
+  u32 fault_site_bits(std::size_t index) const {
+    if (index < bht_.size()) return 2;
+    if (index < bht_.size() + btb_.size()) return 129;
+    return 64;
+  }
+  /// XOR the addressed bit; a 2-bit BHT flip keeps the counter in 0..3, so a
+  /// second flip restores bit-identical state for every site kind.
+  void fault_flip(std::size_t index, u64 bit) {
+    if (index < bht_.size()) {
+      bht_[index] ^= static_cast<u8>(1u << bit);
+      return;
+    }
+    index -= bht_.size();
+    if (index < btb_.size()) {
+      BtbEntry& entry = btb_[index];
+      if (bit < 64) {
+        entry.target ^= u64{1} << bit;
+      } else if (bit < 128) {
+        entry.pc ^= u64{1} << (bit - 64);
+      } else {
+        entry.valid = !entry.valid;
+      }
+      return;
+    }
+    ras_[index - btb_.size()] ^= u64{1} << bit;
+  }
+
   const BranchPredictorConfig& config() const { return config_; }
 
  private:

@@ -79,6 +79,19 @@ class Cache {
   /// Invalidate everything (context-switch cold-start modelling, tests).
   void invalidate_all();
 
+  // ---- fault-site adapter (fault/sites.h) ----
+
+  /// Total tag-array ways (sets × associativity) enumerable as fault sites.
+  std::size_t fault_way_count() const { return ways_.size(); }
+  /// XOR one bit of a way's tag. Because an invalid way carries the all-ones
+  /// kInvalidTag sentinel instead of a separate valid flag, the same 64-bit
+  /// flip space covers both tag corruption (aliasing a way onto the wrong
+  /// line) and valid-bit corruption (an invalid way turning into a bogus
+  /// near-all-ones tag). Timing-only either way: data lives in Memory.
+  void fault_flip_tag(std::size_t way_index, u64 bit) {
+    ways_[way_index].tag ^= u64{1} << bit;
+  }
+
   const CacheConfig& config() const { return config_; }
   u64 hits() const { return hits_; }
   u64 misses() const { return misses_; }

@@ -96,6 +96,26 @@ void Memory::invalidate_reservations(Addr addr, std::size_t bytes) {
   });
 }
 
+Addr Memory::fault_word_addr(std::size_t word_index) const {
+  constexpr std::size_t kWordsPerPage = kPageSize / 8;
+  FLEX_CHECK_MSG(word_index < fault_word_count(), "fault word index out of range");
+  std::vector<u64> ids;
+  ids.reserve(pages_.size());
+  for (const auto& [id, page] : pages_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  const u64 page_id = ids[word_index / kWordsPerPage];
+  return (page_id << kPageBits) + (word_index % kWordsPerPage) * 8;
+}
+
+void Memory::fault_flip_word(std::size_t word_index, u64 bit) {
+  FLEX_CHECK(bit < 64);
+  const Addr addr = fault_word_addr(word_index);
+  Page& page = *pages_.at(addr >> kPageBits);
+  // Direct page access: deliberately skips notify_code_write and reservation
+  // invalidation (see header) and therefore also write()'s pointer cache.
+  page[(addr & (kPageSize - 1)) + bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+}
+
 u8* Memory::page_data_slow(Addr addr) {
   const u64 id = addr >> kPageBits;
   auto it = pages_.find(id);

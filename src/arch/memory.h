@@ -121,6 +121,21 @@ class Memory {
   /// Number of materialised pages (tests / footprint accounting).
   std::size_t resident_pages() const { return pages_.size(); }
 
+  // ---- fault-site adapter (fault/sites.h) ----
+
+  /// Resident 8-byte words enumerable as fault sites. Word indices walk the
+  /// resident pages in page-id order, so the index space is deterministic for
+  /// a given touched-page set (never the hash map's iteration order).
+  std::size_t fault_word_count() const {
+    return pages_.size() * (kPageSize / 8);
+  }
+  /// Physical address of resident word `word_index` (id-sorted page walk).
+  Addr fault_word_addr(std::size_t word_index) const;
+  /// XOR one bit of a resident word, bypassing the write-path guards: a
+  /// particle strike corrupts the cell silently — it is not an agent's store,
+  /// so it must not invalidate LR/SC reservations or fire code-page watches.
+  void fault_flip_word(std::size_t word_index, u64 bit);
+
   // ---- code-page write watching (trace-cache invalidation) ----
 
   /// Ask for on_code_page_written() whenever any page in [first, last] is

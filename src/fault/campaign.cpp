@@ -21,12 +21,40 @@ std::vector<double> CampaignStats::latencies_us() const {
   return out;
 }
 
+void CampaignStats::record(const FaultOutcome& outcome) {
+  ++injected;
+  switch (outcome.kind) {
+    case OutcomeKind::kDetected:
+      ++detected;
+      break;
+    case OutcomeKind::kMasked:
+      ++masked;
+      ++undetected;
+      break;
+    case OutcomeKind::kSdc:
+      ++sdc;
+      ++undetected;
+      break;
+    case OutcomeKind::kDue:
+      ++due;
+      ++undetected;
+      break;
+  }
+  outcomes.push_back(outcome);
+}
+
 void CampaignStats::merge(CampaignStats&& shard) {
   injected += shard.injected;
   detected += shard.detected;
   undetected += shard.undetected;
+  masked += shard.masked;
+  sdc += shard.sdc;
+  due += shard.due;
   total_instructions += shard.total_instructions;
   outcomes.insert(outcomes.end(), shard.outcomes.begin(), shard.outcomes.end());
+  FLEX_CHECK_MSG(masked + detected + sdc + due == injected,
+                 "campaign classification invariant violated: "
+                 "masked + detected + sdc + due != injected");
 }
 
 namespace {
@@ -92,6 +120,7 @@ FaultOutcome run_injection(sim::Session& victim, Rng& rng) {
         outcome.detected = true;
         outcome.latency_us = cycles_to_us(events[i].latency);
         outcome.detect_kind = events[i].kind;
+        outcome.kind = OutcomeKind::kDetected;
         resolved = true;
         break;
       }
@@ -182,13 +211,7 @@ CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
       }
 
       const FaultOutcome outcome = run_injection(victim, rng);
-      ++stats.injected;
-      if (outcome.detected) {
-        ++stats.detected;
-      } else {
-        ++stats.undetected;
-      }
-      stats.outcomes.push_back(outcome);
+      stats.record(outcome);
       stats.total_instructions += victim.total_instret() - restored_instructions;
 
       // Advance the clean baseline to the next injection point.
@@ -205,11 +228,19 @@ CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
 CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
                                  const CampaignConfig& campaign) {
+  // Validate up front: a zero in any of these silently degenerates the
+  // campaign (no shards to run, nothing to inject, or injection points all
+  // landing at cycle 0) — fail loudly instead of producing an empty report.
+  FLEX_CHECK_MSG(campaign.shards >= 1,
+                 "fault campaign: shards must be >= 1 (got 0)");
+  FLEX_CHECK_MSG(campaign.target_faults > 0,
+                 "fault campaign: target_faults must be > 0");
+  FLEX_CHECK_MSG(campaign.warmup_rounds > 0 && campaign.gap_rounds > 0,
+                 "fault campaign: warmup_rounds and gap_rounds need a nonzero "
+                 "horizon");
   // Shards beyond target_faults would all get a zero quota, so capping here
-  // changes no outcome — it only bounds the quota/partials allocations
-  // against garbage configs (e.g. a negative CLI argument wrapped to u32).
-  const u32 shards =
-      std::clamp<u32>(campaign.shards, 1, std::max<u32>(1, campaign.target_faults));
+  // changes no outcome — it only bounds the quota/partials allocations.
+  const u32 shards = std::min<u32>(campaign.shards, campaign.target_faults);
   // Shard quotas: target_faults split as evenly as possible, the remainder
   // going to the lowest shard indices. The split depends only on the config.
   std::vector<u32> quota(shards);

@@ -57,18 +57,48 @@ struct CampaignConfig {
   std::optional<soc::Engine> engine;
 };
 
+/// Final classification of one injection — the four-way taxonomy of
+/// CFA-class vulnerability analyses. "Undetected" alone is not a class:
+/// a fault FlexStep missed may still have perturbed architectural state
+/// (SDC) or wedged the machine (DUE), and those must never be conflated
+/// with harmless masked flips.
+enum class OutcomeKind : u8 {
+  kMasked,    ///< No detection, final architectural state matches the golden run.
+  kDetected,  ///< A checker reported a mismatch (FlexStep coverage).
+  kSdc,       ///< Silent data corruption: undetected AND architecturally diverged.
+  kDue,       ///< Detected-unrecoverable: the run wedged (stall / lost alignment).
+};
+
+constexpr const char* outcome_kind_name(OutcomeKind k) {
+  switch (k) {
+    case OutcomeKind::kMasked: return "masked";
+    case OutcomeKind::kDetected: return "detected";
+    case OutcomeKind::kSdc: return "sdc";
+    case OutcomeKind::kDue: return "due";
+  }
+  return "?";
+}
+
 struct FaultOutcome {
   bool detected = false;
   double latency_us = 0.0;                  ///< Valid when detected.
   fs::DetectKind detect_kind{};             ///< Valid when detected.
   fs::StreamItem::Kind target_kind{};       ///< What was corrupted.
+  /// Four-way classification. The DBC stream campaign (this file) only
+  /// produces kDetected/kMasked — a corrupted stream item never touches
+  /// architectural state; the whole-SoC campaign (fault/vuln.h) produces
+  /// all four.
+  OutcomeKind kind = OutcomeKind::kMasked;
 };
 
 struct CampaignStats {
   std::vector<FaultOutcome> outcomes;
   u32 injected = 0;
   u32 detected = 0;
-  u32 undetected = 0;  ///< Masked faults (e.g. flip in a dead SCP register).
+  u32 undetected = 0;  ///< masked + sdc + due (everything FlexStep missed).
+  u32 masked = 0;
+  u32 sdc = 0;
+  u32 due = 0;
 
   /// Instructions actually executed on the host across every session (baseline
   /// prefixes + per-injection work). A restored snapshot contributes nothing;
@@ -79,10 +109,21 @@ struct CampaignStats {
   double coverage() const {
     return injected == 0 ? 0.0 : static_cast<double>(detected) / injected;
   }
+  /// Silent-data-corruption rate: the fraction of injections FlexStep both
+  /// missed and that corrupted architectural state.
+  double sdc_rate() const {
+    return injected == 0 ? 0.0 : static_cast<double>(sdc) / injected;
+  }
   std::vector<double> latencies_us() const;
+
+  /// Record one classified injection (bumps the kind counter + the
+  /// detected/undetected rollups and appends the outcome).
+  void record(const FaultOutcome& outcome);
 
   /// Appends another shard's outcomes and folds its counters in. Shards are
   /// merged in ascending shard order so the campaign result is deterministic.
+  /// Enforces the classification invariant
+  /// masked + detected + sdc + due == injected on the merged result.
   void merge(CampaignStats&& shard);
 };
 

@@ -1,0 +1,435 @@
+#include "fault/sites.h"
+
+#include <charconv>
+
+#include "arch/cache.h"
+#include "arch/core.h"
+#include "common/check.h"
+#include "flexstep/channel.h"
+#include "flexstep/core_unit.h"
+#include "flexstep/fabric.h"
+#include "soc/snapshot.h"
+#include "soc/soc.h"
+
+namespace flexstep::fault {
+
+namespace {
+
+/// Registers-per-core slots in the kArchReg space: slot 0 = pc, 1..31 = x1..x31
+/// (x0 is hardwired zero — a strike there is architecturally invisible).
+constexpr u64 kRegSlots = 32;
+
+/// Locate element `index` of a flat per-core cache-tag space laid out as
+/// [core0 l1i | core0 l1d | core1 l1i | ... ] with the shared L2 last.
+arch::Cache& locate_cache_way(soc::Soc& soc, u64 index, std::size_t& local) {
+  for (CoreId c = 0; c < soc.num_cores(); ++c) {
+    arch::CacheHierarchy& caches = soc.core(c).caches();
+    if (index < caches.l1i().fault_way_count()) {
+      local = static_cast<std::size_t>(index);
+      return caches.l1i();
+    }
+    index -= caches.l1i().fault_way_count();
+    if (index < caches.l1d().fault_way_count()) {
+      local = static_cast<std::size_t>(index);
+      return caches.l1d();
+    }
+    index -= caches.l1d().fault_way_count();
+  }
+  FLEX_CHECK_MSG(index < soc.l2().fault_way_count(),
+                 "cache-tag fault index out of range");
+  local = static_cast<std::size_t>(index);
+  return soc.l2();
+}
+
+arch::BranchPredictor& locate_bpred_site(soc::Soc& soc, u64 index,
+                                         std::size_t& local) {
+  for (CoreId c = 0; c < soc.num_cores(); ++c) {
+    arch::BranchPredictor& bpred = soc.core(c).bpred();
+    if (index < bpred.fault_site_count()) {
+      local = static_cast<std::size_t>(index);
+      return bpred;
+    }
+    index -= bpred.fault_site_count();
+  }
+  FLEX_CHECK_MSG(false, "branch-predictor fault index out of range");
+  return soc.core(0).bpred();  // unreachable
+}
+
+fs::Channel& locate_channel_entry(soc::Soc& soc, u64 index, std::size_t& local) {
+  for (fs::Channel* ch : soc.fabric().channels()) {
+    if (index < ch->size()) {
+      local = static_cast<std::size_t>(index);
+      return *ch;
+    }
+    index -= ch->size();
+  }
+  FLEX_CHECK_MSG(false, "dbc-entry fault index out of range");
+  return *soc.fabric().channels().front();  // unreachable
+}
+
+fs::Channel& locate_channel_meta(soc::Soc& soc, u64 index, std::size_t& local) {
+  for (fs::Channel* ch : soc.fabric().channels()) {
+    if (index < ch->segment_meta_count()) {
+      local = static_cast<std::size_t>(index);
+      return *ch;
+    }
+    index -= ch->segment_meta_count();
+  }
+  FLEX_CHECK_MSG(false, "dbc-meta fault index out of range");
+  return *soc.fabric().channels().front();  // unreachable
+}
+
+}  // namespace
+
+u64 site_index_count(soc::Soc& soc, Component component) {
+  switch (component) {
+    case Component::kArchReg:
+      return u64{soc.num_cores()} * kRegSlots;
+    case Component::kMemory:
+      return soc.memory().fault_word_count();
+    case Component::kCacheTag: {
+      u64 count = soc.l2().fault_way_count();
+      for (CoreId c = 0; c < soc.num_cores(); ++c) {
+        arch::CacheHierarchy& caches = soc.core(c).caches();
+        count += caches.l1i().fault_way_count() + caches.l1d().fault_way_count();
+      }
+      return count;
+    }
+    case Component::kBranchPred: {
+      u64 count = 0;
+      for (CoreId c = 0; c < soc.num_cores(); ++c) {
+        count += soc.core(c).bpred().fault_site_count();
+      }
+      return count;
+    }
+    case Component::kDbcEntry: {
+      u64 count = 0;
+      for (const fs::Channel* ch : soc.fabric().channels()) count += ch->size();
+      return count;
+    }
+    case Component::kDbcMeta: {
+      u64 count = 0;
+      for (const fs::Channel* ch : soc.fabric().channels()) {
+        count += ch->segment_meta_count();
+      }
+      return count;
+    }
+    case Component::kCheckerState:
+      return soc.num_cores();
+  }
+  return 0;
+}
+
+u64 site_bit_count(soc::Soc& soc, const FaultSite& site) {
+  switch (site.component) {
+    case Component::kArchReg:
+    case Component::kMemory:
+    case Component::kCacheTag:
+      return 64;
+    case Component::kBranchPred: {
+      std::size_t local = 0;
+      return locate_bpred_site(soc, site.index, local).fault_site_bits(local);
+    }
+    case Component::kDbcEntry: {
+      std::size_t local = 0;
+      return locate_channel_entry(soc, site.index, local).entry_bit_count(local);
+    }
+    case Component::kDbcMeta:
+      return fs::Channel::kSegmentMetaBits;
+    case Component::kCheckerState:
+      return fs::CoreUnit::kCheckerStateBits;
+  }
+  return 0;
+}
+
+void flip(soc::Soc& soc, const FaultSite& site) {
+  FLEX_CHECK_MSG(site.index < site_index_count(soc, site.component),
+                 "fault site index out of range");
+  FLEX_CHECK_MSG(site.bit < site_bit_count(soc, site),
+                 "fault site bit out of range");
+  switch (site.component) {
+    case Component::kArchReg: {
+      arch::Core& core = soc.core(static_cast<CoreId>(site.index / kRegSlots));
+      const u64 slot = site.index % kRegSlots;
+      const u64 mask = u64{1} << site.bit;
+      if (slot == 0) {
+        core.set_pc(core.pc() ^ mask);
+      } else {
+        core.set_reg(static_cast<u8>(slot), core.reg(static_cast<u8>(slot)) ^ mask);
+      }
+      return;
+    }
+    case Component::kMemory:
+      soc.memory().fault_flip_word(static_cast<std::size_t>(site.index), site.bit);
+      return;
+    case Component::kCacheTag: {
+      std::size_t local = 0;
+      locate_cache_way(soc, site.index, local).fault_flip_tag(local, site.bit);
+      return;
+    }
+    case Component::kBranchPred: {
+      std::size_t local = 0;
+      locate_bpred_site(soc, site.index, local).fault_flip(local, site.bit);
+      return;
+    }
+    case Component::kDbcEntry: {
+      std::size_t local = 0;
+      locate_channel_entry(soc, site.index, local).flip_entry_bit(local, site.bit);
+      return;
+    }
+    case Component::kDbcMeta: {
+      std::size_t local = 0;
+      locate_channel_meta(soc, site.index, local).flip_segment_meta_bit(local,
+                                                                        site.bit);
+      return;
+    }
+    case Component::kCheckerState:
+      soc.unit(static_cast<CoreId>(site.index)).flip_checker_state_bit(site.bit);
+      return;
+  }
+}
+
+FaultSite random_site(soc::Soc& soc, Component component, Rng& rng) {
+  FaultSite site;
+  site.component = component;
+  const u64 count = site_index_count(soc, component);
+  FLEX_CHECK_MSG(count > 0, "component has no enumerable fault sites");
+  site.index = rng.next_below(count);
+  site.bit = rng.next_below(site_bit_count(soc, site));
+  site.cycle = soc.max_cycle();
+  return site;
+}
+
+std::string describe(const FaultSite& site) {
+  std::string out = component_name(site.component);
+  out += " i" + std::to_string(site.index);
+  out += " b" + std::to_string(site.bit);
+  out += " @" + std::to_string(site.cycle);
+  return out;
+}
+
+std::optional<FaultSite> parse_site(std::string_view text) {
+  const auto take_token = [&text]() -> std::string_view {
+    while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+    std::size_t end = text.find(' ');
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view token = text.substr(0, end);
+    text.remove_prefix(end);
+    return token;
+  };
+  const auto parse_u64 = [](std::string_view token, char prefix,
+                            u64& out) -> bool {
+    if (token.size() < 2 || token.front() != prefix) return false;
+    token.remove_prefix(1);
+    const auto result =
+        std::from_chars(token.data(), token.data() + token.size(), out);
+    return result.ec == std::errc{} && result.ptr == token.data() + token.size();
+  };
+
+  FaultSite site;
+  const std::string_view name = take_token();
+  bool found = false;
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    const auto component = static_cast<Component>(c);
+    if (name == component_name(component)) {
+      site.component = component;
+      found = true;
+      break;
+    }
+  }
+  if (!found) return std::nullopt;
+  if (!parse_u64(take_token(), 'i', site.index)) return std::nullopt;
+  if (!parse_u64(take_token(), 'b', site.bit)) return std::nullopt;
+  if (!parse_u64(take_token(), '@', site.cycle)) return std::nullopt;
+  if (!text.empty() && text.find_first_not_of(' ') != std::string_view::npos) {
+    return std::nullopt;
+  }
+  return site;
+}
+
+// ---------------------------------------------------------------------------
+// snapshot_digest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// FNV-1a, fed field-by-field. Snapshot records contain padding (BtbEntry,
+/// StreamItem, Way, ...), so hashing structs as raw bytes would fold
+/// indeterminate host memory into the digest.
+struct Fnv {
+  u64 h = 14695981039346656037ULL;
+
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const u8*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  }
+  void word(u64 v) { bytes(&v, sizeof(v)); }
+  void flag(bool b) { word(b ? 1 : 0); }
+
+  void state(const arch::ArchState& s) {
+    word(s.pc);
+    for (u64 r : s.regs) word(r);
+  }
+
+  void cache(const arch::Cache::Snapshot& s) {
+    for (const auto& way : s.ways) {
+      word(way.tag);
+      word(way.lru);
+    }
+    word(s.tick);
+    word(s.hits);
+    word(s.misses);
+  }
+
+  void bpred(const arch::BranchPredictor::Snapshot& s) {
+    bytes(s.bht.data(), s.bht.size());
+    for (const auto& entry : s.btb) {
+      word(entry.pc);
+      word(entry.target);
+      flag(entry.valid);
+      word(entry.lru);
+    }
+    for (Addr ra : s.ras) word(ra);
+    word(s.ras_top);
+    word(s.btb_tick);
+  }
+
+  void core(const arch::Core::Snapshot& s) {
+    for (u64 r : s.regs) word(r);
+    word(s.pc);
+    flag(s.user_mode);
+    word(s.csr_mepc);
+    word(s.csr_mcause);
+    word(s.csr_mscratch);
+    cache(s.caches.l1i);
+    cache(s.caches.l1d);
+    bpred(s.bpred);
+    word(s.last_fetch_line);
+    word(s.reservation_addr);
+    flag(s.reservation_valid);
+    word(s.cycle);
+    word(s.instret);
+    word(s.user_instret);
+    word(s.stall_cycles);
+    word(s.mispredicts);
+    word(s.timer_at);
+    flag(s.timer_armed);
+    flag(s.swi_pending);
+    flag(s.suppress_traps);
+    word(static_cast<u64>(s.status));
+  }
+
+  void item(const fs::StreamItem& s) {
+    word(static_cast<u64>(s.kind));
+    word(s.seq);
+    word(s.visible_at);
+    word(static_cast<u64>(s.mem.kind));
+    word(s.mem.bytes);
+    word(s.mem.addr);
+    word(s.mem.data);
+    state(s.state);
+    word(s.inst_count);
+  }
+
+  void channel(const fs::Channel::Snapshot& s) {
+    word(s.main_id);
+    word(s.checker_id);
+    word(s.items.size());
+    for (const auto& it : s.items) item(it);
+    word(s.segments.size());
+    for (const auto& seg : s.segments) {
+      word(seg.inst_count);
+      word(seg.ready_at);
+      word(seg.end_seq);
+    }
+    word(s.next_seq);
+    word(s.last_popped_seq);
+    word(s.last_pop_cycle);
+    flag(s.closed);
+    word(s.max_occupancy);
+    word(s.backpressure_events);
+    flag(s.fault.has_value());
+    if (s.fault.has_value()) {
+      word(s.fault->seq);
+      word(s.fault->segment_end_seq);
+      word(s.fault->injected_at);
+      word(static_cast<u64>(s.fault->item_kind));
+      word(s.fault->bit);
+    }
+  }
+
+  void unit(const fs::CoreUnit::Snapshot& s) {
+    flag(s.checking_enabled);
+    flag(s.segment_active);
+    word(s.segment_ic);
+    word(s.checking_budget);
+    word(s.segment_start_pc);
+    flag(s.checker_busy);
+    flag(s.replay_active);
+    flag(s.replay_suspended);
+    flag(s.have_thread_ctx);
+    state(s.ass_thread_ctx);
+    state(s.pending_scp);
+    word(s.expected_ic);
+    word(s.replayed);
+    flag(s.segment_result_ok);
+    flag(s.segment_verify_failed);
+    flag(s.segment_abort);
+    word(s.segments_produced);
+    word(s.segments_verified);
+    word(s.segments_failed);
+    word(s.checkpoints_captured);
+    word(s.mem_entries_logged);
+    word(s.replayed_total);
+  }
+};
+
+}  // namespace
+
+u64 snapshot_digest(const soc::Snapshot& snapshot) {
+  Fnv fnv;
+
+  fnv.word(snapshot.memory.pages.size());
+  for (const auto& [id, page] : snapshot.memory.pages) {
+    fnv.word(id);
+    fnv.bytes(page.data(), page.size());
+  }
+  fnv.cache(snapshot.l2);
+  fnv.word(snapshot.cores.size());
+  for (const auto& core : snapshot.cores) fnv.core(core);
+
+  const fs::Fabric::Snapshot& fabric = snapshot.fabric;
+  fnv.word(fabric.main_mask);
+  fnv.word(fabric.checker_mask);
+  fnv.word(fabric.reporter.events.size());
+  for (const auto& event : fabric.reporter.events) {
+    fnv.word(event.checker);
+    fnv.word(event.at);
+    fnv.word(static_cast<u64>(event.kind));
+    fnv.flag(event.attributed);
+    fnv.word(event.latency);
+  }
+  fnv.word(fabric.reporter.attributed);
+  fnv.word(fabric.channels.size());
+  for (const auto& ch : fabric.channels) fnv.channel(ch);
+  fnv.word(fabric.units.size());
+  for (const auto& u : fabric.units) fnv.unit(u);
+  for (const auto& outs : fabric.out_channels) {
+    fnv.word(outs.size());
+    for (std::size_t idx : outs) fnv.word(idx);
+  }
+  for (std::size_t idx : fabric.in_channel) fnv.word(idx);
+  for (const auto& waitlist : fabric.waitlists) {
+    fnv.word(waitlist.size());
+    for (std::size_t idx : waitlist) fnv.word(idx);
+  }
+
+  fnv.flag(snapshot.exec_prepared);
+  fnv.flag(snapshot.exec_main_halted);
+  return fnv.h;
+}
+
+}  // namespace flexstep::fault

@@ -1,0 +1,519 @@
+#include "fault/vuln.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "arch/core.h"
+#include "arch/memory.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "flexstep/channel.h"
+#include "runtime/parallel.h"
+#include "sim/scenario.h"
+#include "soc/snapshot.h"
+
+namespace flexstep::fault {
+
+// ---------------------------------------------------------------------------
+// VulnReport
+// ---------------------------------------------------------------------------
+
+void VulnReport::add(const InjectionRecord& record) {
+  records.push_back(record);
+  ++injected;
+  ComponentVuln& comp = components[static_cast<std::size_t>(record.site.component)];
+  ++comp.injected;
+  switch (record.outcome) {
+    case OutcomeKind::kMasked:
+      ++masked;
+      ++comp.masked;
+      break;
+    case OutcomeKind::kDetected:
+      ++detected;
+      ++comp.detected;
+      comp.latencies_us.push_back(record.latency_us);
+      break;
+    case OutcomeKind::kSdc:
+      ++sdc;
+      ++comp.sdc;
+      break;
+    case OutcomeKind::kDue:
+      ++due;
+      ++comp.due;
+      break;
+  }
+}
+
+void VulnReport::merge(VulnReport&& shard) {
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    ComponentVuln& into = components[c];
+    ComponentVuln& from = shard.components[c];
+    into.injected += from.injected;
+    into.masked += from.masked;
+    into.detected += from.detected;
+    into.sdc += from.sdc;
+    into.due += from.due;
+    into.latencies_us.insert(into.latencies_us.end(), from.latencies_us.begin(),
+                             from.latencies_us.end());
+  }
+  records.insert(records.end(), shard.records.begin(), shard.records.end());
+  injected += shard.injected;
+  masked += shard.masked;
+  detected += shard.detected;
+  sdc += shard.sdc;
+  due += shard.due;
+  total_instructions += shard.total_instructions;
+  check_invariant();
+}
+
+void VulnReport::check_invariant() const {
+  FLEX_CHECK_MSG(masked + detected + sdc + due == injected,
+                 "vuln campaign classification invariant violated: "
+                 "masked + detected + sdc + due != injected");
+  u32 component_sum = 0;
+  for (const ComponentVuln& comp : components) {
+    FLEX_CHECK_MSG(comp.masked + comp.detected + comp.sdc + comp.due ==
+                       comp.injected,
+                   "vuln campaign per-component classification invariant "
+                   "violated");
+    component_sum += comp.injected;
+  }
+  FLEX_CHECK_MSG(component_sum == injected,
+                 "vuln campaign component totals do not sum to injected");
+}
+
+Histogram VulnReport::latency_histogram(double lo_us, double hi_us,
+                                        std::size_t bins) const {
+  Histogram hist(lo_us, hi_us, bins);
+  for (const InjectionRecord& record : records) {
+    if (record.outcome == OutcomeKind::kDetected) hist.add(record.latency_us);
+  }
+  return hist;
+}
+
+u64 VulnReport::digest() const {
+  u64 h = 14695981039346656037ULL;
+  const auto mix = [&h](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const InjectionRecord& r : records) {
+    mix(static_cast<u64>(r.site.component));
+    mix(r.site.index);
+    mix(r.site.bit);
+    mix(r.site.cycle);
+    mix(static_cast<u64>(r.outcome));
+    mix(static_cast<u64>(r.detect_kind));
+    u64 latency_bits = 0;
+    std::memcpy(&latency_bits, &r.latency_us, sizeof(latency_bits));
+    mix(latency_bits);
+    mix(r.rc_valid ? 1 : 0);
+    mix(r.rc_instret);
+    mix(r.rc_victim_pc);
+    mix(r.rc_golden_pc);
+  }
+  return h;
+}
+
+std::string VulnReport::render() const {
+  std::string out;
+  char line[192];
+  std::snprintf(line, sizeof(line), "%-10s %9s %7s %9s %5s %5s %9s %9s\n",
+                "component", "injected", "masked", "detected", "sdc", "due",
+                "coverage", "sdc-rate");
+  out += line;
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    const ComponentVuln& v = components[c];
+    if (v.injected == 0) continue;
+    std::snprintf(line, sizeof(line),
+                  "%-10s %9u %7u %9u %5u %5u %8.1f%% %8.1f%%\n",
+                  component_name(static_cast<Component>(c)), v.injected, v.masked,
+                  v.detected, v.sdc, v.due, 100.0 * v.coverage(),
+                  100.0 * v.sdc_rate());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-10s %9u %7u %9u %5u %5u %8.1f%% %8.1f%%\n",
+                "total", injected, masked, detected, sdc, due,
+                injected == 0 ? 0.0 : 100.0 * detected / injected,
+                injected == 0 ? 0.0 : 100.0 * sdc / injected);
+  out += line;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Main core of every vuln session (vuln_scenario pins main 0 / checker 1).
+constexpr CoreId kMainCore = 0;
+
+/// Same deterministic pacing jitters as the DBC campaign (campaign.cpp): odd
+/// bounds break the poll grid, so injection points don't all land at the
+/// same program phase.
+constexpr u64 kWarmupJitter = 4099;
+constexpr u64 kGapJitter = 257;
+constexpr u32 kMaxWarmupRetries = 16;
+
+/// Instructions advanced between detection probes inside the horizon.
+constexpr u64 kDetectPollStride = 256;
+
+/// Alignment-phase advance() calls allowed before the victim is declared
+/// wedged (DUE). Each call has a budget >= 1, so a live victim re-aligns to
+/// the golden run's main-core user-instruction count far below this.
+constexpr u64 kAlignSpinCap = 100'000;
+
+sim::Scenario vuln_scenario(const workloads::WorkloadProfile& profile,
+                            const soc::SocConfig& soc_config,
+                            const VulnConfig& config, u64 seed) {
+  sim::Scenario scenario;
+  scenario.workload(profile)
+      .seed(seed)
+      .iterations(config.workload_iterations != 0 ? config.workload_iterations
+                                                  : profile.iterations * 40)
+      .soc(soc_config)
+      .main_core(kMainCore)
+      .checkers({1})
+      // Whole-SoC faults can wedge the machine (e.g. a corrupted main-core pc
+      // halting without task exit): that is the DUE outcome, not a crash.
+      .tolerate_stall(true);
+  if (config.engine.has_value()) scenario.engine(*config.engine);
+  return scenario;
+}
+
+/// Main-core architectural register compare (pc + x1..x31). `excl_reg`
+/// excludes the flipped register slot itself: a flip parked in a register the
+/// program never consumed within the horizon is a latent fault (masked), and
+/// the residual flipped cell must not read as divergence.
+bool main_state_equal(const soc::Snapshot& victim, const soc::Snapshot& golden,
+                      std::optional<u8> excl_reg) {
+  const arch::Core::Snapshot& v = victim.cores[kMainCore];
+  const arch::Core::Snapshot& g = golden.cores[kMainCore];
+  if (v.pc != g.pc) return false;
+  for (u8 r = 1; r < 32; ++r) {
+    if (excl_reg.has_value() && *excl_reg == r) continue;
+    if (v.regs[r] != g.regs[r]) return false;
+  }
+  return true;
+}
+
+/// Resident-page merge walk; a page absent on one side compares as zero (a
+/// never-touched page reads as zero). `excl_word` skips the flipped 8-byte
+/// word itself (same latent-fault rationale as excl_reg).
+bool memory_equal(const arch::Memory::Snapshot& a, const arch::Memory::Snapshot& b,
+                  std::optional<Addr> excl_word) {
+  static const arch::Memory::Page kZeroPage{};
+  const auto page_equal = [&](u64 id, const arch::Memory::Page& pa,
+                              const arch::Memory::Page& pb) {
+    if (!excl_word.has_value() ||
+        (*excl_word >> arch::Memory::kPageBits) != id) {
+      return std::memcmp(pa.data(), pb.data(), pa.size()) == 0;
+    }
+    const auto skip_lo =
+        static_cast<std::size_t>(*excl_word & (arch::Memory::kPageSize - 1));
+    const std::size_t skip_hi = skip_lo + 8;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      if (i >= skip_lo && i < skip_hi) continue;
+      if (pa[i] != pb[i]) return false;
+    }
+    return true;
+  };
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  while (ia < a.pages.size() || ib < b.pages.size()) {
+    const u64 id_a = ia < a.pages.size() ? a.pages[ia].first : ~u64{0};
+    const u64 id_b = ib < b.pages.size() ? b.pages[ib].first : ~u64{0};
+    if (id_a == id_b) {
+      if (!page_equal(id_a, a.pages[ia].second, b.pages[ib].second)) return false;
+      ++ia;
+      ++ib;
+    } else if (id_a < id_b) {
+      if (!page_equal(id_a, a.pages[ia].second, kZeroPage)) return false;
+      ++ia;
+    } else {
+      if (!page_equal(id_b, kZeroPage, b.pages[ib].second)) return false;
+      ++ib;
+    }
+  }
+  return true;
+}
+
+/// Inject one whole-SoC fault into the (disposable) victim and classify it
+/// against a golden fork of the victim's own pre-fault state. `executed`
+/// accumulates instructions actually simulated (victim tail + golden horizon
+/// + optional root-cause forks).
+InjectionRecord run_one_injection(sim::Session& victim, Component component,
+                                  Rng& rng, const VulnConfig& config,
+                                  u64& executed) {
+  // Golden reference: fork the pre-fault state and run it to the horizon.
+  // Derived from the victim in BOTH campaign modes, so the modes differ only
+  // in how the victim itself was materialised.
+  const soc::Snapshot snap = victim.snapshot();
+  sim::Session golden = victim.fork(snap);
+  const u64 golden_base = golden.total_instret();
+  golden.advance(config.horizon);
+  executed += golden.total_instret() - golden_base;
+  const u64 golden_main_ui = golden.soc().core(kMainCore).user_instret();
+  const soc::Snapshot golden_end = golden.snapshot();
+
+  InjectionRecord rec;
+  rec.site = random_site(victim.soc(), component, rng);
+
+  // Compare exclusions for the residual flipped cell (latent faults classify
+  // masked). Resolved NOW: the memory index->address mapping depends on the
+  // resident-page set, which grows as the victim runs.
+  std::optional<Addr> excl_word;
+  if (component == Component::kMemory) {
+    excl_word = victim.soc().memory().fault_word_addr(
+        static_cast<std::size_t>(rec.site.index));
+  }
+  std::optional<u8> excl_reg;
+  if (component == Component::kArchReg && rec.site.index / 32 == kMainCore &&
+      rec.site.index % 32 != 0) {
+    excl_reg = static_cast<u8>(rec.site.index % 32);
+  }
+
+  const std::size_t events_before = victim.reporter().events().size();
+  const u64 victim_base = victim.total_instret();
+  flip(victim.soc(), rec.site);
+
+  // Any post-flip reporter event is this fault's detection (the victim is
+  // disposable and carried no pending event before the flip). Latency runs
+  // from the strike to the checker's report, as in the paper's Fig. 7.
+  const auto detect_scan = [&]() {
+    const auto& events = victim.reporter().events();
+    if (events.size() <= events_before) return false;
+    const fs::DetectionEvent& event = events[events_before];
+    rec.outcome = OutcomeKind::kDetected;
+    rec.detect_kind = event.kind;
+    rec.latency_us =
+        cycles_to_us(event.at >= rec.site.cycle ? event.at - rec.site.cycle : 0);
+    return true;
+  };
+
+  // Phase A — detection window: run the victim through the horizon, probing
+  // for reporter events and for a wedged machine.
+  bool alive = true;
+  bool decided = false;
+  u64 budget = config.horizon;
+  while (budget > 0) {
+    const u64 stride = std::min<u64>(budget, kDetectPollStride);
+    alive = victim.advance(stride);
+    budget -= stride;
+    if (detect_scan()) {
+      decided = true;
+      break;
+    }
+    if (victim.stalled()) {
+      rec.outcome = OutcomeKind::kDue;
+      decided = true;
+      break;
+    }
+    if (!alive) break;
+  }
+
+  // Phase B — alignment + architectural compare. Align the victim's main-core
+  // user-instruction count to the golden run's: advance() budgets cap retired
+  // instructions, so repeated advance(golden_ui - ui) converges without ever
+  // overshooting. Detections during alignment still count.
+  if (!decided) {
+    const auto main_ui = [&] {
+      return victim.soc().core(kMainCore).user_instret();
+    };
+    u64 spins = 0;
+    while (alive && !victim.stalled() && main_ui() < golden_main_ui &&
+           spins < kAlignSpinCap) {
+      ++spins;
+      alive = victim.advance(std::min<u64>(golden_main_ui - main_ui(), 2048));
+      if (detect_scan()) {
+        decided = true;
+        break;
+      }
+    }
+    if (!decided) {
+      if (victim.stalled() || (alive && main_ui() < golden_main_ui)) {
+        // Wedged, or live but unable to re-align: unrecoverable either way.
+        rec.outcome = OutcomeKind::kDue;
+      } else {
+        // Aligned — or finished early and clean (a fault that legitimately
+        // shortened the run shows up as divergence in the compare).
+        const soc::Snapshot victim_end = victim.snapshot();
+        const bool equal =
+            main_state_equal(victim_end, golden_end, excl_reg) &&
+            memory_equal(victim_end.memory, golden_end.memory, excl_word);
+        rec.outcome = equal ? OutcomeKind::kMasked : OutcomeKind::kSdc;
+      }
+    }
+  }
+  executed += victim.total_instret() - victim_base;
+
+  // Root-cause attribution (SDC/DUE only): lockstep a flipped/clean fork pair
+  // from the pre-fault snapshot and find the first retired instruction at
+  // which the main core's architectural state diverges.
+  if (config.root_cause &&
+      (rec.outcome == OutcomeKind::kSdc || rec.outcome == OutcomeKind::kDue)) {
+    sim::Session flipped = victim.fork(snap);
+    sim::Session clean = victim.fork(snap);
+    const u64 rc_base = flipped.total_instret() + clean.total_instret();
+    flip(flipped.soc(), rec.site);
+    for (u64 step = 0; step < config.horizon; ++step) {
+      const bool flipped_alive = flipped.advance(1);
+      const bool clean_alive = clean.advance(1);
+      arch::Core& mv = flipped.soc().core(kMainCore);
+      arch::Core& mg = clean.soc().core(kMainCore);
+      bool diverged = mv.pc() != mg.pc();
+      for (u8 r = 1; r < 32 && !diverged; ++r) {
+        if (excl_reg.has_value() && *excl_reg == r) continue;
+        diverged = mv.reg(r) != mg.reg(r);
+      }
+      if (diverged) {
+        rec.rc_valid = true;
+        rec.rc_instret = mv.instret();
+        rec.rc_victim_pc = mv.pc();
+        rec.rc_golden_pc = mg.pc();
+        break;
+      }
+      if ((!flipped_alive && !clean_alive) || flipped.stalled()) break;
+    }
+    executed += flipped.total_instret() + clean.total_instret() - rc_base;
+  }
+  return rec;
+}
+
+/// One shard: identical structure to the DBC campaign's shard
+/// (campaign.cpp) — clean baseline walks warmup + gaps, every injection runs
+/// in a disposable session materialised per `config.mode`. The target
+/// component rotates by GLOBAL injection index, so even a tiny campaign
+/// covers every component class across its shards.
+VulnReport run_vuln_shard(const workloads::WorkloadProfile& profile,
+                          const soc::SocConfig& soc_config,
+                          const VulnConfig& config,
+                          const std::vector<Component>& comps, u32 shard_index,
+                          u32 target_faults, u32 global_start) {
+  VulnReport report;
+  Rng shard_rng = runtime::stream_rng(config.seed, shard_index);
+  Rng rng = shard_rng.split();               // site-placement draws
+  Rng pace_rng = shard_rng.split();          // warmup/gap pacing jitter
+  u64 session_seed = shard_rng.next_u64();   // workload-build seeds
+
+  const bool fork_mode = config.mode == CampaignMode::kSnapshotFork;
+  u32 failed_warmups = 0;
+  u32 done = 0;
+
+  while (done < target_faults) {
+    const sim::Scenario scenario =
+        vuln_scenario(profile, soc_config, config, ++session_seed);
+    sim::Session baseline = scenario.build();
+    std::vector<u64> schedule;
+    auto baseline_advance = [&](u64 rounds) {
+      schedule.push_back(rounds);
+      return baseline.advance(rounds);
+    };
+
+    if (!baseline_advance(config.warmup_rounds +
+                          pace_rng.next_below(kWarmupJitter))) {
+      report.total_instructions += baseline.total_instret();
+      ++failed_warmups;
+      FLEX_CHECK_MSG(failed_warmups < kMaxWarmupRetries,
+                     "vuln campaign: workload exhausts before warmup_rounds "
+                     "completes — raise workload_iterations or lower "
+                     "warmup_rounds");
+      continue;
+    }
+    failed_warmups = 0;
+
+    bool session_alive = true;
+    while (session_alive && done < target_faults) {
+      const Component comp = comps[(global_start + done) % comps.size()];
+      // DBC components need live targets at the injection point; everything
+      // else (registers, memory, caches, predictor, checker latches) is
+      // always populated. Waiting happens on the baseline so the rng draw
+      // stream stays identical across campaign modes.
+      fs::Channel* ch = baseline.channel();
+      if (ch == nullptr) break;
+      while (ch->empty() ||
+             (comp == Component::kDbcMeta && ch->complete_segments_queued() == 0)) {
+        if (!(session_alive = baseline_advance(256))) break;
+      }
+      if (!session_alive) break;
+
+      sim::Session victim = fork_mode ? baseline.fork() : scenario.build();
+      u64 executed = 0;
+      if (!fork_mode) {
+        for (u64 rounds : schedule) victim.advance(rounds);
+        executed += victim.total_instret();  // the re-executed prefix
+      }
+
+      const InjectionRecord rec =
+          run_one_injection(victim, comp, rng, config, executed);
+      report.add(rec);
+      report.total_instructions += executed;
+      ++done;
+
+      session_alive = baseline_advance(config.gap_rounds +
+                                       pace_rng.next_below(kGapJitter));
+    }
+    report.total_instructions += baseline.total_instret();
+  }
+  return report;
+}
+
+}  // namespace
+
+VulnReport run_vuln_campaign(const workloads::WorkloadProfile& profile,
+                             const soc::SocConfig& soc_config,
+                             const VulnConfig& config) {
+  FLEX_CHECK_MSG(config.shards >= 1,
+                 "vuln campaign: shards must be >= 1 (got 0)");
+  FLEX_CHECK_MSG(config.target_faults > 0,
+                 "vuln campaign: target_faults must be > 0");
+  FLEX_CHECK_MSG(config.warmup_rounds > 0 && config.gap_rounds > 0 &&
+                     config.horizon > 0,
+                 "vuln campaign: warmup_rounds, gap_rounds and horizon must "
+                 "all be nonzero");
+
+  std::vector<Component> comps = config.components;
+  if (comps.empty()) {
+    for (std::size_t c = 0; c < kComponentCount; ++c) {
+      comps.push_back(static_cast<Component>(c));
+    }
+  }
+
+  const u32 shards = std::min<u32>(config.shards, config.target_faults);
+  std::vector<u32> quota(shards);
+  std::vector<u32> start(shards);
+  u32 assigned = 0;
+  for (u32 s = 0; s < shards; ++s) {
+    quota[s] = config.target_faults / shards +
+               (s < config.target_faults % shards ? 1 : 0);
+    start[s] = assigned;
+    assigned += quota[s];
+  }
+
+  auto shard_job = [&](std::size_t s) {
+    return quota[s] == 0
+               ? VulnReport{}
+               : run_vuln_shard(profile, soc_config, config, comps,
+                                static_cast<u32>(s), quota[s], start[s]);
+  };
+  auto fold = [](VulnReport& acc, VulnReport&& part) {
+    acc.merge(std::move(part));
+  };
+  VulnReport report;
+  if (config.threads != 0) {
+    runtime::JobPool pool(config.threads);
+    report = runtime::parallel_accumulate(pool, shards, VulnReport{}, shard_job,
+                                          fold);
+  } else {
+    report =
+        runtime::parallel_accumulate(shards, VulnReport{}, shard_job, fold);
+  }
+  report.check_invariant();
+  return report;
+}
+
+}  // namespace flexstep::fault

@@ -1,0 +1,143 @@
+// Whole-SoC microarchitectural vulnerability campaigns.
+//
+// Extends the DBC-stream campaign (fault/campaign.h, the paper's Sec. VI-C
+// methodology) to the CFA-class question: *where* in the SoC is a particle
+// strike dangerous, and what does FlexStep do about it? Each injection picks
+// one FaultSite (fault/sites.h) across the component classes, flips it in a
+// disposable victim session, and classifies the outcome against a golden
+// fork of the same pre-fault state:
+//
+//   detected — a checker reported a mismatch within the horizon;
+//   DUE      — the co-simulation wedged (stall / lost alignment): the fault
+//              is unrecoverable but not silent;
+//   SDC      — no detection, and the victim's architectural state (main-core
+//              registers + pc + memory) diverged from the golden run at equal
+//              main-core user-instruction count;
+//   masked   — no detection and bit-identical architectural outcome.
+//
+// The golden fork is derived from the victim's own pre-fault snapshot in
+// BOTH campaign modes, so snapshot-fork and warmup-re-execution differ only
+// in how the victim is materialised — the classify-identically parity gate
+// (micro_benchmarks --vuln) holds them to the same outcome stream.
+//
+// Classification invariant (enforced): masked + detected + sdc + due ==
+// injected, per component and in total.
+//
+// Scope note: a fault that is still latent at the horizon (e.g. a flipped
+// memory word the program never re-reads within the window) classifies as
+// masked — outcomes are horizon-relative, as in trace-window CFA studies.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/types.h"
+#include "fault/campaign.h"
+#include "fault/sites.h"
+#include "flexstep/error.h"
+#include "soc/verified_run.h"
+#include "workloads/profile.h"
+
+namespace flexstep::fault {
+
+struct VulnConfig {
+  u32 target_faults = 700;      ///< Injections (summed over shards).
+  u64 warmup_rounds = 20'000;   ///< Retired instructions before injection #1.
+  u64 gap_rounds = 1'000;       ///< Baseline advance between injection points.
+  /// Post-injection observation window, in retired instructions (summed
+  /// across cores — the advance() budget unit). Bounds both the golden
+  /// reference run and the victim's detection/alignment phases.
+  u64 horizon = 30'000;
+  u64 seed = 0xCFA;
+  u32 workload_iterations = 0;  ///< Override profile iterations (0 = default).
+  u32 shards = kDefaultCampaignShards;
+  u32 threads = 0;              ///< Worker threads (0 = FLEX_THREADS / hw).
+  CampaignMode mode = CampaignMode::kSnapshotFork;
+  std::optional<soc::Engine> engine;
+  /// Component classes to inject into, round-robin by global injection index
+  /// (so even tiny campaigns cover every class). Empty = all seven.
+  std::vector<Component> components;
+  /// Attribute SDC/DUE outcomes to the first diverging retired instruction
+  /// by lockstepping a flipped/clean fork pair (2× the per-injection cost).
+  bool root_cause = false;
+};
+
+/// One classified injection.
+struct InjectionRecord {
+  FaultSite site;
+  OutcomeKind outcome = OutcomeKind::kMasked;
+  fs::DetectKind detect_kind{};  ///< Valid when outcome == kDetected.
+  double latency_us = 0.0;       ///< Valid when outcome == kDetected.
+
+  // Root-cause attribution (VulnConfig::root_cause, SDC/DUE only): the first
+  // retired instruction at which the flipped fork's main-core state diverged
+  // from the clean fork's.
+  bool rc_valid = false;
+  u64 rc_instret = 0;      ///< Main-core instret at first divergence.
+  Addr rc_victim_pc = 0;   ///< Main-core pc of the flipped fork there.
+  Addr rc_golden_pc = 0;   ///< Main-core pc of the clean fork there.
+};
+
+/// Per-component outcome breakdown.
+struct ComponentVuln {
+  u32 injected = 0;
+  u32 masked = 0;
+  u32 detected = 0;
+  u32 sdc = 0;
+  u32 due = 0;
+  std::vector<double> latencies_us;  ///< Detection latencies (kDetected only).
+
+  double coverage() const {
+    return injected == 0 ? 0.0 : static_cast<double>(detected) / injected;
+  }
+  double sdc_rate() const {
+    return injected == 0 ? 0.0 : static_cast<double>(sdc) / injected;
+  }
+};
+
+/// Full campaign result: per-component breakdown + the flat record stream
+/// (in deterministic shard-merge order).
+struct VulnReport {
+  std::array<ComponentVuln, kComponentCount> components{};
+  std::vector<InjectionRecord> records;
+  u32 injected = 0;
+  u32 masked = 0;
+  u32 detected = 0;
+  u32 sdc = 0;
+  u32 due = 0;
+  /// Instructions actually executed across every session (baselines, victims,
+  /// golden forks, root-cause forks); restored snapshots contribute nothing.
+  u64 total_instructions = 0;
+
+  void add(const InjectionRecord& record);
+  /// Fold another shard in (call in ascending shard order for determinism).
+  void merge(VulnReport&& shard);
+  /// FLEX_CHECKs masked + detected + sdc + due == injected, per component
+  /// and in total.
+  void check_invariant() const;
+
+  /// Detection-latency histogram over all components (Fig. 7-style density).
+  Histogram latency_histogram(double lo_us = 0.0, double hi_us = 200.0,
+                              std::size_t bins = 40) const;
+
+  /// Order-sensitive FNV-1a digest of the full record stream (site, outcome,
+  /// detect kind, latency bits, root-cause fields). Two campaigns classified
+  /// identically iff their digests match — the determinism gates compare this.
+  u64 digest() const;
+
+  /// Multi-line per-component summary table.
+  std::string render() const;
+};
+
+/// Run a whole-SoC vulnerability campaign on `profile` under dual-core
+/// verification (main core 0, checker core 1). Sharded and seeded exactly
+/// like run_fault_campaign: outcomes depend only on (seed, shards, mode-
+/// independent), never on thread count.
+VulnReport run_vuln_campaign(const workloads::WorkloadProfile& profile,
+                             const soc::SocConfig& soc_config,
+                             const VulnConfig& config);
+
+}  // namespace flexstep::fault

@@ -129,6 +129,60 @@ std::optional<InjectedFault> Channel::corrupt_item(std::size_t index, Rng& rng,
   return fault;
 }
 
+u64 Channel::entry_bit_count(std::size_t index) const {
+  FLEX_CHECK(index < items_.size());
+  switch (items_[index].kind) {
+    case StreamItem::Kind::kMem:
+      return 128;  // addr | data
+    case StreamItem::Kind::kScp:
+      return 64 + 31 * 64;  // pc | x1..x31 (x0 is architecturally zero)
+    case StreamItem::Kind::kSegmentEnd:
+      return 64 + 31 * 64 + 64;  // pc | x1..x31 | inst_count
+  }
+  return 0;
+}
+
+void Channel::flip_entry_bit(std::size_t index, u64 bit) {
+  FLEX_CHECK(index < items_.size());
+  StreamItem& item = items_[index];
+  FLEX_CHECK(bit < entry_bit_count(index));
+  switch (item.kind) {
+    case StreamItem::Kind::kMem:
+      if (bit < 64) {
+        item.mem.addr ^= u64{1} << bit;
+      } else {
+        item.mem.data ^= u64{1} << (bit - 64);
+      }
+      return;
+    case StreamItem::Kind::kSegmentEnd:
+      if (bit >= 64 + 31 * 64) {
+        item.inst_count ^= u64{1} << (bit - (64 + 31 * 64));
+        return;
+      }
+      [[fallthrough]];
+    case StreamItem::Kind::kScp:
+      if (bit < 64) {
+        item.state.pc ^= u64{1} << bit;
+      } else {
+        item.state.regs[1 + (bit - 64) / 64] ^= u64{1} << (bit % 64);
+      }
+      return;
+  }
+}
+
+void Channel::flip_segment_meta_bit(std::size_t index, u64 bit) {
+  FLEX_CHECK(index < segments_.size());
+  FLEX_CHECK(bit < kSegmentMetaBits);
+  SegmentMeta& meta = segments_[index];
+  if (bit < 64) {
+    meta.inst_count ^= u64{1} << bit;
+  } else if (bit < 128) {
+    meta.ready_at ^= u64{1} << (bit - 64);
+  } else {
+    meta.end_seq ^= u64{1} << (bit - 128);
+  }
+}
+
 void Channel::save(Snapshot& out) const {
   out.main_id = main_id_;
   out.checker_id = checker_id_;

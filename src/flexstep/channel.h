@@ -151,6 +151,25 @@ class Channel {
   const InjectedFault& pending_fault() const { return *fault_; }
   void clear_fault() { fault_.reset(); }
 
+  // ---- microarchitectural fault-site adapter (fault/sites.h) ----
+  //
+  // Unlike the Sec. VI-C injectors above, these flips perform no campaign
+  // bookkeeping (no pending-fault attribution): the vulnerability framework
+  // classifies outcomes against a golden fork, and a pending_fault() entry
+  // would perturb the reporter's attribution path.
+
+  /// Flippable payload bits of queued item `index` (kind-dependent: MAL
+  /// entries expose addr+data, checkpoints expose pc + x1..x31 [+ IC]).
+  u64 entry_bit_count(std::size_t index) const;
+  /// XOR one payload bit of queued item `index`. Self-inverse.
+  void flip_entry_bit(std::size_t index, u64 bit);
+
+  /// Queued segment-metadata records (one per buffered SegmentEnd).
+  u64 segment_meta_count() const { return segments_.size(); }
+  /// SegmentMeta flip space: inst_count | ready_at | end_seq, 64 bits each.
+  static constexpr u64 kSegmentMetaBits = 192;
+  void flip_segment_meta_bit(std::size_t index, u64 bit);
+
   // ---- state capture ----
   void save(Snapshot& out) const;
   void restore(const Snapshot& snapshot);

@@ -171,6 +171,34 @@ class CoreUnit final : public arch::CoreHooks {
   u64 mem_entries_logged() const { return mem_entries_logged_; }
   u64 replayed_instructions() const { return replayed_total_; }
 
+  // ---- fault-site adapter (fault/sites.h) ----
+
+  /// Checker-side replay state flip space: pending SCP (pc + x1..x31),
+  /// ASS thread context (pc + x1..x31), expected IC, replayed counter —
+  /// 2048 + 2048 + 64 + 64 bits. These are the unit's RCPM/ASS latches; a
+  /// flip here models a particle strike inside the checker's own monitoring
+  /// hardware rather than in the checked stream.
+  static constexpr u64 kCheckerStateBits = 2048 + 2048 + 64 + 64;
+  /// XOR one bit of the checker-side replay state. Self-inverse.
+  void flip_checker_state_bit(u64 bit) {
+    const auto flip_state = [](arch::ArchState& state, u64 b) {
+      if (b < 64) {
+        state.pc ^= u64{1} << b;
+      } else {
+        state.regs[1 + (b - 64) / 64] ^= u64{1} << (b % 64);
+      }
+    };
+    if (bit < 2048) {
+      flip_state(pending_scp_, bit);
+    } else if (bit < 4096) {
+      flip_state(ass_thread_ctx_, bit - 2048);
+    } else if (bit < 4160) {
+      expected_ic_ ^= u64{1} << (bit - 4096);
+    } else {
+      replayed_ ^= u64{1} << (bit - 4160);
+    }
+  }
+
   // ---- CoreHooks ----
   u64 commit_batch_limit() const override;
   void on_commit_batch(arch::Core& core, u64 count) override;

@@ -131,6 +131,11 @@ Scenario& Scenario::max_instructions(u64 cap) {
   return *this;
 }
 
+Scenario& Scenario::tolerate_stall(bool on) {
+  run_.tolerate_stall = on;
+  return *this;
+}
+
 soc::SocConfig Scenario::soc_config() const {
   soc::SocConfig config;
   if (soc_.has_value()) {

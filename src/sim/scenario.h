@@ -99,6 +99,9 @@ class Scenario {
   Scenario& tick(Cycle period, Cycle cost);
   Scenario& ecall_cost(Cycle cycles);
   Scenario& max_instructions(u64 cap);
+  /// Treat a co-simulation deadlock as a latched stalled() outcome instead of
+  /// a fatal FLEX_CHECK (fault campaigns: DUE classification). Default off.
+  Scenario& tolerate_stall(bool on);
 
   // ---- products ----
 
@@ -151,6 +154,9 @@ class Session {
   soc::RunStats stats() const { return exec_->stats(); }
   bool finished() const { return exec_->finished(); }
   u64 total_instret() const { return exec_->total_instret(); }
+  /// Deadlocked under tolerate_stall (DUE signature). See
+  /// VerifiedExecution::stalled().
+  bool stalled() const { return exec_->stalled(); }
 
   // ---- campaign conveniences ----
 

@@ -142,6 +142,7 @@ void VerifiedExecution::restore(const Snapshot& snapshot) {
   soc_.restore(snapshot);
   prepared_ = snapshot.exec_prepared;
   main_halted_ = snapshot.exec_main_halted;
+  stalled_ = false;  // stall state is not snapshotted: a rewound run re-derives it
   // A freshly constructed driver (fork path) has never wired itself into the
   // cores; an in-place restore re-asserts the same pointers harmlessly.
   install_driver_wiring();
@@ -254,6 +255,10 @@ bool VerifiedExecution::step_round() {
     if (finished()) return false;
     pump_checkers();
     core = pick_next_core();
+    if (core == nullptr && config_.tolerate_stall) {
+      stalled_ = true;  // DUE outcome: the campaign classifies it
+      return false;
+    }
     FLEX_CHECK_MSG(core != nullptr,
                    soc_.fabric().next_replay_ready_at() == fs::kNever
                        ? "co-simulation deadlock: no core runnable and no "
@@ -357,6 +362,10 @@ bool VerifiedExecution::quantum_round(u64 max_instructions) {
     if (finished()) return false;
     pump_checkers();
     core = pick_next_core();
+    if (core == nullptr && config_.tolerate_stall) {
+      stalled_ = true;  // DUE outcome: the campaign classifies it
+      return false;
+    }
     FLEX_CHECK_MSG(core != nullptr,
                    soc_.fabric().next_replay_ready_at() == fs::kNever
                        ? "co-simulation deadlock: no core runnable and no "
@@ -384,6 +393,11 @@ bool VerifiedExecution::quantum_round(u64 max_instructions) {
   const u64 instret_before = core->instret();
   const Core::Status status_before = core->status();
   core->run_until(bound, budget);
+  if (config_.tolerate_stall && core->cycle() == cycle_before &&
+      core->instret() == instret_before && core->status() == status_before) {
+    stalled_ = true;  // DUE outcome: the campaign classifies it
+    return false;
+  }
   FLEX_CHECK_MSG(core->cycle() != cycle_before || core->instret() != instret_before ||
                      core->status() != status_before,
                  "co-simulation deadlock: quantum round made no progress");

@@ -73,6 +73,13 @@ struct VerifiedRunConfig {
   /// 0 = auto: max(segment_limit, channel_capacity / 2) — one DBC segment /
   /// channel-capacity worth of work.
   u64 skew_instructions = 0;
+
+  /// Fault campaigns: a deadlocked / zero-progress co-simulation (e.g. the
+  /// main core halting on a corrupted fetch without ever signalling task
+  /// exit) is a legitimate experiment outcome (DUE), not a driver bug. With
+  /// this set, the driver latches stalled() and reports "finished" instead
+  /// of tripping its deadlock FLEX_CHECKs.
+  bool tolerate_stall = false;
 };
 
 /// Quantum-engine burst accounting (diagnostics; deliberately not part of
@@ -150,6 +157,10 @@ class VerifiedExecution final : public arch::TrapHandler {
   bool finished() const;
   RunStats stats() const;
 
+  /// True once a tolerate_stall run hit a state no engine round can advance
+  /// (co-simulation deadlock — the DUE signature). Latched until restore().
+  bool stalled() const { return stalled_; }
+
   /// Burst accounting of the relaxed engine (all-zero under other engines).
   const CosimStats& cosim_stats() const { return cosim_; }
   /// The resolved kQuantumBounded burst cap (config_.skew_instructions, or
@@ -198,6 +209,7 @@ class VerifiedExecution final : public arch::TrapHandler {
   CosimStats cosim_;
   bool main_halted_ = false;
   bool prepared_ = false;
+  bool stalled_ = false;  ///< tolerate_stall: deadlock latched (DUE outcome).
 };
 
 }  // namespace flexstep::soc

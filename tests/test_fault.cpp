@@ -1,9 +1,14 @@
-// Fault-injection campaign tests: coverage, latency sanity, detection kinds.
+// Fault-injection campaign tests: coverage, latency sanity, detection kinds,
+// whole-SoC fault-site adapters, and vulnerability-campaign classification.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "common/stats.h"
 #include "fault/campaign.h"
+#include "fault/sites.h"
+#include "fault/vuln.h"
+#include "flexstep/channel.h"
+#include "sim/scenario.h"
 #include "workloads/profile.h"
 #include "workloads/program_builder.h"
 
@@ -50,26 +55,75 @@ TEST(FaultCampaign, LatenciesArePositiveAndBounded) {
   }
 }
 
+FaultOutcome detected_outcome(double latency_us,
+                              fs::DetectKind kind = fs::DetectKind::kStoreData) {
+  FaultOutcome outcome;
+  outcome.detected = true;
+  outcome.latency_us = latency_us;
+  outcome.detect_kind = kind;
+  outcome.kind = OutcomeKind::kDetected;
+  return outcome;
+}
+
+FaultOutcome undetected_outcome(OutcomeKind kind = OutcomeKind::kMasked) {
+  FaultOutcome outcome;
+  outcome.kind = kind;
+  return outcome;
+}
+
 TEST(CampaignStats, MergeFoldsCountersAndAppendsOutcomes) {
   CampaignStats a;
-  a.injected = 2;
-  a.detected = 1;
-  a.undetected = 1;
-  a.outcomes.push_back({true, 3.5, fs::DetectKind::kStoreData, fs::StreamItem::Kind::kMem});
-  a.outcomes.push_back({false, 0.0, {}, fs::StreamItem::Kind::kMem});
+  a.record(detected_outcome(3.5));
+  a.record(undetected_outcome());
   CampaignStats b;
-  b.injected = 1;
-  b.detected = 1;
-  b.undetected = 0;
-  b.outcomes.push_back({true, 7.25, fs::DetectKind::kEcpReg, fs::StreamItem::Kind::kSegmentEnd});
+  b.record(detected_outcome(7.25, fs::DetectKind::kEcpReg));
+  b.record(undetected_outcome(OutcomeKind::kSdc));
+  b.record(undetected_outcome(OutcomeKind::kDue));
 
   a.merge(std::move(b));
-  EXPECT_EQ(a.injected, 3u);
+  EXPECT_EQ(a.injected, 5u);
   EXPECT_EQ(a.detected, 2u);
-  EXPECT_EQ(a.undetected, 1u);
-  ASSERT_EQ(a.outcomes.size(), 3u);
+  EXPECT_EQ(a.undetected, 3u);
+  EXPECT_EQ(a.masked, 1u);
+  EXPECT_EQ(a.sdc, 1u);
+  EXPECT_EQ(a.due, 1u);
+  EXPECT_DOUBLE_EQ(a.sdc_rate(), 0.2);
+  ASSERT_EQ(a.outcomes.size(), 5u);
   EXPECT_DOUBLE_EQ(a.outcomes[2].latency_us, 7.25);
   EXPECT_EQ(a.outcomes[2].detect_kind, fs::DetectKind::kEcpReg);
+}
+
+TEST(CampaignStats, MergeKeepsShardOrderDeterministic) {
+  // Shards fold in ascending shard order; the merged outcome stream must be
+  // exactly shard-0's records followed by shard-1's — never interleaved.
+  CampaignStats a;
+  a.record(detected_outcome(1.0));
+  a.record(detected_outcome(2.0));
+  CampaignStats b;
+  b.record(detected_outcome(3.0));
+  a.merge(std::move(b));
+  const auto latencies = a.latencies_us();
+  ASSERT_EQ(latencies.size(), 3u);
+  EXPECT_DOUBLE_EQ(latencies[0], 1.0);
+  EXPECT_DOUBLE_EQ(latencies[1], 2.0);
+  EXPECT_DOUBLE_EQ(latencies[2], 3.0);
+}
+
+TEST(CampaignStats, LatenciesEmptyOnFreshStats) {
+  const CampaignStats stats;
+  EXPECT_TRUE(stats.latencies_us().empty());
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.sdc_rate(), 0.0);
+}
+
+TEST(CampaignStats, LatenciesEmptyWhenAllMasked) {
+  CampaignStats stats;
+  stats.record(undetected_outcome());
+  stats.record(undetected_outcome());
+  EXPECT_EQ(stats.injected, 2u);
+  EXPECT_EQ(stats.masked, 2u);
+  EXPECT_TRUE(stats.latencies_us().empty());
+  EXPECT_DOUBLE_EQ(stats.coverage(), 0.0);
 }
 
 TEST(FaultCampaign, ShardQuotasSumToTarget) {
@@ -193,6 +247,196 @@ TEST(FaultCampaign, ShorterSegmentsDetectFaster) {
   ASSERT_FALSE(lat_fast.empty());
   ASSERT_FALSE(lat_slow.empty());
   EXPECT_LT(mean(lat_fast), mean(lat_slow));
+}
+
+// ---------------------------------------------------------------------------
+// Whole-SoC fault sites (fault/sites.h)
+// ---------------------------------------------------------------------------
+
+/// A warmed dual-core session with live DBC state (non-empty channel and at
+/// least one complete segment queued), so every component class has sites.
+sim::Session warmed_session() {
+  sim::Scenario scenario;
+  scenario.workload(workloads::find_profile("swaptions"))
+      .seed(3)
+      .iterations(20'000)
+      .soc(soc::SocConfig::paper_default(2))
+      .main_core(0)
+      .checkers({1})
+      .tolerate_stall(true);
+  sim::Session session = scenario.build();
+  EXPECT_TRUE(session.advance(30'000));
+  fs::Channel* ch = session.channel();
+  EXPECT_NE(ch, nullptr);
+  while (ch->empty() || ch->complete_segments_queued() == 0) {
+    EXPECT_TRUE(session.advance(64));
+  }
+  return session;
+}
+
+TEST(FaultSites, EveryComponentEnumeratesSites) {
+  sim::Session session = warmed_session();
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    const auto component = static_cast<Component>(c);
+    EXPECT_GT(site_index_count(session.soc(), component), 0u)
+        << component_name(component);
+  }
+}
+
+TEST(FaultSites, FlipIsSelfInverseForEveryComponent) {
+  sim::Session session = warmed_session();
+  Rng rng(0x51735);
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    const auto component = static_cast<Component>(c);
+    // Several random sites per component so the per-field sub-routing (BTB
+    // target/pc/valid, MAL addr/data, SCP pc/regs, ...) gets exercised.
+    for (int trial = 0; trial < 8; ++trial) {
+      const u64 before = snapshot_digest(session.snapshot());
+      const FaultSite site = random_site(session.soc(), component, rng);
+      flip(session.soc(), site);
+      EXPECT_NE(snapshot_digest(session.snapshot()), before) << describe(site);
+      flip(session.soc(), site);
+      EXPECT_EQ(snapshot_digest(session.snapshot()), before) << describe(site);
+    }
+  }
+}
+
+TEST(FaultSites, DescribeRoundTripsThroughParse) {
+  sim::Session session = warmed_session();
+  Rng rng(0xD15C);
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    const FaultSite site =
+        random_site(session.soc(), static_cast<Component>(c), rng);
+    const auto parsed = parse_site(describe(site));
+    ASSERT_TRUE(parsed.has_value()) << describe(site);
+    EXPECT_EQ(*parsed, site);
+  }
+  EXPECT_FALSE(parse_site("").has_value());
+  EXPECT_FALSE(parse_site("warp i0 b0 @0").has_value());
+  EXPECT_FALSE(parse_site("mem i3 b4").has_value());
+  EXPECT_FALSE(parse_site("mem i3 b4 @9 extra").has_value());
+  EXPECT_FALSE(parse_site("mem ix b4 @9").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Vulnerability campaigns (fault/vuln.h)
+// ---------------------------------------------------------------------------
+
+VulnConfig small_vuln(u32 faults = 28) {
+  VulnConfig config;
+  config.target_faults = faults;
+  config.shards = 4;
+  config.warmup_rounds = 20'000;
+  config.gap_rounds = 1'000;
+  config.horizon = 16'000;
+  config.workload_iterations = 20'000;
+  return config;
+}
+
+TEST(VulnCampaign, ClassifiesEveryInjectionAcrossAllComponents) {
+  auto config = small_vuln();
+  config.root_cause = true;
+  const auto report = run_vuln_campaign(workloads::find_profile("swaptions"),
+                                        soc::SocConfig::paper_default(2), config);
+  EXPECT_EQ(report.injected, 28u);
+  EXPECT_EQ(report.records.size(), 28u);
+  // The four-way classification must be exhaustive and exclusive.
+  EXPECT_EQ(report.masked + report.detected + report.sdc + report.due,
+            report.injected);
+  report.check_invariant();
+  // 28 faults round-robined over 7 component classes: exactly 4 each.
+  for (std::size_t c = 0; c < kComponentCount; ++c) {
+    EXPECT_EQ(report.components[c].injected, 4u)
+        << component_name(static_cast<Component>(c));
+  }
+  EXPECT_GT(report.detected, 0u);
+  for (const auto& record : report.records) {
+    if (record.outcome == OutcomeKind::kDetected) {
+      EXPECT_GE(record.latency_us, 0.0);
+    }
+    // Root-cause attribution only ever fires on SDC/DUE outcomes, and an
+    // attributed divergence names two distinct replay positions or pcs.
+    if (record.rc_valid) {
+      EXPECT_TRUE(record.outcome == OutcomeKind::kSdc ||
+                  record.outcome == OutcomeKind::kDue);
+    }
+  }
+}
+
+TEST(VulnCampaign, DeterministicAcrossModesAndThreads) {
+  const auto& profile = workloads::find_profile("swaptions");
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  auto config = small_vuln(14);
+  config.threads = 1;
+  const auto fork_serial = run_vuln_campaign(profile, soc_config, config);
+  config.threads = 8;
+  const auto fork_wide = run_vuln_campaign(profile, soc_config, config);
+  config.mode = CampaignMode::kWarmupReexecution;
+  const auto reexec = run_vuln_campaign(profile, soc_config, config);
+
+  EXPECT_EQ(fork_serial.digest(), fork_wide.digest());
+  EXPECT_EQ(fork_serial.digest(), reexec.digest());
+  EXPECT_EQ(fork_serial.injected, 14u);
+  // Re-execution simulates every warmup prefix again; fork restores them.
+  EXPECT_GT(reexec.total_instructions, fork_serial.total_instructions);
+}
+
+TEST(VulnCampaign, LatencyHistogramCountsDetectionsOnly) {
+  VulnReport report;
+  InjectionRecord detected;
+  detected.site.component = Component::kDbcEntry;
+  detected.outcome = OutcomeKind::kDetected;
+  detected.latency_us = 5.0;
+  InjectionRecord masked;
+  masked.site.component = Component::kMemory;
+  report.add(detected);
+  report.add(masked);
+  report.check_invariant();
+  EXPECT_EQ(report.latency_histogram().total(), 1u);
+  EXPECT_DOUBLE_EQ(
+      report.components[static_cast<std::size_t>(Component::kDbcEntry)]
+          .coverage(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      report.components[static_cast<std::size_t>(Component::kMemory)]
+          .coverage(),
+      0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Config validation (FLEX_CHECK aborts with a usable message)
+// ---------------------------------------------------------------------------
+
+TEST(CampaignValidationDeathTest, RejectsDegenerateConfigs) {
+  const auto& profile = workloads::find_profile("swaptions");
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  auto no_shards = small_campaign(10);
+  no_shards.shards = 0;
+  EXPECT_DEATH(run_fault_campaign(profile, soc_config, no_shards),
+               "shards must be >= 1");
+  auto no_faults = small_campaign(10);
+  no_faults.target_faults = 0;
+  EXPECT_DEATH(run_fault_campaign(profile, soc_config, no_faults),
+               "target_faults must be > 0");
+  auto no_warmup = small_campaign(10);
+  no_warmup.warmup_rounds = 0;
+  EXPECT_DEATH(run_fault_campaign(profile, soc_config, no_warmup), "nonzero");
+}
+
+TEST(VulnValidationDeathTest, RejectsDegenerateConfigs) {
+  const auto& profile = workloads::find_profile("swaptions");
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  auto no_horizon = small_vuln(4);
+  no_horizon.horizon = 0;
+  EXPECT_DEATH(run_vuln_campaign(profile, soc_config, no_horizon), "nonzero");
+  auto no_shards = small_vuln(4);
+  no_shards.shards = 0;
+  EXPECT_DEATH(run_vuln_campaign(profile, soc_config, no_shards),
+               "shards must be >= 1");
+  auto no_faults = small_vuln(4);
+  no_faults.target_faults = 0;
+  EXPECT_DEATH(run_vuln_campaign(profile, soc_config, no_faults),
+               "target_faults must be > 0");
 }
 
 }  // namespace
