@@ -58,22 +58,35 @@ struct ThroughputSample {
 ThroughputSample measure(const isa::Program& program, const char* mode, u32 cores,
                          const std::vector<CoreId>& checkers, soc::Engine engine,
                          std::optional<bool> trace = {},
-                         arch::TraceCache::Stats* trace_stats = nullptr) {
+                         arch::TraceCache::Stats* trace_stats = nullptr,
+                         soc::RunStats* run_stats = nullptr, bool fused = true,
+                         u32 reps_override = 0) {
   ThroughputSample sample;
   sample.mode = mode;
-  sample.engine = engine == soc::Engine::kStepwise ? "stepwise" : "quantum";
+  sample.engine = soc::engine_name(engine);
 
   // Best-of-N: each rep simulates the identical deterministic run, so the
   // spread is purely host noise and the minimum is the honest figure.
-  const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
+  // reps_override = 1 lets a caller interleave two configurations rep-by-rep
+  // (host speed drifts over a bench run; interleaving exposes both sides of a
+  // ratio to the same drift instead of penalising whichever ran later).
+  const auto reps = reps_override != 0
+                        ? reps_override
+                        : static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
   for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
     sim::Scenario scenario;
     scenario.program(program).cores(cores).checkers(checkers).engine(engine);
     if (trace.has_value()) scenario.trace(*trace);
     sim::Session session = scenario.build();
+    // fused == false measures the pre-fusion baseline: memory instructions
+    // inside batched spans fall back to the per-instruction path, exactly the
+    // behavior before the segment-cursor seam existed.
+    if (!fused) {
+      for (u32 c = 0; c < cores; ++c) session.soc().core(c).set_fused_batching(false);
+    }
 
     const auto start = std::chrono::steady_clock::now();
-    session.run();
+    const soc::RunStats stats = session.run();
     const auto stop = std::chrono::steady_clock::now();
     const double seconds = std::chrono::duration<double>(stop - start).count();
     if (rep == 0 || seconds < sample.host_seconds) sample.host_seconds = seconds;
@@ -81,8 +94,58 @@ ThroughputSample measure(const isa::Program& program, const char* mode, u32 core
     if (trace_stats != nullptr && session.soc().core(0).trace_cache() != nullptr) {
       *trace_stats = session.soc().core(0).trace_cache()->stats();
     }
+    if (run_stats != nullptr) *run_stats = stats;
+    // FLEX_BENCH_DEBUG=1: scheduling granularity and per-core trace-cache
+    // dispatch rates, for chasing down which core a missing speedup hides on.
+    if (rep == 0 && bench::env_u64("FLEX_BENCH_DEBUG", 0) != 0) {
+      const soc::CosimStats& cs = session.exec().cosim_stats();
+      std::fprintf(stderr,
+                   "  [debug] %s cosim: rounds=%llu relaxed=%llu strict=%llu "
+                   "hook_breaks=%llu\n",
+                   mode, static_cast<unsigned long long>(cs.rounds),
+                   static_cast<unsigned long long>(cs.relaxed_bursts),
+                   static_cast<unsigned long long>(cs.strict_fallbacks),
+                   static_cast<unsigned long long>(cs.hook_breaks));
+      for (u32 c = 0; c < cores; ++c) {
+        const arch::TraceCache* tc = session.soc().core(c).trace_cache();
+        if (tc == nullptr) continue;
+        const auto s = tc->stats();
+        std::fprintf(stderr,
+                     "  [debug] %s core %u: instret=%llu trace_insts=%llu "
+                     "dispatches=%llu recorded=%llu flushes=%llu\n",
+                     mode, c,
+                     static_cast<unsigned long long>(session.soc().core(c).instret()),
+                     static_cast<unsigned long long>(s.insts_from_traces),
+                     static_cast<unsigned long long>(s.dispatches),
+                     static_cast<unsigned long long>(s.recorded),
+                     static_cast<unsigned long long>(s.code_write_flushes +
+                                                     s.full_flushes));
+      }
+    }
   }
   return sample;
+}
+
+// Verified-run outcomes that must be bit-identical across configurations that
+// only change HOW the simulation is driven (engine batching, trace cache).
+// max_channel_occupancy is the one wall-order diagnostic allowed to move.
+bool same_verified_results(const soc::RunStats& a, const soc::RunStats& b) {
+  return a.main_cycles == b.main_cycles &&
+         a.completion_cycles == b.completion_cycles &&
+         a.segments_produced == b.segments_produced &&
+         a.segments_verified == b.segments_verified &&
+         a.segments_failed == b.segments_failed &&
+         a.mem_entries == b.mem_entries &&
+         a.backpressure_events == b.backpressure_events;
+}
+
+// Single-hardware-thread hosts (tiny CI runners) have no headroom for the
+// load spikes that make best-of-N honest; speedup gates are advisory there.
+bool perf_gates_enabled() {
+  if (bench::thread_count() > 1) return true;
+  std::printf("\nNOTICE: single-hardware-thread host — perf speedup gates "
+              "SKIPPED (results still recorded)\n");
+  return false;
 }
 
 int run_throughput_mode() {
@@ -133,6 +196,7 @@ int run_throughput_mode() {
     std::fprintf(json, "{\n  \"bench\": \"core_throughput\",\n");
     std::fprintf(json, "  \"workload\": \"%s\",\n  \"iterations\": %u,\n",
                  profile.name.c_str(), iterations);
+    std::fprintf(json, "  \"thread_count\": %u,\n", bench::thread_count());
     std::fprintf(json, "  \"samples\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const auto& s = samples[i];
@@ -258,6 +322,7 @@ int run_cosim_mode() {
     std::fprintf(json, "{\n  \"bench\": \"cosim_batched\",\n");
     std::fprintf(json, "  \"workload\": \"%s\",\n  \"iterations\": %u,\n",
                  profile.name.c_str(), iterations);
+    std::fprintf(json, "  \"thread_count\": %u,\n", bench::thread_count());
     std::fprintf(json, "  \"samples\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const auto& s = samples[i];
@@ -282,21 +347,37 @@ int run_cosim_mode() {
     std::fclose(json);
     std::printf("wrote BENCH_cosim_batched.json\n");
   }
-  // CI gates: dual-mode relaxed engine must reach 2x stepwise, and every
-  // engine must have produced the same verified-run results.
-  const bool gate = speedups[0] >= 2.0;
-  if (!gate) {
-    std::fprintf(stderr, "FAIL: dual-mode bounded speedup %.2fx below the 2x gate\n",
-                 speedups[0]);
+  // CI gates: the equivalence check always binds; the speedup/MIPS gates are
+  // advisory on single-thread hosts (no headroom for honest best-of-N). The
+  // dual-mode relaxed engine must reach 2x stepwise.
+  bool gate = true;
+  if (perf_gates_enabled()) {
+    if (speedups[0] < 2.0) {
+      gate = false;
+      std::fprintf(stderr, "FAIL: dual-mode bounded speedup %.2fx below the 2x gate\n",
+                   speedups[0]);
+    }
   }
   return gate && identical ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
-// Trace-JIT mode (--trace): quantum-engine throughput with the
+// Trace-JIT mode (--trace): bounded-engine throughput with the
 // superinstruction trace cache off vs on, across plain/dual/triple
-// topologies. Exits non-zero unless the plain-run speedup reaches 1.5x (the
-// CI gate; the PR target is 2x, tracked in the JSON).
+// topologies. The bounded engine is the one with real batch windows — under
+// the strict leapfrog quanta are a few cycles and traces (correctly) never
+// engage — so it is where the fused segment-stream path must prove the cache
+// pays for itself in verified modes.
+//
+// Baselines: plain mode compares traces off vs on (fusion is irrelevant
+// without hooks). The verified modes compare against the UNFUSED baseline —
+// trace engagement in checked runs is fused-path machinery (a kCount batch
+// keeps traces off, see run_until), so off = unfused + traces off is the
+// configuration a regression would actually revert to, and the speedup
+// measures the whole fused segment-stream path, not the trace cache alone.
+// Exits non-zero unless every mode reaches 1.5x (CI gate, skipped on
+// single-thread hosts), with bit-identical verified-run results across the
+// baseline and fused+traced configurations.
 // ---------------------------------------------------------------------------
 
 int run_trace_jit_mode() {
@@ -306,7 +387,7 @@ int run_trace_jit_mode() {
   build.iterations_override = iterations;
   const auto program = workloads::build_workload(profile, build);
 
-  std::printf("== Trace-JIT throughput (workload %s, %u iterations, quantum engine) ==\n\n",
+  std::printf("== Trace-JIT throughput (workload %s, %u iterations, bounded engine) ==\n\n",
               profile.name.c_str(), iterations);
 
   struct ModeSpec {
@@ -324,20 +405,46 @@ int run_trace_jit_mode() {
   std::vector<double> speedups;
   arch::TraceCache::Stats plain_stats;
   u64 plain_instret = 0;
+  bool identical = true;
   Table table({"mode", "trace", "sim inst", "host s", "MIPS", "speedup"});
   for (const auto& mode : modes) {
-    const auto off = measure(program, mode.name, mode.cores, mode.checkers,
-                             soc::Engine::kQuantum, false);
+    soc::RunStats off_results{};
+    soc::RunStats on_results{};
+    const bool verified = !mode.checkers.empty();
+    // Interleave the off/on reps (one pair per iteration, best-of-N each
+    // side): the speedup is a ratio, and back-to-back pairs see the same host
+    // speed, where sequential best-of-N blocks can drift apart by more than
+    // the effect being measured.
+    const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
+    ThroughputSample off;
+    ThroughputSample on;
     arch::TraceCache::Stats stats;
-    const auto on = measure(program, mode.name, mode.cores, mode.checkers,
-                            soc::Engine::kQuantum, true, &stats);
+    for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
+      const auto off_rep =
+          measure(program, mode.name, mode.cores, mode.checkers,
+                  soc::Engine::kQuantumBounded, false, nullptr, &off_results,
+                  /*fused=*/!verified, /*reps_override=*/1);
+      const auto on_rep = measure(program, mode.name, mode.cores, mode.checkers,
+                                  soc::Engine::kQuantumBounded, true, &stats,
+                                  &on_results, true, /*reps_override=*/1);
+      if (rep == 0 || off_rep.host_seconds < off.host_seconds) off = off_rep;
+      if (rep == 0 || on_rep.host_seconds < on.host_seconds) on = on_rep;
+    }
+    if (verified && !same_verified_results(off_results, on_results)) {
+      identical = false;
+      std::fprintf(stderr,
+                   "FAIL: %s verified-run results diverge between the unfused "
+                   "baseline and the fused+traced run\n",
+                   mode.name);
+    }
     const double speedup = off.mips() > 0.0 ? on.mips() / off.mips() : 0.0;
     speedups.push_back(speedup);
     if (std::strcmp(mode.name, "plain") == 0) {
       plain_stats = stats;
       plain_instret = on.instructions;
     }
-    table.add_row({mode.name, "off", std::to_string(off.instructions),
+    table.add_row({mode.name, verified ? "off (unfused)" : "off",
+                   std::to_string(off.instructions),
                    Table::num(off.host_seconds, 3), Table::num(off.mips(), 2), "1.00"});
     table.add_row({mode.name, "on", std::to_string(on.instructions),
                    Table::num(on.host_seconds, 3), Table::num(on.mips(), 2),
@@ -346,6 +453,8 @@ int run_trace_jit_mode() {
     samples.push_back(on);
   }
   table.print();
+  std::printf("\nverified-run results identical (unfused baseline vs fused+traced): %s\n",
+              identical ? "yes" : "NO (equivalence bug!)");
 
   const double coverage =
       plain_instret > 0
@@ -364,13 +473,20 @@ int run_trace_jit_mode() {
     std::fprintf(json, "{\n  \"bench\": \"trace_jit\",\n");
     std::fprintf(json, "  \"workload\": \"%s\",\n  \"iterations\": %u,\n",
                  profile.name.c_str(), iterations);
+    std::fprintf(json, "  \"engine\": \"bounded\",\n  \"thread_count\": %u,\n",
+                 bench::thread_count());
+    std::fprintf(json, "  \"verified_baseline\": \"unfused\",\n");
     std::fprintf(json, "  \"samples\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const auto& s = samples[i];
+      const bool off_row = i % 2 == 0;
+      const bool verified_mode = !modes[i / 2].checkers.empty();
       std::fprintf(json,
-                   "    {\"mode\": \"%s\", \"trace\": %s, \"instructions\": %llu, "
+                   "    {\"mode\": \"%s\", \"trace\": %s, \"fused\": %s, "
+                   "\"instructions\": %llu, "
                    "\"host_seconds\": %.6f, \"mips\": %.3f}%s\n",
-                   s.mode.c_str(), i % 2 == 0 ? "false" : "true",
+                   s.mode.c_str(), off_row ? "false" : "true",
+                   off_row && verified_mode ? "false" : "true",
                    static_cast<unsigned long long>(s.instructions), s.host_seconds,
                    s.mips(), i + 1 < samples.size() ? "," : "");
     }
@@ -380,18 +496,27 @@ int run_trace_jit_mode() {
                    i + 1 < std::size(modes) ? ", " : "");
     }
     std::fprintf(json,
-                 "},\n  \"plain_coverage\": %.4f,\n  \"traces_recorded\": %llu\n}\n",
-                 coverage, static_cast<unsigned long long>(plain_stats.recorded));
+                 "},\n  \"plain_coverage\": %.4f,\n  \"traces_recorded\": %llu,\n"
+                 "  \"results_identical\": %s\n}\n",
+                 coverage, static_cast<unsigned long long>(plain_stats.recorded),
+                 identical ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_trace_jit.json\n");
   }
-  // CI gate: the trace cache must actually pay for itself on the plain run.
-  const bool gate = speedups[0] >= 1.5;
-  if (!gate) {
-    std::fprintf(stderr, "FAIL: plain-run trace speedup %.2fx below the 1.5x gate\n",
-                 speedups[0]);
+  // CI gates: identity always; the trace cache must pay for itself in EVERY
+  // mode — the fused segment-stream path is what keeps the verified modes
+  // (dual/triple) above water — unless the host is too small to measure.
+  bool gate = true;
+  if (perf_gates_enabled()) {
+    for (std::size_t i = 0; i < std::size(modes); ++i) {
+      if (speedups[i] < 1.5) {
+        gate = false;
+        std::fprintf(stderr, "FAIL: %s trace speedup %.2fx below the 1.5x gate\n",
+                     modes[i].name, speedups[i]);
+      }
+    }
   }
-  return gate ? 0 : 1;
+  return gate && identical ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -454,6 +579,7 @@ int run_campaign_throughput_mode() {
     std::fprintf(json, "{\n  \"bench\": \"campaign_throughput\",\n");
     std::fprintf(json, "  \"workload\": \"%s\",\n  \"faults\": %u,\n  \"shards\": %u,\n",
                  profile.name.c_str(), faults, campaign.shards);
+    std::fprintf(json, "  \"thread_count\": %u,\n", bench::thread_count());
     std::fprintf(json, "  \"serial\": {\"threads\": 1, \"host_seconds\": %.6f, "
                        "\"injections_per_second\": %.3f},\n",
                  serial_s, serial_ips);
@@ -537,6 +663,7 @@ int run_snapshot_fork_mode() {
                        "  \"warmup_rounds\": %llu,\n  \"shards\": %u,\n",
                  profile.name.c_str(), faults, static_cast<unsigned long long>(warmup),
                  campaign.shards);
+    std::fprintf(json, "  \"thread_count\": %u,\n", bench::thread_count());
     std::fprintf(json,
                  "  \"warmup_reexecution\": {\"host_seconds\": %.6f, "
                  "\"instructions\": %llu},\n",
@@ -622,6 +749,7 @@ int run_vuln_mode() {
                        "  \"horizon\": %llu,\n  \"shards\": %u,\n",
                  profile.name.c_str(), faults,
                  static_cast<unsigned long long>(horizon), config.shards);
+    std::fprintf(json, "  \"thread_count\": %u,\n", bench::thread_count());
     std::fprintf(json, "  \"components\": [\n");
     for (std::size_t c = 0; c < fault::kComponentCount; ++c) {
       const auto& v = fork_wide.components[c];

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Compare a freshly measured bench JSON against the committed baseline.
+
+Usage: check_perf_trend.py FRESH.json BASELINE.json
+
+Every sample in the fresh file is matched to the baseline sample with the
+same identity fields (mode / engine / trace / fused) and must reach at least
+(1 - THRESHOLD) of the baseline MIPS. Exit 1 on any regression beyond that.
+
+Skips (exit 0, with a notice):
+  * fresh run on a single-hardware-thread host — no scheduling headroom, the
+    numbers are noise (mirrors perf_gates_enabled() in the bench binary);
+  * baseline recorded on a single-thread host while the fresh run is
+    multi-threaded — absolute MIPS across host classes is not a trend;
+  * a sample with no baseline counterpart (newly added configuration).
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.30  # fail when fresh MIPS drops >30% below the committed value
+IDENTITY_FIELDS = ("mode", "engine", "trace", "fused")
+
+
+def sample_key(sample):
+    return tuple((f, sample[f]) for f in IDENTITY_FIELDS if f in sample)
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        fresh = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    name = fresh.get("bench", argv[1])
+    if fresh.get("thread_count", 0) < 2:
+        print(f"[{name}] single-thread host: perf trend check SKIPPED")
+        return 0
+    if baseline.get("thread_count", 0) < 2:
+        print(f"[{name}] baseline recorded on a single-thread host: "
+              "perf trend check SKIPPED (cross-host MIPS is not a trend)")
+        return 0
+
+    base_by_key = {sample_key(s): s for s in baseline.get("samples", [])}
+    failures = 0
+    for sample in fresh.get("samples", []):
+        key = sample_key(sample)
+        base = base_by_key.get(key)
+        label = " ".join(f"{k}={v}" for k, v in key)
+        if base is None:
+            print(f"[{name}] {label}: no committed baseline (new config), skipped")
+            continue
+        fresh_mips = sample["mips"]
+        base_mips = base["mips"]
+        floor = base_mips * (1.0 - THRESHOLD)
+        verdict = "ok" if fresh_mips >= floor else "REGRESSION"
+        print(f"[{name}] {label}: {fresh_mips:.2f} MIPS vs committed "
+              f"{base_mips:.2f} (floor {floor:.2f}) {verdict}")
+        if fresh_mips < floor:
+            failures += 1
+    if failures:
+        print(f"[{name}] FAIL: {failures} sample(s) regressed more than "
+              f"{int(THRESHOLD * 100)}% below the committed baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

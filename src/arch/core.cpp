@@ -1,5 +1,7 @@
 #include "arch/core.h"
 
+#include <cstdlib>
+
 #include "arch/trace.h"
 #include "common/check.h"
 
@@ -128,6 +130,18 @@ void Core::release_reservation() {
 }
 
 void Core::set_mem_port(MemPort* port) { port_ = port != nullptr ? port : cache_port_.get(); }
+
+// FLEX_FUSED=0 falls back to counting-mode batches (memory ops stepwise): a
+// debugging lever for isolating fused-path issues, and the baseline the trace
+// bench measures its verified-mode speedups against. Read once, same rule as
+// FLEX_TRACE/FLEX_ENGINE; per-core overrides go through set_fused_batching.
+bool Core::default_fused_batching() {
+  static const bool enabled = [] {
+    const char* value = std::getenv("FLEX_FUSED");
+    return value == nullptr || *value != '0';
+  }();
+  return enabled;
+}
 
 MemPort& Core::cache_mem_port() { return *cache_port_; }
 
@@ -327,22 +341,51 @@ Core::Status Core::run_until(Cycle stop_before, u64 max_instructions) {
     // hot loop and re-evaluated here after every slow-path instruction.
     if (user_mode_ && !swi_pending_) {
       if ((hooks_ == nullptr || hooks_->passive()) && port_ == cache_port_.get()) {
-        run_fast_path(stop_before, instret_end, /*counting=*/false);
+        run_fast_path<FastMode::kFull>(stop_before, instret_end, nullptr);
         if (status_ != Status::kRunning || cycle_ >= stop_before ||
             instret_ >= instret_end || quantum_break_) {
           break;
         }
       } else if (hooks_ != nullptr && !hooks_->passive()) {
-        // Counting mode: hooks are live (FlexStep segment production or
-        // checker replay) but declare a span over which they only need commit
-        // counts for non-memory instructions. Memory ops, custom ISA and the
-        // declared boundary itself stay on the step() path below.
+        // Batchable hooks: live (FlexStep segment production or checker
+        // replay) but declaring a span over which non-memory commits reduce
+        // to a count. With a segment cursor, plain loads/stores ride the fast
+        // path too (staged MAL records / in-loop replay compare); without
+        // one, memory ops bail to step() per instruction. Custom ISA and the
+        // declared boundary itself always stay on the step() path below.
         const u64 batch = hooks_->commit_batch_limit();
         if (batch > 0) {
           const u64 batch_end =
               batch < instret_end - instret_ ? instret_ + batch : instret_end;
           const u64 before = instret_;
-          run_fast_path(stop_before, batch_end, /*counting=*/true);
+          // Upper bound on memory ops this span can commit: its instruction
+          // budget, additionally capped by the cycle window (every commit
+          // costs at least one cycle) so the hook never stages more than a
+          // short quantum could consume.
+          u64 window = batch_end - instret_;
+          if (stop_before - cycle_ < window) window = stop_before - cycle_;
+          // Cursor setup (staging copy, headroom scan, publish) is per-span
+          // overhead; under the strict-leapfrog engine spans are a handful of
+          // cycles and the cursor cannot pay for itself. Fuse only when the
+          // span can plausibly amortize it — below the threshold the batch
+          // runs in counting mode exactly as before the fused path existed.
+          constexpr u64 kFusedMinWindow = 32;
+          SegmentCursor* cursor =
+              fused_batching_ && window >= kFusedMinWindow
+                  ? hooks_->open_segment_cursor(*this, window)
+                  : nullptr;
+          if (cursor != nullptr && cursor->produce && port_ != cache_port_.get()) {
+            // Producer staging inlines the cache-port memory path; with any
+            // other port installed the fused path would bypass it.
+            cursor = nullptr;
+          }
+          if (cursor == nullptr) {
+            run_fast_path<FastMode::kCount>(stop_before, batch_end, nullptr);
+          } else if (cursor->produce) {
+            run_fast_path<FastMode::kProduce>(stop_before, batch_end, cursor);
+          } else {
+            run_fast_path<FastMode::kReplay>(stop_before, batch_end, cursor);
+          }
           if (instret_ != before) hooks_->on_commit_batch(*this, instret_ - before);
           if (status_ != Status::kRunning || cycle_ >= stop_before ||
               instret_ >= instret_end || quantum_break_) {
@@ -352,7 +395,9 @@ Core::Status Core::run_until(Cycle stop_before, u64 max_instructions) {
       }
     }
     // Slow path: one instruction (or trap delivery) in full generality.
-    step();
+    {
+      step();
+    }
   }
   run_exit_ = status_ != Status::kRunning ? RunExit::kStatusChange
               : quantum_break_            ? RunExit::kQuantumBreak
@@ -361,7 +406,39 @@ Core::Status Core::run_until(Cycle stop_before, u64 max_instructions) {
   return status_;
 }
 
-void Core::run_fast_path(Cycle stop_before, u64 instret_end, bool counting) {
+// Fused-mode load body for run_fast_path: serve from the staged log window
+// (replay) or stage a MAL record (produce); other modes hit the cache/memory
+// path directly. The replay compare stamp is the pre-commit clock — exactly
+// when the stepwise engine's ReplayPort pops the entry (before this
+// instruction's cost is added). The produce stamp is the post-commit clock
+// (cost is final here: loads add nothing after the data probe), matching the
+// stepwise on_commit -> log_memory ordering.
+#define FLEX_FAST_LOAD(bytes_)                                              \
+  if constexpr (M == FastMode::kReplay) {                                   \
+    MemRecord& e = cursor->slots[cursor->used++];                           \
+    cursor->last_cycle = cycle;                                             \
+    if (e.addr != addr) [[unlikely]] {                                      \
+      cursor->on_mismatch(cursor->ctx, ReplayMismatch::kLoadAddr, cycle);   \
+    }                                                                       \
+    cost += cursor->replay_stall;                                           \
+    value = e.data;                                                         \
+  } else {                                                                  \
+    cost += caches_.data(addr) + config_.load_use_penalty;                  \
+    value = memory_.read(addr, (bytes_));                                   \
+    if constexpr (M == FastMode::kProduce) {                                \
+      MemRecord& rec = cursor->slots[cursor->used++];                       \
+      rec.kind = cursor->load_kind;                                         \
+      rec.bytes = (bytes_);                                                 \
+      rec.addr = addr;                                                      \
+      rec.data = value;                                                     \
+      rec.cycle = cycle + cost;                                             \
+    }                                                                       \
+  }
+
+template <Core::FastMode M>
+void Core::run_fast_path(Cycle stop_before, u64 instret_end,
+                         SegmentCursor* cursor) {
+  (void)cursor;  // unused in kFull/kCount instantiations
   // Hoisted fetch window: while the PC stays inside the cached image,
   // straight-line fetch is a bounds check and an indexed load off the
   // pre-decoded stream (no registry lookup).
@@ -393,10 +470,14 @@ void Core::run_fast_path(Cycle stop_before, u64 instret_end, bool counting) {
   // Counting mode: live hooks must see every memory instruction (CommitInfo
   // logging / replay verification / backpressure pre-check), so the fast set
   // shrinks to the non-memory prefix [kAdd, kJalr] and traces stay off
-  // (recorded traces embed inlined loads/stores).
-  TraceCache* const traces = counting ? nullptr : trace_cache_.get();
-  const u8 max_fast_op =
-      static_cast<u8>(counting ? Opcode::kJalr : Opcode::kSd);
+  // (recorded traces embed inlined loads/stores). The fused modes widen the
+  // set back to [kAdd, kSd]: the segment cursor carries the per-quantum MAL
+  // staging (produce) or the pre-staged log window (replay), so plain
+  // loads/stores commit in-loop and traces re-engage.
+  TraceCache* const traces =
+      (M == FastMode::kCount) ? nullptr : trace_cache_.get();
+  constexpr u8 max_fast_op = static_cast<u8>(
+      M == FastMode::kCount ? Opcode::kJalr : Opcode::kSd);
 
 trace_point:
   // Trace dispatch: reached on fast-path entry and after every control
@@ -406,6 +487,10 @@ trace_point:
   // replay loop skip every per-instruction bound/interrupt check without
   // becoming observable (no interrupt, quantum break or bound can land
   // mid-trace; hooks are passive by the fast path's precondition).
+  // The outer guard is constexpr so the kCount instantiation (traces is a
+  // literal nullptr) drops the block entirely instead of tripping GCC's
+  // null-deref analysis on the statically dead calls.
+  if constexpr (M != FastMode::kCount)
   if (traces != nullptr) {
     while (cycle < limit && instret < instret_end && pc - base < end - base) {
       const Trace* t = traces->lookup(pc);
@@ -413,10 +498,58 @@ trace_point:
         t = traces->notice_entry(pc, code, base, end);
         if (t == nullptr) break;
       }
-      if (t->worst_cost > limit - cycle || t->inst_count > instret_end - instret) {
+      // Replay serves loads/stores from the staged log at a deterministic
+      // FIFO stall — no d-cache probe, no load-use penalty — so its dispatch
+      // bound drops the data-memory share of worst_cost and charges the exact
+      // per-access stall instead. Without the correction, memory-heavy hot
+      // traces out-budget an entire checker quantum and never dispatch.
+      Cycle worst = t->worst_cost;
+      if constexpr (M == FastMode::kReplay) {
+        worst = t->worst_cost - t->mem_worst_cost +
+                static_cast<Cycle>(t->mem_ops) * cursor->replay_stall;
+      }
+      bool fits = worst <= limit - cycle;
+      if constexpr (M == FastMode::kReplay) {
+        // Scheduler-only bound (bulk-consume horizon): the quantum bound only
+        // exists to keep this checker's pops in the producer's past, so a
+        // trace whose last pop lands strictly below the bound may dispatch
+        // even though its tail (trailing ALU / probes / terminal) would
+        // overrun — the cycle trajectory is engine-independent, making the
+        // overrun unobservable. Quantum tails otherwise fall back to the
+        // per-instruction loop and were the dominant trace-coverage loss.
+        // An armed timer deadline stays hard (the trap cycle must be exact).
+        if (!fits && cursor->allow_bound_overrun &&
+            (!timer_armed_ || worst <= timer_at_ - cycle)) {
+          fits = t->mem_ops == 0 ||
+                 t->last_pop_worst +
+                         static_cast<Cycle>(t->mem_ops - 1) *
+                             cursor->replay_stall <
+                     limit - cycle;
+        }
+      }
+      if (!fits || t->inst_count > instret_end - instret) {
         break;  // near a bound: the stepwise loop below handles the tail
       }
-      execute_trace(*t, pc, cycle, instret, last_line);
+      if constexpr (M == FastMode::kProduce || M == FastMode::kReplay) {
+        // Fused gating: every memory op in the trace consumes one cursor
+        // slot, so the whole trace must fit the remaining window.
+        if (cursor->used + t->mem_ops > cursor->capacity) break;
+        if constexpr (M == FastMode::kReplay) {
+          // Kind-for-kind pre-check against the staged log window: a
+          // diverged or faulted stream falls back to stepwise compare.
+          bool kinds_match = true;
+          for (u32 i = 0; i < t->mem_ops; ++i) {
+            const u8 expect =
+                t->mem_kinds[i] != 0 ? cursor->store_kind : cursor->load_kind;
+            if (cursor->slots[cursor->used + i].kind != expect) {
+              kinds_match = false;
+              break;
+            }
+          }
+          if (!kinds_match) break;
+        }
+      }
+      execute_trace<M>(*t, pc, cycle, instret, last_line, cursor);
     }
   }
 
@@ -444,6 +577,21 @@ trace_point:
                       static_cast<u8>(Opcode::kJalr) + 1,
                   "counting-mode opcode range must end where memory ops begin");
     if (static_cast<u8>(inst.op) > max_fast_op) goto writeback;
+
+    if constexpr (M == FastMode::kProduce || M == FastMode::kReplay) {
+      // Memory ops must clear the cursor BEFORE the I-probe: a bail-out to
+      // step() has to leave the fetch-line state untouched so step() performs
+      // (and charges) the probe exactly as the stepwise engine would.
+      if (static_cast<u8>(inst.op) >= static_cast<u8>(Opcode::kLb)) {
+        if (cursor->used == cursor->capacity) goto writeback;
+        if constexpr (M == FastMode::kReplay) {
+          const bool is_store =
+              static_cast<u8>(inst.op) >= static_cast<u8>(Opcode::kSb);
+          const u8 expect = is_store ? cursor->store_kind : cursor->load_kind;
+          if (cursor->slots[cursor->used].kind != expect) goto writeback;
+        }
+      }
+    }
 
     Cycle cost = 1;
     const Addr fetch_line = pc >> 6;
@@ -602,8 +750,8 @@ trace_point:
       case Opcode::kLb:
       case Opcode::kLbu: {
         const Addr addr = a + static_cast<u64>(imm);
-        cost += caches_.data(addr) + config_.load_use_penalty;
-        const u64 value = memory_.read(addr, 1);
+        u64 value;
+        FLEX_FAST_LOAD(1)
         rd_value = inst.op == Opcode::kLb
                        ? static_cast<u64>(static_cast<i64>(static_cast<i8>(value)))
                        : value;
@@ -613,8 +761,8 @@ trace_point:
       case Opcode::kLh:
       case Opcode::kLhu: {
         const Addr addr = a + static_cast<u64>(imm);
-        cost += caches_.data(addr) + config_.load_use_penalty;
-        const u64 value = memory_.read(addr, 2);
+        u64 value;
+        FLEX_FAST_LOAD(2)
         rd_value = inst.op == Opcode::kLh
                        ? static_cast<u64>(static_cast<i64>(static_cast<i16>(value)))
                        : value;
@@ -624,8 +772,8 @@ trace_point:
       case Opcode::kLw:
       case Opcode::kLwu: {
         const Addr addr = a + static_cast<u64>(imm);
-        cost += caches_.data(addr) + config_.load_use_penalty;
-        const u64 value = memory_.read(addr, 4);
+        u64 value;
+        FLEX_FAST_LOAD(4)
         rd_value = inst.op == Opcode::kLw
                        ? static_cast<u64>(static_cast<i64>(static_cast<i32>(value)))
                        : value;
@@ -634,8 +782,9 @@ trace_point:
       }
       case Opcode::kLd: {
         const Addr addr = a + static_cast<u64>(imm);
-        cost += caches_.data(addr) + config_.load_use_penalty;
-        rd_value = memory_.read(addr, 8);
+        u64 value;
+        FLEX_FAST_LOAD(8)
+        rd_value = value;
         write_rd = true;
         break;
       }
@@ -646,14 +795,51 @@ trace_point:
       case Opcode::kSw:
       case Opcode::kSd: {
         const Addr addr = a + static_cast<u64>(imm);
-        cost += caches_.data(addr);
-        // Reservation invalidation happens inside Memory's write path (the
-        // shared registry), identically for every store flavour and core.
-        switch (inst.op) {
-          case Opcode::kSb: memory_.write(addr, 1, b & 0xff); break;
-          case Opcode::kSh: memory_.write(addr, 2, b & 0xffff); break;
-          case Opcode::kSw: memory_.write(addr, 4, b & 0xffff'ffff); break;
-          default: memory_.write(addr, 8, b); break;
+        if constexpr (M == FastMode::kReplay) {
+          // Verify against the staged producer record: address first, then
+          // the width-masked data (same precedence as the stepwise checker).
+          u64 data = b;
+          switch (inst.op) {
+            case Opcode::kSb: data = b & 0xff; break;
+            case Opcode::kSh: data = b & 0xffff; break;
+            case Opcode::kSw: data = b & 0xffff'ffff; break;
+            default: break;
+          }
+          MemRecord& e = cursor->slots[cursor->used++];
+          cursor->last_cycle = cycle;
+          if (e.addr != addr) [[unlikely]] {
+            cursor->on_mismatch(cursor->ctx, ReplayMismatch::kStoreAddr, cycle);
+          } else if (e.data != data) [[unlikely]] {
+            cursor->on_mismatch(cursor->ctx, ReplayMismatch::kStoreData, cycle);
+          }
+          cost += cursor->replay_stall;  // checker never writes memory
+        } else if constexpr (M == FastMode::kProduce) {
+          cost += caches_.data(addr);
+          u32 bytes = 8;
+          u64 data = b;
+          switch (inst.op) {
+            case Opcode::kSb: bytes = 1; data = b & 0xff; break;
+            case Opcode::kSh: bytes = 2; data = b & 0xffff; break;
+            case Opcode::kSw: bytes = 4; data = b & 0xffff'ffff; break;
+            default: break;
+          }
+          memory_.write(addr, bytes, data);
+          MemRecord& rec = cursor->slots[cursor->used++];
+          rec.kind = cursor->store_kind;
+          rec.bytes = static_cast<u8>(bytes);
+          rec.addr = addr;
+          rec.data = data;
+          rec.cycle = cycle + cost;
+        } else {
+          cost += caches_.data(addr);
+          // Reservation invalidation happens inside Memory's write path (the
+          // shared registry), identically for every store flavour and core.
+          switch (inst.op) {
+            case Opcode::kSb: memory_.write(addr, 1, b & 0xff); break;
+            case Opcode::kSh: memory_.write(addr, 2, b & 0xffff); break;
+            case Opcode::kSw: memory_.write(addr, 4, b & 0xffff'ffff); break;
+            default: memory_.write(addr, 8, b); break;
+          }
         }
         break;
       }
@@ -688,6 +874,17 @@ writeback:
   last_fetch_line_ = last_line;
 }
 
+#undef FLEX_FAST_LOAD
+
+template void Core::run_fast_path<Core::FastMode::kFull>(Cycle, u64,
+                                                         SegmentCursor*);
+template void Core::run_fast_path<Core::FastMode::kCount>(Cycle, u64,
+                                                          SegmentCursor*);
+template void Core::run_fast_path<Core::FastMode::kProduce>(Cycle, u64,
+                                                            SegmentCursor*);
+template void Core::run_fast_path<Core::FastMode::kReplay>(Cycle, u64,
+                                                           SegmentCursor*);
+
 // ---------------------------------------------------------------------------
 // Trace replay.
 //
@@ -710,18 +907,57 @@ writeback:
 #endif
 #define TRACE_DONE() goto trace_done
 
+// Mode-routed accumulators. The plain modes keep the original scheme: static
+// costs pre-summed in t.base_cost, `extra` collects dynamic stalls. The fused
+// modes additionally need the per-instruction commit clock at each memory op
+// (produce stamps records with it, replay compares at it), so they thread a
+// running clock `rc` through the handlers instead:
+//   - TRACE_STATIC(c) folds an op's static cost into rc;
+//   - replay defers fetch-probe costs in `carry` until the next fold, because
+//     a probe precedes its instruction and the replay compare stamp is the
+//     PRE-commit clock, which excludes the instruction's own probe;
+//   - terminal-op dynamic costs (mispredict/redirect) still go through
+//     `extra` in every mode — terminals commit after every memory op, so
+//     their placement relative to rc is unobservable.
+#define TRACE_STATIC(c)                             \
+  do {                                              \
+    if constexpr (M == FastMode::kReplay) {         \
+      rc += carry + (c);                            \
+      carry = 0;                                    \
+    } else if constexpr (M == FastMode::kProduce) { \
+      rc += (c);                                    \
+    }                                               \
+  } while (0)
+#define TRACE_OP1(name) TRACE_OP(name) TRACE_STATIC(1);
+#define TRACE_PROBE(pc_expr)                              \
+  do {                                                    \
+    const Cycle probe_cost = caches_.fetch(pc_expr);      \
+    if constexpr (M == FastMode::kReplay) {               \
+      carry += probe_cost;                                \
+    } else if constexpr (M == FastMode::kProduce) {       \
+      rc += probe_cost;                                   \
+    } else {                                              \
+      extra += probe_cost;                                \
+    }                                                     \
+  } while (0)
+
+template <Core::FastMode M>
 void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
-                         Addr& last_line) {
-  // Dynamic stalls only; every static cost (1/inst, multiplier/divider
-  // latency, load-use bubbles) was pre-summed into t.base_cost at record
-  // time. Equivalence with the stepwise loop holds because all state-bearing
-  // probes (I-fetch, D-cache, BHT/BTB/RAS) still run in program order and the
-  // per-instruction commits only differ in WHEN the shared counters are
-  // summed — never in what any probe or operand observes: within a trace no
-  // instruction reads cycle/instret (CSR reads are slow-path), and x0 stays
-  // zero because ops writing it were dropped at record time.
+                         Addr& last_line, SegmentCursor* cursor) {
+  (void)cursor;  // unused in the plain instantiations
+  // Dynamic stalls only (plain modes); every static cost (1/inst,
+  // multiplier/divider latency, load-use bubbles) was pre-summed into
+  // t.base_cost at record time. Equivalence with the stepwise loop holds
+  // because all state-bearing probes (I-fetch, D-cache, BHT/BTB/RAS) still
+  // run in program order and the per-instruction commits only differ in WHEN
+  // the shared counters are summed — never in what any probe or operand
+  // observes: within a trace no instruction reads cycle/instret (CSR reads
+  // are slow-path), and x0 stays zero because ops writing it were dropped at
+  // record time (their cost rides the kStaticCost pseudo-op).
   Cycle extra = 0;
-  if ((t.entry_pc >> 6) != last_line) extra += caches_.fetch(t.entry_pc);
+  [[maybe_unused]] Cycle rc = cycle;
+  [[maybe_unused]] Cycle carry = 0;
+  if ((t.entry_pc >> 6) != last_line) TRACE_PROBE(t.entry_pc);
   Addr next_pc = t.exit_pc;
   u64* const regs = regs_.data();
   const TraceOp* op = t.ops.data();
@@ -741,41 +977,49 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
 #endif
 
   // ---- ALU register-register ----
-  TRACE_OP(kAdd) regs[op->rd] = regs[op->rs1] + regs[op->rs2]; TRACE_NEXT();
-  TRACE_OP(kSub) regs[op->rd] = regs[op->rs1] - regs[op->rs2]; TRACE_NEXT();
-  TRACE_OP(kSll) regs[op->rd] = regs[op->rs1] << (regs[op->rs2] & 63); TRACE_NEXT();
-  TRACE_OP(kSrl) regs[op->rd] = regs[op->rs1] >> (regs[op->rs2] & 63); TRACE_NEXT();
-  TRACE_OP(kSra)
+  TRACE_OP1(kAdd) regs[op->rd] = regs[op->rs1] + regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP1(kSub) regs[op->rd] = regs[op->rs1] - regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP1(kSll) regs[op->rd] = regs[op->rs1] << (regs[op->rs2] & 63); TRACE_NEXT();
+  TRACE_OP1(kSrl) regs[op->rd] = regs[op->rs1] >> (regs[op->rs2] & 63); TRACE_NEXT();
+  TRACE_OP1(kSra)
     regs[op->rd] = static_cast<u64>(static_cast<i64>(regs[op->rs1]) >>
                                     (regs[op->rs2] & 63));
     TRACE_NEXT();
-  TRACE_OP(kAnd) regs[op->rd] = regs[op->rs1] & regs[op->rs2]; TRACE_NEXT();
-  TRACE_OP(kOr) regs[op->rd] = regs[op->rs1] | regs[op->rs2]; TRACE_NEXT();
-  TRACE_OP(kXor) regs[op->rd] = regs[op->rs1] ^ regs[op->rs2]; TRACE_NEXT();
-  TRACE_OP(kSlt)
+  TRACE_OP1(kAnd) regs[op->rd] = regs[op->rs1] & regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP1(kOr) regs[op->rd] = regs[op->rs1] | regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP1(kXor) regs[op->rd] = regs[op->rs1] ^ regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP1(kSlt)
     regs[op->rd] =
         static_cast<i64>(regs[op->rs1]) < static_cast<i64>(regs[op->rs2]) ? 1 : 0;
     TRACE_NEXT();
-  TRACE_OP(kSltu) regs[op->rd] = regs[op->rs1] < regs[op->rs2] ? 1 : 0; TRACE_NEXT();
-  TRACE_OP(kMul) regs[op->rd] = regs[op->rs1] * regs[op->rs2]; TRACE_NEXT();
+  TRACE_OP1(kSltu) regs[op->rd] = regs[op->rs1] < regs[op->rs2] ? 1 : 0; TRACE_NEXT();
+  TRACE_OP(kMul)
+    TRACE_STATIC(isa::opcode_latency(Opcode::kMul));
+    regs[op->rd] = regs[op->rs1] * regs[op->rs2];
+    TRACE_NEXT();
   TRACE_OP(kMulh)
+    TRACE_STATIC(isa::opcode_latency(Opcode::kMulh));
     regs[op->rd] = static_cast<u64>((static_cast<__int128>(static_cast<i64>(
                                          regs[op->rs1])) *
                                      static_cast<i64>(regs[op->rs2])) >>
                                     64);
     TRACE_NEXT();
   TRACE_OP(kDiv)
+    TRACE_STATIC(isa::opcode_latency(Opcode::kDiv));
     regs[op->rd] = div_signed(regs[op->rs1], regs[op->rs2]);
     TRACE_NEXT();
   TRACE_OP(kDivu) {
+    TRACE_STATIC(isa::opcode_latency(Opcode::kDivu));
     const u64 b = regs[op->rs2];
     regs[op->rd] = (b == 0) ? ~u64{0} : regs[op->rs1] / b;
   }
   TRACE_NEXT();
   TRACE_OP(kRem)
+    TRACE_STATIC(isa::opcode_latency(Opcode::kRem));
     regs[op->rd] = rem_signed(regs[op->rs1], regs[op->rs2]);
     TRACE_NEXT();
   TRACE_OP(kRemu) {
+    TRACE_STATIC(isa::opcode_latency(Opcode::kRemu));
     const u64 a = regs[op->rs1];
     const u64 b = regs[op->rs2];
     regs[op->rd] = (b == 0) ? a : a % b;
@@ -783,36 +1027,37 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   TRACE_NEXT();
 
   // ---- ALU register-immediate (shift amounts & LUI pre-masked) ----
-  TRACE_OP(kAddi)
+  TRACE_OP1(kAddi)
     regs[op->rd] = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
     TRACE_NEXT();
-  TRACE_OP(kAndi)
+  TRACE_OP1(kAndi)
     regs[op->rd] = regs[op->rs1] & static_cast<u64>(static_cast<i64>(op->imm));
     TRACE_NEXT();
-  TRACE_OP(kOri)
+  TRACE_OP1(kOri)
     regs[op->rd] = regs[op->rs1] | static_cast<u64>(static_cast<i64>(op->imm));
     TRACE_NEXT();
-  TRACE_OP(kXori)
+  TRACE_OP1(kXori)
     regs[op->rd] = regs[op->rs1] ^ static_cast<u64>(static_cast<i64>(op->imm));
     TRACE_NEXT();
-  TRACE_OP(kSlli) regs[op->rd] = regs[op->rs1] << op->imm; TRACE_NEXT();
-  TRACE_OP(kSrli) regs[op->rd] = regs[op->rs1] >> op->imm; TRACE_NEXT();
-  TRACE_OP(kSrai)
+  TRACE_OP1(kSlli) regs[op->rd] = regs[op->rs1] << op->imm; TRACE_NEXT();
+  TRACE_OP1(kSrli) regs[op->rd] = regs[op->rs1] >> op->imm; TRACE_NEXT();
+  TRACE_OP1(kSrai)
     regs[op->rd] = static_cast<u64>(static_cast<i64>(regs[op->rs1]) >> op->imm);
     TRACE_NEXT();
-  TRACE_OP(kSlti)
+  TRACE_OP1(kSlti)
     regs[op->rd] = static_cast<i64>(regs[op->rs1]) < static_cast<i64>(op->imm) ? 1 : 0;
     TRACE_NEXT();
-  TRACE_OP(kSltiu)
+  TRACE_OP1(kSltiu)
     regs[op->rd] = regs[op->rs1] < static_cast<u64>(static_cast<i64>(op->imm)) ? 1 : 0;
     TRACE_NEXT();
-  TRACE_OP(kLui)
+  TRACE_OP1(kLui)
     regs[op->rd] = static_cast<u64>(static_cast<i64>(op->imm));
     TRACE_NEXT();
 
   // ---- terminal control transfers ----
 #define FLEX_TRACE_BRANCH_TAIL(taken_expr)                                   \
   {                                                                          \
+    TRACE_STATIC(1);                                                         \
     const bool taken = (taken_expr);                                         \
     const Addr bpc = t.entry_pc + static_cast<Addr>(op->imm) * 4;            \
     if (bpred_.predict_taken(bpc) != taken) {                                \
@@ -836,6 +1081,7 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   TRACE_OP(kBgeu) FLEX_TRACE_BRANCH_TAIL(regs[op->rs1] >= regs[op->rs2]);
 
   TRACE_OP(kJal) {
+    TRACE_STATIC(1);
     const Addr jpc = t.entry_pc + static_cast<Addr>(op->imm) * 4;
     next_pc = op->target;
     const auto hit = bpred_.btb_lookup(jpc);
@@ -848,6 +1094,7 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   }
   TRACE_DONE();
   TRACE_OP(kJalr) {
+    TRACE_STATIC(1);
     const Addr jpc = op->target;
     const Addr target =
         (regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm))) & ~u64{1};
@@ -871,111 +1118,153 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   }
   TRACE_DONE();
 
-  // ---- loads (load-use bubble folded into base_cost) ----
+  // ---- loads (load-use bubble folded into base_cost / rc) ----
+  // Fused bodies mirror run_fast_path's FLEX_FAST_LOAD: replay serves the
+  // value from the staged log window and stamps the PRE-commit clock (rc
+  // before folding the load's own cost; carry holds any preceding probe);
+  // produce stamps the post-commit clock after folding the full load cost.
+#define FLEX_TRACE_LOAD(bytes_)                                             \
+  const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm)); \
+  u64 value;                                                                \
+  if constexpr (M == FastMode::kReplay) {                                   \
+    MemRecord& e = cursor->slots[cursor->used++];                           \
+    cursor->last_cycle = rc;                                                \
+    if (e.addr != addr) [[unlikely]] {                                      \
+      cursor->on_mismatch(cursor->ctx, ReplayMismatch::kLoadAddr, rc);      \
+    }                                                                       \
+    rc += carry + 1 + cursor->replay_stall;                                 \
+    carry = 0;                                                              \
+    value = e.data;                                                         \
+  } else {                                                                  \
+    const Cycle dstall = caches_.data(addr);                                \
+    value = memory_.read(addr, (bytes_));                                   \
+    if constexpr (M == FastMode::kProduce) {                                \
+      rc += 1 + config_.load_use_penalty + dstall;                          \
+      MemRecord& rec = cursor->slots[cursor->used++];                       \
+      rec.kind = cursor->load_kind;                                         \
+      rec.bytes = (bytes_);                                                 \
+      rec.addr = addr;                                                      \
+      rec.data = value;                                                     \
+      rec.cycle = rc;                                                       \
+    } else {                                                                \
+      extra += dstall;                                                      \
+    }                                                                       \
+  }
+#define FLEX_TRACE_STORE(bytes_, mask_)                                     \
+  const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm)); \
+  const u64 data = regs[op->rs2] mask_;                                     \
+  if constexpr (M == FastMode::kReplay) {                                   \
+    MemRecord& e = cursor->slots[cursor->used++];                           \
+    cursor->last_cycle = rc;                                                \
+    if (e.addr != addr) [[unlikely]] {                                      \
+      cursor->on_mismatch(cursor->ctx, ReplayMismatch::kStoreAddr, rc);     \
+    } else if (e.data != data) [[unlikely]] {                               \
+      cursor->on_mismatch(cursor->ctx, ReplayMismatch::kStoreData, rc);     \
+    }                                                                       \
+    rc += carry + 1 + cursor->replay_stall;                                 \
+    carry = 0;                                                              \
+  } else {                                                                  \
+    const Cycle dstall = caches_.data(addr);                                \
+    memory_.write(addr, (bytes_), data);                                    \
+    if constexpr (M == FastMode::kProduce) {                                \
+      rc += 1 + dstall;                                                     \
+      MemRecord& rec = cursor->slots[cursor->used++];                       \
+      rec.kind = cursor->store_kind;                                        \
+      rec.bytes = (bytes_);                                                 \
+      rec.addr = addr;                                                      \
+      rec.data = data;                                                      \
+      rec.cycle = rc;                                                       \
+    } else {                                                                \
+      extra += dstall;                                                      \
+    }                                                                       \
+  }
+
   TRACE_OP(kLb) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 1);
+    FLEX_TRACE_LOAD(1)
     if (op->rd != 0) {
       regs[op->rd] = static_cast<u64>(static_cast<i64>(static_cast<i8>(value)));
     }
   }
   TRACE_NEXT();
   TRACE_OP(kLbu) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 1);
+    FLEX_TRACE_LOAD(1)
     if (op->rd != 0) regs[op->rd] = value;
   }
   TRACE_NEXT();
   TRACE_OP(kLh) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 2);
+    FLEX_TRACE_LOAD(2)
     if (op->rd != 0) {
       regs[op->rd] = static_cast<u64>(static_cast<i64>(static_cast<i16>(value)));
     }
   }
   TRACE_NEXT();
   TRACE_OP(kLhu) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 2);
+    FLEX_TRACE_LOAD(2)
     if (op->rd != 0) regs[op->rd] = value;
   }
   TRACE_NEXT();
   TRACE_OP(kLw) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 4);
+    FLEX_TRACE_LOAD(4)
     if (op->rd != 0) {
       regs[op->rd] = static_cast<u64>(static_cast<i64>(static_cast<i32>(value)));
     }
   }
   TRACE_NEXT();
   TRACE_OP(kLwu) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 4);
+    FLEX_TRACE_LOAD(4)
     if (op->rd != 0) regs[op->rd] = value;
   }
   TRACE_NEXT();
   TRACE_OP(kLd) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 8);
+    FLEX_TRACE_LOAD(8)
     if (op->rd != 0) regs[op->rd] = value;
   }
   TRACE_NEXT();
 
   // ---- stores (reservation invalidation inside Memory::write) ----
   TRACE_OP(kSb) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    memory_.write(addr, 1, regs[op->rs2] & 0xff);
+    FLEX_TRACE_STORE(1, & 0xff)
   }
   TRACE_NEXT();
   TRACE_OP(kSh) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    memory_.write(addr, 2, regs[op->rs2] & 0xffff);
+    FLEX_TRACE_STORE(2, & 0xffff)
   }
   TRACE_NEXT();
   TRACE_OP(kSw) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    memory_.write(addr, 4, regs[op->rs2] & 0xffff'ffff);
+    FLEX_TRACE_STORE(4, & 0xffff'ffff)
   }
   TRACE_NEXT();
   TRACE_OP(kSd) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    memory_.write(addr, 8, regs[op->rs2]);
+    FLEX_TRACE_STORE(8, )
   }
   TRACE_NEXT();
 
   // ---- pseudo-ops ----
-  TRACE_OP(kIFetchProbe) extra += caches_.fetch(op->target); TRACE_NEXT();
+  TRACE_OP(kIFetchProbe) TRACE_PROBE(op->target); TRACE_NEXT();
   TRACE_OP(kExit) TRACE_DONE();
+  TRACE_OP(kStaticCost)
+    // Cost of ops elided at record time (ALU writes into x0); carried as an
+    // explicit op so the fused modes keep the running clock in program order.
+    TRACE_STATIC(static_cast<Cycle>(op->imm));
+    TRACE_NEXT();
 
   // ---- fused superinstructions (both commits, in order) ----
   TRACE_OP(kLdAddAcc) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 8);
-    regs[op->rd] = value;
+    FLEX_TRACE_LOAD(8)
+    regs[op->rd] = value;  // fusion guarantees rd != 0
     regs[op->rs2] += value;
+    TRACE_STATIC(1);  // the fused add's own commit cycle
   }
   TRACE_NEXT();
   TRACE_OP(kLdXorAcc) {
-    const Addr addr = regs[op->rs1] + static_cast<u64>(static_cast<i64>(op->imm));
-    extra += caches_.data(addr);
-    const u64 value = memory_.read(addr, 8);
+    FLEX_TRACE_LOAD(8)
     regs[op->rd] = value;
     regs[op->rs2] ^= value;
+    TRACE_STATIC(1);
   }
   TRACE_NEXT();
   TRACE_OP(kAndiBne) {
+    TRACE_STATIC(2);
     const u64 masked = regs[op->rs1] & static_cast<u64>(static_cast<i64>(op->imm));
     regs[op->rd] = masked;
     const bool taken = masked != 0;
@@ -989,6 +1278,7 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   }
   TRACE_DONE();
   TRACE_OP(kAndiBeq) {
+    TRACE_STATIC(2);
     const u64 masked = regs[op->rs1] & static_cast<u64>(static_cast<i64>(op->imm));
     regs[op->rd] = masked;
     const bool taken = masked == 0;
@@ -1002,10 +1292,12 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   }
   TRACE_DONE();
   TRACE_OP(kMulAddi)
+    TRACE_STATIC(isa::opcode_latency(Opcode::kMul) + 1);
     regs[op->rd] = regs[op->rs1] * regs[op->rs2] +
                    static_cast<u64>(static_cast<i64>(op->imm));
     TRACE_NEXT();
   TRACE_OP(kAndAdd)
+    TRACE_STATIC(2);
     regs[op->rd] = regs[static_cast<u8>(op->imm)] + (regs[op->rs1] & regs[op->rs2]);
     TRACE_NEXT();
 
@@ -1021,6 +1313,7 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
   regs[(o)->rd] = regs[(o)->rs1] + static_cast<u64>(static_cast<i64>((o)->imm))
 #define FLEX_TRACE_PAIR_HANDLER(name, first, second) \
   TRACE_OP(kPair##name) {                            \
+    TRACE_STATIC(2);                                 \
     FLEX_ALU_HALF_##first(op);                       \
     ++op;                                            \
     FLEX_ALU_HALF_##second(op);                      \
@@ -1037,16 +1330,43 @@ void Core::execute_trace(const Trace& t, Addr& pc, Cycle& cycle, u64& instret,
 
 trace_done:
   pc = next_pc;
-  cycle += t.base_cost + extra;
+  if constexpr (M == FastMode::kProduce || M == FastMode::kReplay) {
+    // rc already carries every static cost in program order; any probe cost
+    // still parked in carry belongs to the terminal op, as do the dynamic
+    // stalls in extra. Identical to base_cost + extra by construction — the
+    // per-op folds partition the same sum.
+    cycle = rc + carry + extra;
+  } else {
+    cycle += t.base_cost + extra;
+  }
   instret += t.inst_count;
   last_line = t.exit_line;
   trace_cache_->count_dispatch(t.inst_count);
 }
 
 #undef TRACE_OP
+#undef TRACE_OP1
 #undef TRACE_NEXT
 #undef TRACE_DONE
+#undef TRACE_STATIC
+#undef TRACE_PROBE
 #undef FLEX_TRACE_BRANCH_TAIL
+#undef FLEX_TRACE_LOAD
+#undef FLEX_TRACE_STORE
+
+template void Core::execute_trace<Core::FastMode::kFull>(const Trace&, Addr&,
+                                                         Cycle&, u64&, Addr&,
+                                                         SegmentCursor*);
+template void Core::execute_trace<Core::FastMode::kCount>(const Trace&, Addr&,
+                                                          Cycle&, u64&, Addr&,
+                                                          SegmentCursor*);
+template void Core::execute_trace<Core::FastMode::kProduce>(const Trace&,
+                                                            Addr&, Cycle&,
+                                                            u64&, Addr&,
+                                                            SegmentCursor*);
+template void Core::execute_trace<Core::FastMode::kReplay>(const Trace&, Addr&,
+                                                           Cycle&, u64&, Addr&,
+                                                           SegmentCursor*);
 
 Core::Status Core::step() {
   if (status_ != Status::kRunning) return status_;

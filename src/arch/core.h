@@ -140,6 +140,13 @@ class Core : private ReservationObserver {
 
   void set_hooks(CoreHooks* hooks) { hooks_ = hooks; }
   CoreHooks* hooks() const { return hooks_; }
+  /// Disable the fused segment-stream fast path (memory ops fall back to the
+  /// per-instruction step() path inside batched spans). Default comes from
+  /// FLEX_FUSED (unset/1 = on); the bench uses this to measure the unfused
+  /// baseline in-process. Traces still engage only when fusion is on — the
+  /// trace cache's replay compare is fused-path machinery.
+  void set_fused_batching(bool on) { fused_batching_ = on; }
+  bool fused_batching() const { return fused_batching_; }
   void set_trap_handler(TrapHandler* handler) { handler_ = handler; }
   /// Install a replacement data-memory port (nullptr restores the cache port).
   void set_mem_port(MemPort* port);
@@ -223,23 +230,40 @@ class Core : private ReservationObserver {
   /// Returns true if an interrupt was taken (step must return).
   bool poll_interrupts();
 
+  /// Fast-path engagement modes for the batched engine (template parameter so
+  /// each variant compiles to its own branch-free hot loop):
+  ///   * kFull    — hooks passive: every fast-path opcode inlines, traces on.
+  ///   * kCount   — hooks active but batchable, no segment cursor: memory
+  ///     instructions bail to step() (full CommitInfo + backpressure
+  ///     pre-check) and traces stay off — with every load/store leaving the
+  ///     loop per instruction, trace replay would only add overhead.
+  ///   * kProduce — segment cursor staging MAL records: plain loads/stores
+  ///     execute normally and append (addr, data, post-commit cycle) records;
+  ///     traces on, gated on cursor headroom.
+  ///   * kReplay  — segment cursor holding staged log entries: loads are
+  ///     served from the log, stores verified against it, mismatches reported
+  ///     through the cursor callback at the pre-commit clock; traces on,
+  ///     gated on a kind-for-kind match of the staged prefix.
+  /// The caller reports the retired count of kCount/kProduce/kReplay spans
+  /// through on_commit_batch, which also publishes/retires cursor records.
+  enum class FastMode : u8 { kFull, kCount, kProduce, kReplay };
+
   /// Hot loop of the batched engine: executes fast-path instructions (ALU,
-  /// branches, jumps, plain loads/stores through the default cache port) while
-  /// no slow-path condition holds. Returns when a slow-path instruction, trap
-  /// condition, image exit, bound or quantum break requires the caller to fall
-  /// back to step() / re-evaluate hoisted state.
-  ///
-  /// `counting` engages the restricted variant used while hooks are active
-  /// but batchable (CoreHooks::commit_batch_limit): memory instructions bail
-  /// to step() (full CommitInfo + backpressure pre-check), traces stay off,
-  /// and the caller reports the retired count through on_commit_batch.
-  void run_fast_path(Cycle stop_before, u64 instret_end, bool counting);
+  /// branches, jumps, plain loads/stores) while no slow-path condition holds.
+  /// Returns when a slow-path instruction, trap condition, image exit, bound,
+  /// cursor exhaustion or quantum break requires the caller to fall back to
+  /// step() / re-evaluate hoisted state. `cursor` is non-null exactly for
+  /// kProduce/kReplay.
+  template <FastMode M>
+  void run_fast_path(Cycle stop_before, u64 instret_end, SegmentCursor* cursor);
 
   /// Replay one recorded trace (arch/trace.h). Caller guarantees headroom:
-  /// cycle + trace.worst_cost stays below the quantum limit and
-  /// instret + trace.inst_count within the instruction bound.
+  /// cycle + trace.worst_cost stays below the quantum limit, instret +
+  /// trace.inst_count within the instruction bound, and (fused modes) the
+  /// cursor admits every memory record the trace carries.
+  template <FastMode M>
   void execute_trace(const Trace& trace, Addr& pc, Cycle& cycle, u64& instret,
-                     Addr& last_line);
+                     Addr& last_line, SegmentCursor* cursor);
 
   /// LR/SC reservation: the local flags are the architectural state (they
   /// round-trip through Snapshot); the shared Memory registry mirrors them so
@@ -287,6 +311,10 @@ class Core : private ReservationObserver {
   RunExit run_exit_ = RunExit::kNone;  ///< Why the last run_until returned.
 
   // Extension seams.
+  static bool default_fused_batching();
+  /// Fused segment-stream fast path enable (see set_fused_batching); the
+  /// default is resolved from FLEX_FUSED once per process.
+  bool fused_batching_ = default_fused_batching();
   CoreHooks* hooks_ = nullptr;
   TrapHandler* handler_ = nullptr;
   MemPort* port_ = nullptr;  ///< Active port (defaults to cache_port_).

@@ -53,6 +53,63 @@ class MemPort {
   virtual MemResult store_conditional(Addr addr, u64 data) = 0;
 };
 
+/// Replay-side mismatch classes surfaced by the fused fast path — the batched
+/// analogue of the replay MemPort's per-access verdicts. The hook maps them
+/// back onto its own detection taxonomy.
+enum class ReplayMismatch : u8 { kLoadAddr, kStoreAddr, kStoreData };
+
+/// One staged memory-access record inside a SegmentCursor. Fixed flat layout
+/// so the batched engine reads/writes it with plain loads and stores — no
+/// virtual dispatch on the hot path.
+struct MemRecord {
+  u8 kind = 0;     ///< Stream-entry kind tag (opaque to the core).
+  u8 bytes = 0;
+  Addr addr = 0;
+  u64 data = 0;    ///< Producer: load result (raw) / store data (masked).
+  Cycle cycle = 0; ///< Producer: post-commit stamp of the logging instruction.
+};
+
+/// Bulk segment-stream seam between the batched engine and a logging/replay
+/// hook. A hook that can absorb plain loads and stores in bulk hands the
+/// engine a cursor over preallocated record slots valid for one quantum:
+///
+///   * produce == true  — the engine executes memory ops normally and appends
+///     one record per plain load/store (addr, data, post-commit cycle). The
+///     hook publishes the records into its stream inside on_commit_batch,
+///     before any per-instruction path can run again.
+///   * produce == false — the engine serves loads FROM the staged records and
+///     verifies store addr/data against them, charging `replay_stall` per
+///     access and reporting divergence through `on_mismatch` (carrying the
+///     pre-commit clock, exactly when a stepwise port call would have seen
+///     it). `used` counts records consumed; `last_cycle` holds the clock of
+///     the last replayed access so the hook can retire the consumed prefix
+///     with the right timestamp.
+///
+/// The capacity is the hook's guarantee that every staged access passes its
+/// backpressure / availability checks; the engine bails to the stepwise path
+/// the moment the cursor is full (or, replaying, the next staged kind does
+/// not match the instruction). A cursor is never live across a run_until
+/// return: on_commit_batch always consumes it first.
+struct SegmentCursor {
+  MemRecord* slots = nullptr;
+  u32 capacity = 0;
+  u32 used = 0;
+  bool produce = false;
+  u8 load_kind = 0;       ///< Stream tag the hook expects for plain loads.
+  u8 store_kind = 0;      ///< Stream tag the hook expects for plain stores.
+  Cycle replay_stall = 0; ///< Per-access log-read stall (consumer side).
+  Cycle last_cycle = 0;   ///< Consumer: clock of the last replayed access.
+  /// Consumer only: the driver has declared the quantum's cycle bound
+  /// scheduler-only (bulk-consume horizon) — nothing outside this core can
+  /// observe anything but the channel pops, so a hot trace whose POPS all
+  /// land strictly below the bound may dispatch even though its tail would
+  /// run past it. The core's cycle trajectory is engine-independent, making
+  /// the overrun unobservable; an armed timer deadline stays hard regardless.
+  bool allow_bound_overrun = false;
+  void* ctx = nullptr;
+  void (*on_mismatch)(void* ctx, ReplayMismatch kind, Cycle at) = nullptr;
+};
+
 class CoreHooks {
  public:
   virtual ~CoreHooks() = default;
@@ -84,9 +141,26 @@ class CoreHooks {
   /// Deliver `count` batch-committed non-memory user-mode instructions. Must
   /// be state-equivalent to `count` successive on_commit calls for such
   /// instructions (commit_batch_limit guarantees no boundary sits inside).
+  /// When a segment cursor was opened for the batch, this call also publishes
+  /// (producer) or retires (consumer) the staged records — it runs before any
+  /// per-instruction hook path can observe the stream again.
   virtual void on_commit_batch(Core& core, u64 count) {
     (void)core;
     (void)count;
+  }
+
+  /// Bulk seam (see SegmentCursor): called once per batched span while the
+  /// hook is non-passive and batchable. Return a cursor to let the engine keep
+  /// plain loads/stores on the fast path — staging produced records or
+  /// replay-verifying against staged ones — or nullptr to keep every memory
+  /// instruction on the one-at-a-time path (the default). `max_entries` is
+  /// the engine's upper bound on memory instructions the span can commit
+  /// (instruction budget capped by the cycle window); staging more slots than
+  /// that is wasted setup work, staging fewer is merely an earlier bail-out.
+  virtual SegmentCursor* open_segment_cursor(Core& core, u64 max_entries) {
+    (void)core;
+    (void)max_entries;
+    return nullptr;
   }
 
   /// Called before a memory instruction executes (checking active only

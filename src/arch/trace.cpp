@@ -130,6 +130,10 @@ bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
   out.ops.clear();
   out.inst_count = 0;
   out.base_cost = 0;
+  out.mem_ops = 0;
+  out.mem_kinds.clear();
+  out.mem_worst_cost = 0;
+  out.last_pop_worst = 0;
   // The first fetch line is probed dynamically (it may equal the incoming
   // last_fetch_line); budget its worst case up front.
   Cycle worst_extra = cost_.worst_miss;
@@ -201,8 +205,15 @@ bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
         op.kind = static_cast<u8>(next->op == Opcode::kAdd ? TraceOpKind::kLdAddAcc
                                                            : TraceOpKind::kLdXorAcc);
         op.rs2 = next->rd;
+        // Pre-stamp worst clock: everything accumulated so far minus this
+        // inst's own +1 (stamped pre-commit) and minus prior mem-op costs
+        // (the dispatcher re-adds those as replay stalls).
+        out.last_pop_worst =
+            out.base_cost - 1 + worst_extra - out.mem_worst_cost;
         out.base_cost += 1 + cost_.load_use;
         worst_extra += cost_.worst_miss;
+        out.mem_worst_cost += cost_.load_use + cost_.worst_miss;
+        out.mem_kinds.push_back(0);
         fused = true;
       } else if (inst.op == Opcode::kAndi && inst.rd != 0 &&
                  (next->op == Opcode::kBne || next->op == Opcode::kBeq) &&
@@ -307,18 +318,43 @@ bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
 
       case Opcode::kLb: case Opcode::kLbu: case Opcode::kLh: case Opcode::kLhu:
       case Opcode::kLw: case Opcode::kLwu: case Opcode::kLd:
+        out.last_pop_worst =
+            out.base_cost - 1 + worst_extra - out.mem_worst_cost;
         out.base_cost += cost_.load_use;
         worst_extra += cost_.worst_miss;
+        out.mem_worst_cost += cost_.load_use + cost_.worst_miss;
+        out.mem_kinds.push_back(0);
         break;
       case Opcode::kSb: case Opcode::kSh: case Opcode::kSw: case Opcode::kSd:
+        out.last_pop_worst =
+            out.base_cost - 1 + worst_extra - out.mem_worst_cost;
         worst_extra += cost_.worst_miss;
+        out.mem_worst_cost += cost_.worst_miss;
+        out.mem_kinds.push_back(1);
         break;
 
       default:
         FLEX_CHECK_MSG(false, "non-fast-path opcode reached the trace recorder");
     }
 
-    if (emit) out.ops.push_back(op);
+    if (emit) {
+      out.ops.push_back(op);
+    } else {
+      // ALU into x0: no architectural effect beyond its cycle(s). The fused
+      // segment-stream modes advance a per-op commit clock, so the cost must
+      // stay at this program position as a pseudo-op (the plain path already
+      // has it in base_cost and skips this).
+      const auto cycles = static_cast<i32>(isa::opcode_latency(inst.op));
+      if (!out.ops.empty() &&
+          out.ops.back().kind == static_cast<u8>(TraceOpKind::kStaticCost)) {
+        out.ops.back().imm += cycles;
+      } else {
+        TraceOp elided;
+        elided.kind = static_cast<u8>(TraceOpKind::kStaticCost);
+        elided.imm = cycles;
+        out.ops.push_back(elided);
+      }
+    }
   }
 
   if (!terminal) {
@@ -330,6 +366,7 @@ bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
 
   out.exit_pc = region_end;
   out.exit_line = (region_end - 4) >> 6;
+  out.mem_ops = static_cast<u32>(out.mem_kinds.size());
   out.worst_cost = out.base_cost + worst_extra;
   out.first_page = entry_pc >> Memory::kPageBits;
   out.last_page = (region_end - 1) >> Memory::kPageBits;

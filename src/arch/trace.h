@@ -51,6 +51,12 @@ namespace flexstep::arch {
 ///     probed dynamically against last_fetch_line before the replay loop.
 ///   * kExit — sentinel terminating every trace that does not end in a
 ///     control transfer; lets the replay loop drop its bound check.
+///   * kStaticCost — `imm` cycles of statically known cost at this position
+///     (ALU ops writing x0: their only architectural effect is the cycle, so
+///     no op is emitted, but the fused segment-stream modes advance a per-op
+///     commit clock and need the cost to stay in program order; adjacent
+///     elided ops merge into one). The plain replay path skips it — the cost
+///     is already summed into base_cost.
 /// And the fused superinstructions (one dispatch for a hot two-instruction
 /// idiom; both architectural commits still happen, in order):
 ///   * kLdAddAcc / kLdXorAcc — ld rd,(rs1)imm ; add/xor rs2,rs2,rd
@@ -69,7 +75,7 @@ namespace flexstep::arch {
   X(kJal) X(kJalr)                                                 \
   X(kLb) X(kLbu) X(kLh) X(kLhu) X(kLw) X(kLwu) X(kLd)              \
   X(kSb) X(kSh) X(kSw) X(kSd)                                      \
-  X(kIFetchProbe) X(kExit)                                         \
+  X(kIFetchProbe) X(kExit) X(kStaticCost)                          \
   X(kLdAddAcc) X(kLdXorAcc) X(kAndiBne) X(kAndiBeq) X(kMulAddi)    \
   X(kAndAdd)
 // clang-format on
@@ -143,6 +149,30 @@ struct Trace {
   Cycle worst_cost = 0;
   u64 first_page = 0;  ///< Code pages covered (write-invalidation range).
   u64 last_page = 0;
+  /// Plain loads + stores in the trace, and their kinds in program order
+  /// (0 = load — including the load half of kLdAddAcc/kLdXorAcc — 1 = store).
+  /// The fused segment-stream modes gate dispatch on these: a trace only
+  /// replays when the cursor has room for every record (producer) or the
+  /// staged log prefix matches kind-for-kind (consumer), so no mid-trace
+  /// bail-out can be needed.
+  u32 mem_ops = 0;
+  std::vector<u8> mem_kinds;
+  /// Data-memory share of worst_cost: per load the load-use penalty plus a
+  /// worst-case d-cache miss, per store a worst-case miss. Replay serves every
+  /// access from the staged log at a fixed FIFO stall instead, so its dispatch
+  /// bound is worst_cost - mem_worst_cost + mem_ops * replay_stall — without
+  /// this correction, memory-heavy hot traces can out-budget a checker's
+  /// whole quantum and never dispatch.
+  Cycle mem_worst_cost = 0;
+  /// Worst-case pre-commit clock offset (from trace entry) at the LAST memory
+  /// op's replay compare stamp, counting prior memory ops at zero — the
+  /// dispatcher adds (mem_ops - 1) * replay_stall for them. This bounds where
+  /// the final channel pop of the trace can land, which is the only part of a
+  /// replayed trace the scheduler can observe: when the engine has promised a
+  /// bulk-consume horizon, a trace whose pops all fit below the quantum bound
+  /// may dispatch even though its tail (trailing ALU / probes / terminal)
+  /// would overrun the bound. Meaningless when mem_ops == 0.
+  Cycle last_pop_worst = 0;
   std::vector<TraceOp> ops;  ///< Includes pseudo-ops; size() >= inst_count.
 };
 

@@ -63,6 +63,18 @@ class Ring {
     return slot;
   }
 
+  /// Append WITHOUT re-initialising the slot: the returned element holds
+  /// whatever a previously popped element left there. Callers must overwrite
+  /// every field a consumer can observe. Exists because the hot DBC push
+  /// (one kMem StreamItem per logged memory access) otherwise spends most of
+  /// its time zeroing a ~300-byte ArchState that kMem entries never read.
+  T& emplace_back_raw() {
+    if (count_ == buf_.size()) [[unlikely]] grow();
+    T& slot = buf_[(head_ + count_) & mask_];
+    ++count_;
+    return slot;
+  }
+
   void push_back(const T& value) { emplace_back() = value; }
 
   void pop_front() {

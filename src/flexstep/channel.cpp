@@ -34,10 +34,6 @@ void Channel::push_scp(const arch::ArchState& scp, Cycle now) {
   push_raw(StreamItem::Kind::kScp, now).state = scp;
 }
 
-void Channel::push_mem(const MemLogEntry& entry, Cycle now) {
-  push_raw(StreamItem::Kind::kMem, now).mem = entry;
-}
-
 void Channel::push_segment_end(const arch::ArchState& ecp, u64 inst_count, Cycle now) {
   StreamItem& item = push_raw(StreamItem::Kind::kSegmentEnd, now);
   item.state = ecp;
@@ -73,6 +69,16 @@ StreamItem Channel::pop(Cycle now) {
     segments_.pop_front();
   }
   return item;
+}
+
+void Channel::consume_front(u64 count, Cycle now) {
+  FLEX_CHECK_MSG(count <= items_.size(), "consume_front past queue end");
+  for (u64 i = 0; i < count; ++i) {
+    FLEX_CHECK(items_.front().kind == StreamItem::Kind::kMem);
+    last_popped_seq_ = items_.front().seq;
+    items_.pop_front();
+  }
+  if (count > 0) last_pop_cycle_ = now;
 }
 
 std::optional<InjectedFault> Channel::corrupt_item(std::size_t index, Rng& rng,

@@ -94,8 +94,22 @@ class Channel {
   u64 producer_headroom_entries() const;
 
   void push_scp(const arch::ArchState& scp, Cycle now);
-  void push_mem(const MemLogEntry& entry, Cycle now);
   void push_segment_end(const arch::ArchState& ecp, u64 inst_count, Cycle now);
+
+  /// Hot path: one call per logged memory access. Inline, and writes only the
+  /// fields a kMem consumer can observe (kind/seq/visible_at/mem) — the slot's
+  /// stale ArchState is dead weight no reader, fault injector, or snapshot
+  /// consumer ever interprets for kMem items, and zeroing it dominated the
+  /// publish cost of batched segments.
+  void push_mem(const MemLogEntry& entry, Cycle now) {
+    FLEX_CHECK_MSG(!closed_, "push on closed channel");
+    StreamItem& item = items_.emplace_back_raw();
+    item.kind = StreamItem::Kind::kMem;
+    item.seq = next_seq_++;
+    item.visible_at = now + config_.channel_latency;
+    item.mem = entry;
+    if (items_.size() > max_occupancy_) max_occupancy_ = items_.size();
+  }
 
   /// Producer will push nothing more (verification job finished / dissociated).
   void close() { closed_ = true; }
@@ -119,6 +133,13 @@ class Channel {
   /// Queued item at `index` (0 = oldest still buffered).
   const StreamItem& item(std::size_t index) const { return items_[index]; }
   StreamItem pop(Cycle now);
+
+  /// Bulk-retire `count` already-consumed kMem items from the front (fused
+  /// replay path). Equivalent to `count` pop() calls whose intermediate
+  /// last_pop_cycle values are unobservable: the caller guarantees no
+  /// producer-wake space transition and no SegmentEnd sits inside the run,
+  /// so only the final pop timestamp (`now`) is retained.
+  void consume_front(u64 count, Cycle now);
 
   /// Cycle at which the consumer last freed space (producer resume time).
   Cycle last_pop_cycle() const { return last_pop_cycle_; }

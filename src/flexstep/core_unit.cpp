@@ -114,9 +114,6 @@ class CoreUnit::ReplayPort final : public arch::MemPort {
   }
 
  private:
-  /// FIFO read latency: local SRAM, comparable to an L1 hit (Tab. II).
-  static constexpr Cycle kFifoReadStall = 2;
-
   /// Pop the next log entry; structural mismatch aborts the segment.
   std::optional<MemLogEntry> next_entry(MemEntryKind expected) {
     Channel* ch = unit_.in_channel_;
@@ -198,6 +195,13 @@ void CoreUnit::restore(const Snapshot& snapshot) {
   checkpoints_captured_ = snapshot.checkpoints_captured;
   mem_entries_logged_ = snapshot.mem_entries_logged;
   replayed_total_ = snapshot.replayed_total;
+  // The fused-path cursor is quantum-scoped (never live across a run_until
+  // return, hence never part of any snapshot); drop any stale staging. The
+  // bulk-consume horizon is likewise per-quantum driver state: start
+  // conservative until the restoring driver re-establishes its contract.
+  cursor_.used = 0;
+  cursor_.capacity = 0;
+  bulk_consume_horizon_ = 0;
   refresh_passive();
   // The core's data-memory port is not part of Core::Snapshot (it is a seam
   // pointer into this unit); re-derive it from the replay state.
@@ -629,6 +633,9 @@ u64 CoreUnit::commit_batch_limit() const {
 
 void CoreUnit::on_commit_batch(arch::Core& core, u64 count) {
   (void)core;
+  // Stream effects first: the staged records must land in the channel (or be
+  // retired from it) before any per-instruction path can push or pop again.
+  if (cursor_.used > 0) publish_cursor();
   if (replay_active_) {
     replayed_ += count;
     replayed_total_ += count;
@@ -638,6 +645,134 @@ void CoreUnit::on_commit_batch(arch::Core& core, u64 count) {
   // commit_batch_limit kept the batch short of exhausting the selective-
   // checking budget, so the closing instruction still commits one at a time.
   if (checking_budget_ > 0) checking_budget_ -= count;
+}
+
+arch::SegmentCursor* CoreUnit::open_segment_cursor(arch::Core& core,
+                                                   u64 max_entries) {
+  (void)core;
+  cursor_.used = 0;
+  cursor_.capacity = 0;
+  if (max_entries == 0) return nullptr;
+  if (replay_active_) {
+    if (segment_abort_ || in_channel_ == nullptr) return nullptr;
+    Channel& ch = *in_channel_;
+    // Stage the run of plain load/store log entries at the queue front. The
+    // staging copy is O(run length), so it is clamped to what the span can
+    // actually consume (`max_entries`: tiny under the strict-leapfrog engine,
+    // a whole burst under the relaxed one). Unless the driver has promised
+    // that every pop this quantum stays in the producer's past (bulk consume
+    // horizon), the pop that frees the producer-resume space threshold must
+    // stay on the stepwise path (pop_in ends the quantum so the driver can
+    // wake the blocked producer at exactly the stepwise cycle), so when the
+    // channel is over that threshold the staged run stops one short of the
+    // transition.
+    // A span of `max_entries` instructions commits far fewer memory ops than
+    // instructions (typical workloads sit near 15-25% memory density), and
+    // staging is a per-entry copy — so pre-staging the full instruction
+    // window mostly copies records the span never reaches. Stage a quarter
+    // of the window (plus slack for tiny windows): dense memory code simply
+    // exhausts the cursor early, bails, and re-stages on the next span.
+    const u64 expected = max_entries / 4 + 8;
+    u64 max_pops = std::min<u64>(kCursorSlots, std::min(max_entries, expected));
+    if (bulk_consume_horizon_ == 0 &&
+        !ch.producer_can_push(kProducerResumeHeadroom)) {
+      const u64 wake =
+          ch.size() + kProducerResumeHeadroom - config_.channel_capacity;
+      max_pops = std::min<u64>(max_pops, wake - 1);
+    }
+    const u64 avail = std::min<u64>(ch.size(), max_pops);
+    if (avail == 0) return nullptr;
+    if (cursor_slots_.empty()) cursor_slots_.resize(kCursorSlots);
+    u32 staged = 0;
+    for (u64 i = 0; i < avail; ++i) {
+      const StreamItem& item = ch.item(i);
+      if (item.kind != StreamItem::Kind::kMem) break;
+      if (item.mem.kind != MemEntryKind::kLoadData &&
+          item.mem.kind != MemEntryKind::kStoreAddrData) {
+        break;  // LR/SC/AMO entries replay through the stepwise port
+      }
+      arch::MemRecord& rec = cursor_slots_[staged];
+      rec.kind = static_cast<u8>(item.mem.kind);
+      rec.bytes = item.mem.bytes;
+      rec.addr = item.mem.addr;
+      rec.data = item.mem.data;
+      ++staged;
+    }
+    if (staged == 0) return nullptr;
+    cursor_.slots = cursor_slots_.data();
+    cursor_.capacity = staged;
+    cursor_.produce = false;
+    cursor_.load_kind = static_cast<u8>(MemEntryKind::kLoadData);
+    cursor_.store_kind = static_cast<u8>(MemEntryKind::kStoreAddrData);
+    cursor_.replay_stall = kFifoReadStall;
+    cursor_.last_cycle = core_.cycle();
+    // Under a bulk-consume horizon the quantum bound is scheduler-only, so
+    // hot traces whose pops fit below it may overrun with their tails.
+    cursor_.allow_bound_overrun = bulk_consume_horizon_ != 0;
+    cursor_.ctx = this;
+    cursor_.on_mismatch = &cursor_mismatch_thunk;
+    return &cursor_;
+  }
+  if (checking_enabled_ && segment_active_ && !out_channels_.empty()) {
+    // Producer side: the cursor capacity is the number of entries every out
+    // channel can absorb without any backpressure decision turning negative,
+    // so the fused path never needs memory_can_commit (which would have
+    // returned true for each staged access, with no backpressure event).
+    u64 headroom = ~u64{0};
+    for (const Channel* ch : out_channels_) {
+      headroom = std::min(headroom, ch->producer_headroom_entries());
+    }
+    if (headroom == 0) return nullptr;
+    if (cursor_slots_.empty()) cursor_slots_.resize(kCursorSlots);
+    cursor_.slots = cursor_slots_.data();
+    cursor_.capacity = static_cast<u32>(
+        std::min<u64>(std::min<u64>(headroom, kCursorSlots), max_entries));
+    cursor_.produce = true;
+    cursor_.load_kind = static_cast<u8>(MemEntryKind::kLoadData);
+    cursor_.store_kind = static_cast<u8>(MemEntryKind::kStoreAddrData);
+    cursor_.replay_stall = 0;
+    cursor_.allow_bound_overrun = false;
+    cursor_.ctx = this;
+    cursor_.on_mismatch = nullptr;
+    return &cursor_;
+  }
+  return nullptr;
+}
+
+void CoreUnit::publish_cursor() {
+  if (cursor_.produce) {
+    for (u32 i = 0; i < cursor_.used; ++i) {
+      const arch::MemRecord& rec = cursor_slots_[i];
+      MemLogEntry entry;
+      entry.kind = static_cast<MemEntryKind>(rec.kind);
+      entry.bytes = rec.bytes;
+      entry.addr = rec.addr;
+      entry.data = rec.data;
+      for (Channel* ch : out_channels_) ch->push_mem(entry, rec.cycle);
+      ++mem_entries_logged_;
+    }
+  } else if (in_channel_ != nullptr) {
+    in_channel_->consume_front(cursor_.used, cursor_.last_cycle);
+  }
+  cursor_.used = 0;
+  cursor_.capacity = 0;
+}
+
+void CoreUnit::cursor_mismatch_thunk(void* ctx, arch::ReplayMismatch kind,
+                                     Cycle at) {
+  auto& unit = *static_cast<CoreUnit*>(ctx);
+  DetectKind detect = DetectKind::kLoadAddr;
+  switch (kind) {
+    case arch::ReplayMismatch::kLoadAddr: detect = DetectKind::kLoadAddr; break;
+    case arch::ReplayMismatch::kStoreAddr: detect = DetectKind::kStoreAddr; break;
+    case arch::ReplayMismatch::kStoreData: detect = DetectKind::kStoreData; break;
+  }
+  // Same one-report-per-segment rule as report(), but with the pre-commit
+  // clock of the diverging access (core_.cycle() is stale inside the batch).
+  if (!unit.segment_verify_failed_) {
+    unit.reporter_.on_detect(*unit.in_channel_, detect, unit.core_.id(), at);
+  }
+  unit.segment_verify_failed_ = true;
 }
 
 Cycle CoreUnit::on_commit(arch::Core& core, const CommitInfo& info) {

@@ -37,6 +37,12 @@ class CoreUnit final : public arch::CoreHooks {
   /// being schedule-identical.
   static constexpr u32 kProducerResumeHeadroom = 2;
 
+  /// MAL FIFO read latency during replay: local SRAM, comparable to an L1 hit
+  /// (Tab. II). Shared by the stepwise ReplayPort and the fused fast-path
+  /// cursor — the two replay engines must charge the same per-access stall or
+  /// they stop being cycle-identical.
+  static constexpr Cycle kFifoReadStall = 2;
+
   CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& reporter,
            InterconnectControl* interconnect, const FlexStepConfig& config);
   ~CoreUnit() override;
@@ -91,6 +97,18 @@ class CoreUnit final : public arch::CoreHooks {
   void resume_replay();
   /// Abandon any in-flight replay (verification job cancelled).
   void cancel_replay();
+
+  /// Scheduler contract for the NEXT quantum of this (checker) core: every
+  /// channel pop the quantum performs lands strictly before the producer's
+  /// next scheduling decision — either the quantum's cycle bound sits at or
+  /// below the producer's clock (running or backpressure-blocked), or the
+  /// producer has halted and makes no further push decisions. While the
+  /// horizon is non-zero, fused replay staging may cross the producer-wake
+  /// space threshold in bulk: a blocked producer resumes at its own clock
+  /// regardless of which pop freed the space, so ending the quantum at the
+  /// exact wake pop adds nothing. 0 (the default, and what every stepwise /
+  /// strict-leapfrog quantum uses) keeps the conservative wake-exact clamp.
+  void set_bulk_consume_horizon(Cycle horizon) { bulk_consume_horizon_ = horizon; }
 
   /// Per-job replay state, extracted/adopted across kernel context switches
   /// (EDF may interleave several checker jobs on one checker core; each job
@@ -202,6 +220,8 @@ class CoreUnit final : public arch::CoreHooks {
   // ---- CoreHooks ----
   u64 commit_batch_limit() const override;
   void on_commit_batch(arch::Core& core, u64 count) override;
+  arch::SegmentCursor* open_segment_cursor(arch::Core& core,
+                                           u64 max_entries) override;
   bool memory_can_commit(arch::Core& core, const isa::Instruction& inst) override;
   Cycle on_commit(arch::Core& core, const arch::CommitInfo& info) override;
   void on_enter_kernel(arch::Core& core) override;
@@ -274,6 +294,21 @@ class CoreUnit final : public arch::CoreHooks {
 
   std::unique_ptr<ReplayPort> replay_port_;
   SegmentDoneFn on_segment_done_;
+
+  // ---- fused fast-path cursor (bulk CoreHooks seam, arch/ports.h) ----
+  /// Staging depth per quantum. Producer side this bounds how many MAL
+  /// entries are appended before publishing; consumer side how many log
+  /// entries are pre-staged for in-loop verification. Both are re-opened
+  /// every batched span, so the value only caps batching, not correctness.
+  static constexpr u32 kCursorSlots = 4096;
+  /// Publish (producer) / retire (consumer) the staged cursor records.
+  void publish_cursor();
+  static void cursor_mismatch_thunk(void* ctx, arch::ReplayMismatch kind, Cycle at);
+  std::vector<arch::MemRecord> cursor_slots_;  ///< Lazily sized to kCursorSlots.
+  arch::SegmentCursor cursor_{};
+  /// Transient per-quantum driver hint (see set_bulk_consume_horizon); never
+  /// snapshotted — a restored run starts conservative until its driver speaks.
+  Cycle bulk_consume_horizon_ = 0;
 
   // ---- statistics ----
   u64 segments_produced_ = 0;

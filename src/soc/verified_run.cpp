@@ -324,14 +324,31 @@ Cycle VerifiedExecution::bounded_quantum(const arch::Core& chosen, u64& budget) 
   // Checkers: free of each other (their pops land in disjoint channels), but
   // never past the producer's clock — every pop must stay in the producer's
   // past so future backpressure decisions see exactly the stepwise-visible
-  // pop set. With the producer not running (blocked, halted, draining), pops
-  // can wake it: stay on the strict bound so the wake cycle stays exact.
+  // pop set. The same bound covers a backpressure-BLOCKED producer while the
+  // checker's clock still trails it: all pops then land strictly before the
+  // producer's resume, which is its own (larger) clock no matter which pop
+  // crossed the space threshold — so the quantum need not end at the exact
+  // wake pop, and the unit may retire log entries in bulk straight through
+  // the threshold (see CoreUnit::set_bulk_consume_horizon). Only once the
+  // checker has caught up to the blocked producer's clock does the wake
+  // cycle become load-bearing: stay on the strict, wake-exact bound there.
+  // A halted producer makes no further push decisions at all, so the drain
+  // phase keeps the strict bound (vs. the other checkers) but pops freely.
   const Core& main = soc_.core(config_.main_core);
-  if (main.status() == Core::Status::kRunning) {
+  CoreUnit& unit = soc_.unit(chosen.id());
+  if (main.status() == Core::Status::kRunning ||
+      (main.status() == Core::Status::kBlocked && chosen.cycle() < main.cycle())) {
     ++cosim_.relaxed_bursts;
+    unit.set_bulk_consume_horizon(main.cycle());
     return main.cycle();
   }
+  if (main_halted_) {
+    ++cosim_.relaxed_bursts;
+    unit.set_bulk_consume_horizon(arch::kNoCycleBound);
+    return quantum_bound(chosen);
+  }
   ++cosim_.strict_fallbacks;
+  unit.set_bulk_consume_horizon(0);
   return quantum_bound(chosen);
 }
 

@@ -4,6 +4,7 @@
 // plain, dual-checker and triple-checker co-simulations, with OS ticks on.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "arch/trace.h"
@@ -90,12 +91,16 @@ Outcome collect(Soc& soc, VerifiedExecution& exec, const VerifiedRunConfig& conf
 
 Outcome run_engine(const isa::Program& program, u32 cores,
                    std::vector<CoreId> checkers, Engine engine,
-                   SocConfig soc_config, VerifiedRunConfig config = {}) {
+                   SocConfig soc_config, VerifiedRunConfig config = {},
+                   bool fused = true) {
   soc_config.num_cores = cores;
   config.main_core = 0;
   config.checkers = std::move(checkers);
   config.engine = engine;
   Soc soc(soc_config);
+  // fused == false pins the pre-fusion baseline (memory ops bail to step()
+  // inside batched spans); everything observable must stay identical.
+  for (u32 c = 0; c < cores; ++c) soc.core(c).set_fused_batching(fused);
   VerifiedExecution exec(soc, config);
   exec.prepare(program);
   exec.run();
@@ -376,6 +381,104 @@ TEST(ExecEngineBounded, SnapshotForkRestoreBitIdentical) {
   EXPECT_EQ(stepwise.stats.backpressure_events, run_on.backpressure_events);
 }
 
+TEST(ExecEngineBounded, SnapshotForkMidSegmentPartialProduceIdentical) {
+  // Snapshot at an instret target chosen to land INSIDE a segment: the DBC
+  // holds a partially produced segment (open tail, no SegmentEnd yet), so the
+  // fused produce cursor has published only a prefix of the segment's MAL
+  // records. Fork, run-on and in-place restore must evolve bit-identically —
+  // the cursor must not leak staged state across the capture — and still land
+  // on the stepwise result.
+  const auto program = tiny_workload("swaptions", 40);
+  sim::Session session = sim::Scenario()
+                             .program(program)
+                             .dual()
+                             .engine(Engine::kQuantumBounded)
+                             .build();
+  ASSERT_TRUE(session.advance(12'345));  // deliberately not segment-aligned
+  auto channels = session.soc().fabric().channels();
+  ASSERT_FALSE(channels.empty());
+  fs::Channel* ch = channels.front();
+  // The capture really is mid-segment: the stream's tail is a MAL record with
+  // its SegmentEnd still unpushed. (If a workload change ever aligns 12'345
+  // with a boundary, pick a different offset — the seam is the point.)
+  ASSERT_FALSE(ch->empty());
+  ASSERT_EQ(ch->back().kind, fs::StreamItem::Kind::kMem);
+  const soc::Snapshot warm = session.snapshot();
+
+  sim::Session fork = session.fork(warm);
+  const soc::RunStats run_on = session.run();
+  const soc::RunStats forked = fork.run();
+  EXPECT_EQ(run_on, forked);
+
+  session.restore(warm);
+  const soc::RunStats rerun = session.run();
+  EXPECT_EQ(run_on, rerun);
+
+  const auto stepwise = run_engine(program, 2, {1}, Engine::kStepwise);
+  EXPECT_EQ(stepwise.stats.main_cycles, run_on.main_cycles);
+  EXPECT_EQ(stepwise.stats.completion_cycles, run_on.completion_cycles);
+  EXPECT_EQ(stepwise.stats.segments_verified, run_on.segments_verified);
+  EXPECT_EQ(stepwise.stats.segments_failed, run_on.segments_failed);
+  EXPECT_EQ(stepwise.stats.backpressure_events, run_on.backpressure_events);
+}
+
+TEST(ExecEngineBounded, HotTraceUnderChannelBackpressureIdentical) {
+  // A tiny channel keeps the producer bouncing off the backpressure threshold
+  // while traces are live: hot-trace dispatch must respect the staged-cursor
+  // capacity (derived from the channel headroom scan) and reproduce every
+  // block/resume decision cycle-for-cycle. The dispatch assertion keeps the
+  // test honest — with traces silently disengaged it would prove nothing.
+  const auto program = tiny_workload("swaptions", 40);
+  SocConfig soc_config = SocConfig::paper_default(2);
+  soc_config.flexstep.channel_capacity = 64;
+  const auto stepwise = run_engine(program, 2, {1}, Engine::kStepwise, soc_config);
+
+  VerifiedRunConfig config;
+  config.main_core = 0;
+  config.checkers = {1};
+  config.engine = Engine::kQuantumBounded;
+  Soc soc(soc_config);
+  VerifiedExecution exec(soc, config);
+  exec.prepare(program);
+  exec.run();
+  const auto bounded = collect(soc, exec, config);
+
+  EXPECT_GT(bounded.stats.backpressure_events, 0u);
+  const arch::TraceCache* traces = soc.core(0).trace_cache();
+  ASSERT_NE(traces, nullptr);
+  EXPECT_GT(traces->stats().dispatches, 0u);
+  expect_equal_relaxed(stepwise, bounded);
+}
+
+TEST(ExecEngineBounded, FusedTraceTopologyMatrixIdentical) {
+  // Full configuration matrix: plain/dual/triple x traces on/off x fused
+  // on/off, each against the stepwise reference of the same SoC config. The
+  // fused-off column is the pre-fusion baseline the bench measures against;
+  // nothing observable may depend on which path executed the memory stream.
+  const auto program = tiny_workload("swaptions", 40);
+  const struct {
+    u32 cores;
+    std::vector<CoreId> checkers;
+  } topologies[] = {{1, {}}, {2, {1}}, {3, {1, 2}}};
+  for (const bool trace_on : {true, false}) {
+    for (const auto& topo : topologies) {
+      SocConfig soc_config = SocConfig::paper_default(topo.cores);
+      soc_config.core.trace.enabled = trace_on;
+      const auto stepwise = run_engine(program, topo.cores, topo.checkers,
+                                       Engine::kStepwise, soc_config);
+      for (const bool fused : {true, false}) {
+        SCOPED_TRACE(std::string("cores=") + std::to_string(topo.cores) +
+                     " trace=" + (trace_on ? "on" : "off") +
+                     " fused=" + (fused ? "on" : "off"));
+        const auto bounded =
+            run_engine(program, topo.cores, topo.checkers,
+                       Engine::kQuantumBounded, soc_config, {}, fused);
+        expect_equal_relaxed(stepwise, bounded);
+      }
+    }
+  }
+}
+
 TEST(ExecEngine, AggressiveOsTicksIdentical) {
   // Frequent kernel excursions exercise premature segment extermination,
   // replay suspension/resumption and staggered checker stalls.
@@ -635,12 +738,14 @@ TEST(ExecEngine, TripleCheckerFaultDetectionIdentical) {
 /// push time, the detection time the checker's local clock — both exact).
 Outcome run_seq_fault_schedule(const isa::Program& program,
                                std::vector<CoreId> checkers, Engine engine,
-                               u64* injections_out = nullptr) {
+                               u64* injections_out = nullptr, bool fused = true,
+                               u64* open_segment_hits = nullptr) {
   const u32 cores = static_cast<u32>(checkers.size()) + 1;
   VerifiedRunConfig config;
   config.checkers = checkers;
   config.engine = engine;
   Soc soc(SocConfig::paper_default(cores));
+  for (u32 c = 0; c < cores; ++c) soc.core(c).set_fused_batching(fused);
   VerifiedExecution exec(soc, config);
   exec.prepare(program);
 
@@ -663,6 +768,15 @@ Outcome run_seq_fault_schedule(const isa::Program& program,
                               rng, soc.max_cycle())
               .has_value()) {
         ++injections;
+        // An unresolved segment_end_seq right after injection means the flip
+        // landed in an entry whose SegmentEnd has not been pushed yet — the
+        // producer appended it but the segment is still open (the
+        // "appended-but-unpublished" seam). The count is chunking-dependent,
+        // so callers only assert it on their reference engine.
+        if (open_segment_hits != nullptr &&
+            ch->pending_fault().segment_end_seq == fs::kUnresolvedSegmentEnd) {
+          ++*open_segment_hits;
+        }
         next_seq += kSeqStride;
       }
     }
@@ -698,6 +812,32 @@ TEST(ExecEngineBounded, TripleCheckerFaultDetectionIdentical) {
                                               &injected_bounded);
   EXPECT_EQ(injected, injected_bounded);
   expect_equal_relaxed(stepwise, bounded);
+}
+
+TEST(ExecEngineBounded, OpenSegmentFaultFusedVsUnfusedIdentical) {
+  // Corruptions landing in appended-but-unpublished DBC entries (the
+  // segment's SegmentEnd not pushed yet — the producer's cursor published the
+  // record, the segment is still open) must be detected with identical
+  // verdicts and latencies whether the checker replays them through the fused
+  // staged-log window or the stepwise ReplayPort. The open-segment hit count
+  // is asserted on the stepwise reference only (it depends on engine
+  // chunking); the outcomes must match everywhere.
+  const auto program = tiny_workload("swaptions", 200);
+  u64 injected = 0;
+  u64 open_hits = 0;
+  const auto stepwise = run_seq_fault_schedule(program, {1}, Engine::kStepwise,
+                                               &injected, true, &open_hits);
+  ASSERT_GT(injected, 3u);
+  ASSERT_GT(open_hits, 0u);
+  ASSERT_GT(stepwise.detections, 0u);
+  for (const bool fused : {true, false}) {
+    SCOPED_TRACE(fused ? "fused" : "unfused");
+    u64 injected_bounded = 0;
+    const auto bounded = run_seq_fault_schedule(
+        program, {1}, Engine::kQuantumBounded, &injected_bounded, fused);
+    EXPECT_EQ(injected, injected_bounded);
+    expect_equal_relaxed(stepwise, bounded);
+  }
 }
 
 TEST(ExecEngineBounded, FaultCampaignForkReexecutionParity) {
