@@ -12,6 +12,7 @@
 //   ./bench/micro_benchmarks --trace          # trace-JIT on/off comparison + JSON
 //   ./bench/micro_benchmarks --cosim          # dual/triple x three engines + JSON
 //   ./bench/micro_benchmarks --vuln           # whole-SoC vulnerability campaign + JSON
+//   ./bench/micro_benchmarks --analyze        # static-analysis report + gates + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
 #include <chrono>
 #include <cstdio>
@@ -20,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.h"
+#include "analysis/validate.h"
 #include "arch/trace.h"
 #include "bench_util.h"
 #include "common/rng.h"
@@ -783,6 +786,213 @@ int run_vuln_mode() {
   return mode_parity && thread_parity ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// Static-analysis mode (--analyze): run the whole static pass over every
+// bench workload and hold it to the three CI gates in one pass:
+//   1. zero lint errors on shipped workloads, and the dynamic validator green
+//      (static counts == retired counts, bounds dominate, seeds are leaders);
+//   2. bounded engine + analysis bit-identical to the stepwise reference;
+//   3. trace seeding engages at least as much coverage as heat-triggered
+//      recording, with fewer heat-warming misses, at identical run results.
+// Emits BENCH_analysis.json (per-workload report, published as a CI artifact)
+// and exits non-zero if any gate fails on any workload.
+// ---------------------------------------------------------------------------
+
+int run_analyze_mode() {
+  const auto iterations = static_cast<u32>(bench::env_u64("FLEX_ANALYZE_ITERS", 200));
+  std::vector<workloads::WorkloadProfile> profiles = workloads::parsec_profiles();
+  for (const auto& p : workloads::specint_profiles()) profiles.push_back(p);
+
+  std::printf("== Static guest-program analysis (%zu workloads, %u iterations) ==\n\n",
+              profiles.size(), iterations);
+
+  struct Row {
+    std::string workload;
+    std::string suite;
+    u64 insts = 0;
+    u64 reachable = 0;
+    std::size_t regions = 0;
+    std::size_t seeds = 0;
+    u32 lint_errors = 0;
+    u32 lint_warnings = 0;
+    bool validated = false;
+    u64 retired = 0;
+    bool bounded_identical = false;
+    bool seeded_identical = false;
+    u64 seeded = 0;
+    u64 trace_insts_seeded = 0;
+    u64 trace_insts_unseeded = 0;
+    u64 heat_misses_seeded = 0;
+    u64 heat_misses_unseeded = 0;
+  };
+
+  const auto dual_run = [](const isa::Program& program, soc::Engine engine,
+                           bool analysis, arch::TraceCache::Stats* tc_out) {
+    sim::Session session = sim::Scenario()
+                               .program(program)
+                               .dual()
+                               .engine(engine)
+                               .analysis(analysis)
+                               .build();
+    const soc::RunStats stats = session.run();
+    if (tc_out != nullptr && session.soc().core(0).trace_cache() != nullptr) {
+      *tc_out = session.soc().core(0).trace_cache()->stats();
+    }
+    return stats;
+  };
+
+  std::vector<Row> rows;
+  bool all_ok = true;
+  Table table({"workload", "insts", "reach", "regions", "seeds", "lint e/w",
+               "valid", "bounded==", "seeded==", "heat miss s/u"});
+  for (const auto& profile : profiles) {
+    workloads::BuildOptions build;
+    build.iterations_override = iterations;
+    const auto program = workloads::build_workload(profile, build);
+
+    Row row;
+    row.workload = profile.name;
+    row.suite = profile.suite;
+
+    const analysis::ProgramReport report = analysis::analyze(program);
+    row.insts = report.total_insts;
+    row.reachable = report.reachable_insts;
+    row.regions = report.regions.size();
+    row.seeds = report.trace_seeds.size();
+    row.lint_errors = report.error_count;
+    row.lint_warnings = report.warning_count;
+    if (report.has_errors()) {
+      all_ok = false;
+      std::fprintf(stderr, "FAIL: %s carries lint errors:\n%s", profile.name.c_str(),
+                   report.render().c_str());
+    }
+
+    const analysis::ValidationResult validation =
+        analysis::validate_report(report, program);
+    row.validated = validation.ok();
+    row.retired = validation.retired_insts;
+    if (!validation.ok()) {
+      all_ok = false;
+      std::fprintf(stderr, "FAIL: %s static/dynamic mismatch: %s\n",
+                   profile.name.c_str(), validation.summary().c_str());
+    }
+
+    // Gate 2: tightened producer bursts must not move any verified result.
+    const soc::RunStats reference =
+        dual_run(program, soc::Engine::kStepwise, false, nullptr);
+    const soc::RunStats bounded =
+        dual_run(program, soc::Engine::kQuantumBounded, true, nullptr);
+    row.bounded_identical = same_verified_results(reference, bounded);
+    if (!row.bounded_identical) {
+      all_ok = false;
+      std::fprintf(stderr, "FAIL: %s bounded+analysis diverged from stepwise\n",
+                   profile.name.c_str());
+    }
+
+    // Gate 3: seeding is host-speed only and beats heat-counter warmup.
+    arch::TraceCache::Stats seeded_tc;
+    arch::TraceCache::Stats unseeded_tc;
+    const soc::RunStats seeded_run =
+        dual_run(program, soc::Engine::kQuantum, true, &seeded_tc);
+    const soc::RunStats unseeded_run =
+        dual_run(program, soc::Engine::kQuantum, false, &unseeded_tc);
+    row.seeded_identical = same_verified_results(seeded_run, unseeded_run);
+    row.seeded = seeded_tc.seeded;
+    row.trace_insts_seeded = seeded_tc.insts_from_traces;
+    row.trace_insts_unseeded = unseeded_tc.insts_from_traces;
+    row.heat_misses_seeded = seeded_tc.heat_misses;
+    row.heat_misses_unseeded = unseeded_tc.heat_misses;
+    if (!row.seeded_identical) {
+      all_ok = false;
+      std::fprintf(stderr, "FAIL: %s seeded run diverged from unseeded\n",
+                   profile.name.c_str());
+    }
+    if (row.trace_insts_seeded < row.trace_insts_unseeded ||
+        row.heat_misses_seeded > row.heat_misses_unseeded) {
+      all_ok = false;
+      std::fprintf(stderr,
+                   "FAIL: %s seeding regressed engagement (trace insts %llu vs %llu, "
+                   "heat misses %llu vs %llu)\n",
+                   profile.name.c_str(),
+                   static_cast<unsigned long long>(row.trace_insts_seeded),
+                   static_cast<unsigned long long>(row.trace_insts_unseeded),
+                   static_cast<unsigned long long>(row.heat_misses_seeded),
+                   static_cast<unsigned long long>(row.heat_misses_unseeded));
+    }
+
+    table.add_row({row.workload, std::to_string(row.insts), std::to_string(row.reachable),
+                   std::to_string(row.regions), std::to_string(row.seeds),
+                   std::to_string(row.lint_errors) + "/" + std::to_string(row.lint_warnings),
+                   row.validated ? "yes" : "NO", row.bounded_identical ? "yes" : "NO",
+                   row.seeded_identical ? "yes" : "NO",
+                   std::to_string(row.heat_misses_seeded) + "/" +
+                       std::to_string(row.heat_misses_unseeded)});
+    rows.push_back(std::move(row));
+  }
+  table.print();
+
+  u64 total_hm_seeded = 0;
+  u64 total_hm_unseeded = 0;
+  u64 total_seeded = 0;
+  for (const Row& row : rows) {
+    total_hm_seeded += row.heat_misses_seeded;
+    total_hm_unseeded += row.heat_misses_unseeded;
+    total_seeded += row.seeded;
+  }
+  // Aggregate engagement gate is strict: across the suite, seeding must save
+  // real heat-counter warmup (per-workload the gate is only "no worse", since
+  // a profile could in principle have no loop long enough to seed).
+  if (total_seeded == 0 || total_hm_seeded >= total_hm_unseeded) {
+    all_ok = false;
+    std::fprintf(stderr,
+                 "FAIL: aggregate seeding gate (seeded=%llu, heat misses %llu vs %llu)\n",
+                 static_cast<unsigned long long>(total_seeded),
+                 static_cast<unsigned long long>(total_hm_seeded),
+                 static_cast<unsigned long long>(total_hm_unseeded));
+  }
+  std::printf("\nall gates: %s (seeded %llu traces; heat misses %llu seeded vs "
+              "%llu unseeded)\n",
+              all_ok ? "PASS" : "FAIL", static_cast<unsigned long long>(total_seeded),
+              static_cast<unsigned long long>(total_hm_seeded),
+              static_cast<unsigned long long>(total_hm_unseeded));
+
+  FILE* json = std::fopen("BENCH_analysis.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"analysis\",\n  \"iterations\": %u,\n",
+                 iterations);
+    std::fprintf(json, "  \"workloads\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "    {\"workload\": \"%s\", \"suite\": \"%s\", \"insts\": %llu, "
+                   "\"reachable\": %llu, \"regions\": %zu, \"seeds\": %zu, "
+                   "\"lint_errors\": %u, \"lint_warnings\": %u, \"validated\": %s, "
+                   "\"retired_insts\": %llu, \"bounded_identical\": %s, "
+                   "\"seeded_identical\": %s, \"seeded\": %llu, "
+                   "\"trace_insts_seeded\": %llu, \"trace_insts_unseeded\": %llu, "
+                   "\"heat_misses_seeded\": %llu, \"heat_misses_unseeded\": %llu}%s\n",
+                   r.workload.c_str(), r.suite.c_str(),
+                   static_cast<unsigned long long>(r.insts),
+                   static_cast<unsigned long long>(r.reachable), r.regions, r.seeds,
+                   r.lint_errors, r.lint_warnings, r.validated ? "true" : "false",
+                   static_cast<unsigned long long>(r.retired),
+                   r.bounded_identical ? "true" : "false",
+                   r.seeded_identical ? "true" : "false",
+                   static_cast<unsigned long long>(r.seeded),
+                   static_cast<unsigned long long>(r.trace_insts_seeded),
+                   static_cast<unsigned long long>(r.trace_insts_unseeded),
+                   static_cast<unsigned long long>(r.heat_misses_seeded),
+                   static_cast<unsigned long long>(r.heat_misses_unseeded),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ],\n  \"all_gates_pass\": %s\n}\n",
+                 all_ok ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_analysis.json\n");
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -887,6 +1097,7 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool cosim = false;
   bool vuln = false;
+  bool analyze = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
@@ -894,7 +1105,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--cosim") == 0) cosim = true;
     if (std::strcmp(argv[i], "--vuln") == 0) vuln = true;
+    if (std::strcmp(argv[i], "--analyze") == 0) analyze = true;
   }
+  if (analyze) return run_analyze_mode();
   if (vuln) return run_vuln_mode();
   if (cosim) return run_cosim_mode();
   if (trace) return run_trace_jit_mode();

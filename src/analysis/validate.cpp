@@ -1,0 +1,244 @@
+#include "analysis/validate.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "arch/core.h"
+#include "arch/memory.h"
+#include "arch/program_image.h"
+#include "arch/trap.h"
+#include "isa/opcode.h"
+
+namespace flexstep::analysis {
+
+namespace {
+
+/// Past this many retirements the per-retire index sequence (needed for the
+/// suffix-max forward-bound check) stops being recorded; the other checks are
+/// streaming and keep running.
+constexpr u64 kSuffixCap = 8'000'000;
+
+/// Minimal kernel model: syscalls resume at zero cost (the validator measures
+/// user-mode structure, not kernel timing), task exit halts, and anything
+/// unexpected (illegal instruction, fetch fault) halts too — the caller turns
+/// a non-kTaskExit halt into a validation error.
+class HaltingHandler final : public arch::TrapHandler {
+ public:
+  arch::TrapAction on_trap(arch::Core& core, arch::TrapCause cause) override {
+    (void)core;
+    using arch::TrapAction;
+    switch (cause) {
+      case arch::TrapCause::kEcall:
+        return {TrapAction::Kind::kResumeUser, 0};
+      case arch::TrapCause::kTaskExit:
+        clean_exit = true;
+        return {TrapAction::Kind::kHalt, 0};
+      default:
+        faulted = true;
+        return {TrapAction::Kind::kHalt, 0};
+    }
+  }
+
+  bool clean_exit = false;
+  bool faulted = false;
+};
+
+/// Commit observer: per-image-index visit counts plus dynamic memory-op /
+/// DBC-entry tallies. Non-passive so every user-mode commit is delivered.
+class CountingHooks final : public arch::CoreHooks {
+ public:
+  CountingHooks(Addr base, Addr end)
+      : base_(base), end_(end), visits_((end - base) / 4, 0) {}
+
+  bool memory_can_commit(arch::Core&, const isa::Instruction&) override {
+    return true;
+  }
+
+  Cycle on_commit(arch::Core&, const arch::CommitInfo& info) override {
+    if (!info.user_mode) return 0;
+    ++retired;
+    if (info.pc < base_ || info.pc >= end_ || (info.pc - base_) % 4 != 0) {
+      ++out_of_image;
+      return 0;
+    }
+    const u32 index = static_cast<u32>((info.pc - base_) / 4);
+    ++visits_[index];
+    if (info.mem_valid) ++mem_ops;
+    dbc_entries += dbc_entries_per_inst(info.inst->op);
+    if (retired <= kSuffixCap) sequence.push_back(index);
+    return 0;
+  }
+
+  void on_enter_kernel(arch::Core&) override {}
+  void on_exit_kernel(arch::Core&) override {}
+  u64 exec_custom(arch::Core&, const isa::Instruction&) override { return 0; }
+
+  const std::vector<u64>& visits() const { return visits_; }
+
+  u64 retired = 0;
+  u64 mem_ops = 0;
+  u64 dbc_entries = 0;
+  u64 out_of_image = 0;
+  std::vector<u32> sequence;
+
+ private:
+  Addr base_;
+  Addr end_;
+  std::vector<u64> visits_;
+};
+
+void fail(ValidationResult& result, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  result.errors.emplace_back(buf);
+}
+
+}  // namespace
+
+ValidationResult validate_report(const ProgramReport& report,
+                                 const isa::Program& program,
+                                 u64 max_insts) {
+  ValidationResult result;
+  const Cfg& cfg = report.cfg;
+  const CodeView& view = cfg.view;
+
+  arch::Memory memory;
+  arch::ImageRegistry images;
+  images.load(memory, program);
+  arch::Core core(0, arch::CoreConfig{}, memory, images, nullptr);
+  HaltingHandler handler;
+  core.set_trap_handler(&handler);
+  CountingHooks hooks(view.base, view.end);
+  core.set_hooks(&hooks);
+  core.set_pc(program.entry());
+  core.run(max_insts);
+
+  result.retired_insts = hooks.retired;
+  result.retired_mem_ops = hooks.mem_ops;
+  result.retired_dbc_entries = hooks.dbc_entries;
+  result.halted = core.status() == arch::Core::Status::kHalted;
+  if (!result.halted) {
+    fail(result, "program did not halt within %llu instructions",
+         static_cast<unsigned long long>(max_insts));
+  }
+  if (handler.faulted) {
+    fail(result, "program faulted (illegal instruction or fetch fault)");
+  }
+  if (hooks.out_of_image != 0) {
+    fail(result, "%llu commits retired outside the analysed image",
+         static_cast<unsigned long long>(hooks.out_of_image));
+  }
+
+  const std::vector<u64>& visits = hooks.visits();
+
+  // 1. Every executed instruction belongs to a statically-reachable block.
+  for (u32 i = 0; i < view.inst_count(); ++i) {
+    if (visits[i] == 0) continue;
+    const u32 b = cfg.block_of[i];
+    if (b == kNoBlock || !cfg.blocks[b].reachable) {
+      fail(result, "pc 0x%llx executed %llu times but is statically unreachable",
+           static_cast<unsigned long long>(view.base + Addr{i} * 4),
+           static_cast<unsigned long long>(visits[i]));
+      break;  // one witness is enough
+    }
+  }
+
+  // 2. Straight-line visit consistency: within a block every instruction
+  // retires exactly as often as the leader (the program ran to completion, so
+  // no partial block executions remain in flight).
+  if (result.halted && !handler.faulted) {
+    for (const BasicBlock& block : cfg.blocks) {
+      const u64 head_visits = visits[block.first];
+      for (u32 i = block.first + 1; i < block.first + block.count; ++i) {
+        if (visits[i] != head_visits) {
+          fail(result,
+               "block @0x%llx visit mismatch: leader %llu vs pc 0x%llx %llu",
+               static_cast<unsigned long long>(block.start_pc),
+               static_cast<unsigned long long>(head_visits),
+               static_cast<unsigned long long>(view.base + Addr{i} * 4),
+               static_cast<unsigned long long>(visits[i]));
+          break;
+        }
+      }
+    }
+  }
+
+  // 3. Static per-instruction classification, weighted by observed visits,
+  // must reproduce the dynamic tallies exactly.
+  u64 static_mem = 0;
+  u64 static_entries = 0;
+  for (u32 i = 0; i < view.inst_count(); ++i) {
+    if (visits[i] == 0) continue;
+    if (isa::is_memory(view.code[i].op)) static_mem += visits[i];
+    static_entries += visits[i] * dbc_entries_per_inst(view.code[i].op);
+  }
+  if (static_mem != hooks.mem_ops) {
+    fail(result, "static mem-op count %llu != dynamic %llu",
+         static_cast<unsigned long long>(static_mem),
+         static_cast<unsigned long long>(hooks.mem_ops));
+  }
+  if (static_entries != hooks.dbc_entries) {
+    fail(result, "static DBC-entry count %llu != dynamic %llu",
+         static_cast<unsigned long long>(static_entries),
+         static_cast<unsigned long long>(hooks.dbc_entries));
+  }
+
+  // 4. Forward-bound domination: walking the retire sequence backwards with a
+  // running max of per-instruction DBC production, every visited pc's static
+  // forward bound must be >= the worst single instruction that executed at or
+  // after it. This is the exact property the tightened burst sizing needs.
+  if (hooks.retired > kSuffixCap) {
+    result.suffix_check_skipped = true;
+  } else if (!report.fwd_entry_bound.empty()) {
+    u8 suffix_max = 0;
+    for (auto it = hooks.sequence.rbegin(); it != hooks.sequence.rend(); ++it) {
+      const u32 i = *it;
+      suffix_max = std::max<u8>(
+          suffix_max, static_cast<u8>(dbc_entries_per_inst(view.code[i].op)));
+      if (report.fwd_entry_bound[i] < suffix_max) {
+        fail(result,
+             "fwd entry bound at pc 0x%llx is %u but a downstream instruction "
+             "produced %u entries",
+             static_cast<unsigned long long>(view.base + Addr{i} * 4),
+             static_cast<unsigned>(report.fwd_entry_bound[i]),
+             static_cast<unsigned>(suffix_max));
+        break;
+      }
+    }
+  }
+
+  // 5. Every trace seed names a reachable block leader.
+  for (const Addr seed : report.trace_seeds) {
+    const u32 b = cfg.block_at(seed);
+    if (b == kNoBlock || !cfg.blocks[b].reachable ||
+        cfg.blocks[b].start_pc != seed) {
+      fail(result, "trace seed 0x%llx is not a reachable block leader",
+           static_cast<unsigned long long>(seed));
+    }
+  }
+
+  return result;
+}
+
+std::string ValidationResult::summary() const {
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "validated %llu retired insts (%llu mem ops, %llu DBC entries): "
+                "%s%s",
+                static_cast<unsigned long long>(retired_insts),
+                static_cast<unsigned long long>(retired_mem_ops),
+                static_cast<unsigned long long>(retired_dbc_entries),
+                errors.empty() && halted ? "OK" : "FAILED",
+                suffix_check_skipped ? " (suffix check skipped)" : "");
+  std::string out = line;
+  for (const std::string& error : errors) {
+    out += "\n  error: " + error;
+  }
+  return out;
+}
+
+}  // namespace flexstep::analysis

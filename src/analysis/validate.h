@@ -1,0 +1,46 @@
+// Dynamic validation of a ProgramReport: replay the analysed image on a bare
+// core (no FlexStep units, no trace cache effects on outcomes) and hold every
+// static claim to the retired-instruction truth:
+//   * every executed pc lies in a statically-reachable block;
+//   * per-block straight-line visit consistency (a block's instructions all
+//     retire the same number of times);
+//   * the exact static memory-op / DBC-entry counts, weighted by observed
+//     block visits, equal the dynamically retired counts;
+//   * the per-pc forward entry bound dominates the worst single-instruction
+//     DBC production actually observed anywhere downstream of that pc;
+//   * every trace seed is a reachable block leader.
+// This is the CI gate behind "every analysis result is provably consistent
+// with dynamic behaviour" — tests and the bench --analyze mode both run it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+
+namespace flexstep::analysis {
+
+struct ValidationResult {
+  std::vector<std::string> errors;
+
+  // Dynamic ground truth, for reporting.
+  u64 retired_insts = 0;
+  u64 retired_mem_ops = 0;
+  u64 retired_dbc_entries = 0;
+  bool halted = false;
+  /// The retire sequence outgrew the suffix-bound cap, so the forward-bound
+  /// domination check was skipped (all other checks still ran).
+  bool suffix_check_skipped = false;
+
+  bool ok() const { return errors.empty() && halted; }
+  std::string summary() const;
+};
+
+/// Run `program` to completion (up to `max_insts` retirements) on a bare core
+/// and check `report` against what actually executed. The program must be the
+/// one the report was built from.
+ValidationResult validate_report(const ProgramReport& report,
+                                 const isa::Program& program,
+                                 u64 max_insts = 20'000'000);
+
+}  // namespace flexstep::analysis

@@ -118,6 +118,19 @@ Core::Core(CoreId id, const CoreConfig& config, Memory& memory, const ImageRegis
 
 Core::~Core() { memory_.clear_reservation(this); }
 
+u32 Core::seed_traces(const std::vector<Addr>& seeds) {
+  if (trace_cache_ == nullptr) return 0;
+  u32 covered = 0;
+  for (const Addr pc : seeds) {
+    const LoadedImage* image = images_.find(pc);
+    if (image == nullptr) continue;
+    if (trace_cache_->seed(pc, image->code.data(), image->base, image->end)) {
+      ++covered;
+    }
+  }
+  return covered;
+}
+
 void Core::set_reservation(Addr granule) {
   reservation_addr_ = granule;
   reservation_valid_ = true;

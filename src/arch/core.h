@@ -223,6 +223,13 @@ class Core : private ReservationObserver {
   /// Purely derived state: flushed on restore, never part of snapshots.
   const TraceCache* trace_cache() const { return trace_cache_.get(); }
 
+  /// Pre-record traces at statically-identified hot block entries (analysis
+  /// trace_seeds), bypassing the heat counters. Returns how many seeds ended
+  /// up covered. Host-speed only — seeded traces replay bit-identically to
+  /// stepping, like every trace. Seeds whose pc lies outside any loaded
+  /// image are skipped; no-op (returns 0) when tracing is disabled.
+  u32 seed_traces(const std::vector<Addr>& seeds);
+
  private:
   class CachePort;  // default MemPort through the cache hierarchy
 

@@ -105,10 +105,14 @@ const Trace* TraceCache::notice_entry(Addr pc, const isa::Instruction* code,
     // Cold (or aliased) entry: start counting afresh.
     heat.pc = pc;
     heat.count = 1;
+    ++stats_.heat_misses;
     return nullptr;
   }
   if (heat.count == kRefused) return nullptr;
-  if (++heat.count < config_.heat_threshold) return nullptr;
+  if (++heat.count < config_.heat_threshold) {
+    ++stats_.heat_misses;
+    return nullptr;
+  }
 
   auto trace = std::make_unique<Trace>();
   if (!record(pc, code, base, end, *trace)) {
@@ -122,6 +126,27 @@ const Trace* TraceCache::notice_entry(Addr pc, const isa::Instruction* code,
   slot.trace = std::move(trace);
   ++stats_.recorded;
   return slot.trace.get();
+}
+
+bool TraceCache::seed(Addr pc, const isa::Instruction* code, Addr base, Addr end) {
+  if (pending_invalidation_) process_pending_invalidation();
+  Slot& slot = slots_[slot_index(pc)];
+  if (slot.entry_pc == pc) return true;  // already covered
+  auto trace = std::make_unique<Trace>();
+  if (!record(pc, code, base, end, *trace)) {
+    // Same terminal state a hot entry would reach: never re-walk this pc.
+    Heat& heat = heat_[slot_index(pc)];
+    heat.pc = pc;
+    heat.count = kRefused;
+    ++stats_.refused;
+    return false;
+  }
+  memory_.watch_code_pages(this, trace->first_page, trace->last_page);
+  slot.entry_pc = pc;
+  slot.trace = std::move(trace);
+  ++stats_.recorded;
+  ++stats_.seeded;
+  return true;
 }
 
 bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
@@ -371,6 +396,29 @@ bool TraceCache::record(Addr entry_pc, const isa::Instruction* code, Addr base,
   out.first_page = entry_pc >> Memory::kPageBits;
   out.last_page = (region_end - 1) >> Memory::kPageBits;
   return true;
+}
+
+bool trace_pair_fusible(const isa::Instruction& first, const isa::Instruction& second) {
+  if (first.op == Opcode::kLd && first.rd != 0 &&
+      (second.op == Opcode::kAdd || second.op == Opcode::kXor) &&
+      second.rd != 0 && second.rd == second.rs1 && second.rs2 == first.rd) {
+    return true;  // ld rd,(rs1)imm ; acc op= rd
+  }
+  if (first.op == Opcode::kAndi && first.rd != 0 &&
+      (second.op == Opcode::kBne || second.op == Opcode::kBeq) &&
+      second.rs1 == first.rd && second.rs2 == 0) {
+    return true;  // andi rd,rs1,imm ; bne/beq rd,x0 (terminal)
+  }
+  if (first.op == Opcode::kMul && first.rd != 0 && second.op == Opcode::kAddi &&
+      second.rd == first.rd && second.rs1 == first.rd) {
+    return true;  // mul rd,rs1,rs2 ; addi rd,rd,imm
+  }
+  if (first.op == Opcode::kAnd && first.rd != 0 && second.op == Opcode::kAdd &&
+      second.rd == first.rd && second.rs2 == first.rd && second.rs1 != first.rd) {
+    return true;  // and rd,rs1,rs2 ; add rd,base,rd
+  }
+  return first.rd != 0 && second.rd != 0 && alu_pair_index(first.op) >= 0 &&
+         alu_pair_index(second.op) >= 0;
 }
 
 }  // namespace flexstep::arch

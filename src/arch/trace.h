@@ -193,6 +193,8 @@ class TraceCache final : public CodeWriteListener {
     u64 insts_from_traces = 0;
     u64 recorded = 0;
     u64 refused = 0;          ///< Too-short blocks marked never-record.
+    u64 seeded = 0;           ///< Traces installed by static seeding.
+    u64 heat_misses = 0;      ///< Entry misses spent warming heat counters.
     u64 code_write_flushes = 0;  ///< Traces dropped by stores to code pages.
     u64 full_flushes = 0;        ///< flush() calls (snapshot restore).
   };
@@ -216,6 +218,15 @@ class TraceCache final : public CodeWriteListener {
   /// record the region from the pre-decoded image stream. Returns the fresh
   /// trace when one was recorded.
   const Trace* notice_entry(Addr pc, const isa::Instruction* code, Addr base, Addr end);
+
+  /// Statically-seeded recording: install a trace at `pc` immediately,
+  /// bypassing the heat counter (the static analysis already declared the
+  /// entry hot). Returns true when `pc` is covered afterwards (freshly
+  /// recorded or already present). A refused seed (region too short) marks
+  /// the heat entry never-record, exactly like a refused hot entry. Seeds are
+  /// host-speed only — they never change simulated outcomes — and remain
+  /// evictable by genuine heat through the normal direct-mapped slot path.
+  bool seed(Addr pc, const isa::Instruction* code, Addr base, Addr end);
 
   /// Drop every trace (snapshot restore: traces are derived state).
   void flush();
@@ -255,5 +266,13 @@ class TraceCache final : public CodeWriteListener {
   std::vector<u64> dirty_pages_;
   Stats stats_;
 };
+
+/// Would the trace recorder fuse `first`+`second` into one superinstruction
+/// if they appeared adjacently inside a recorded region? Mirrors the peephole
+/// in TraceCache::record (named idioms + the generic ALU-pair alphabet),
+/// ignoring position-dependent constraints (fetch-line split, branch-index
+/// width). Used by the static lint to flag jumps that enter the second half
+/// of a fusible pair.
+bool trace_pair_fusible(const isa::Instruction& first, const isa::Instruction& second);
 
 }  // namespace flexstep::arch

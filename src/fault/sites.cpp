@@ -208,7 +208,7 @@ std::string describe(const FaultSite& site) {
   return out;
 }
 
-std::optional<FaultSite> parse_site(std::string_view text) {
+ParseSiteResult parse_site_checked(std::string_view text) {
   const auto take_token = [&text]() -> std::string_view {
     while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
     std::size_t end = text.find(' ');
@@ -225,6 +225,11 @@ std::optional<FaultSite> parse_site(std::string_view text) {
         std::from_chars(token.data(), token.data() + token.size(), out);
     return result.ec == std::errc{} && result.ptr == token.data() + token.size();
   };
+  const auto fail = [](std::string message) {
+    ParseSiteResult result;
+    result.error = std::move(message);
+    return result;
+  };
 
   FaultSite site;
   const std::string_view name = take_token();
@@ -237,14 +242,27 @@ std::optional<FaultSite> parse_site(std::string_view text) {
       break;
     }
   }
-  if (!found) return std::nullopt;
-  if (!parse_u64(take_token(), 'i', site.index)) return std::nullopt;
-  if (!parse_u64(take_token(), 'b', site.bit)) return std::nullopt;
-  if (!parse_u64(take_token(), '@', site.cycle)) return std::nullopt;
-  if (!text.empty() && text.find_first_not_of(' ') != std::string_view::npos) {
-    return std::nullopt;
+  if (!found) {
+    return fail("unknown component '" + std::string(name) + "'");
   }
-  return site;
+  if (const std::string_view token = take_token();
+      !parse_u64(token, 'i', site.index)) {
+    return fail("expected index token 'i<n>', got '" + std::string(token) + "'");
+  }
+  if (const std::string_view token = take_token();
+      !parse_u64(token, 'b', site.bit)) {
+    return fail("expected bit token 'b<n>', got '" + std::string(token) + "'");
+  }
+  if (const std::string_view token = take_token();
+      !parse_u64(token, '@', site.cycle)) {
+    return fail("expected cycle token '@<n>', got '" + std::string(token) + "'");
+  }
+  if (!text.empty() && text.find_first_not_of(' ') != std::string_view::npos) {
+    return fail("trailing garbage after site: '" + std::string(text) + "'");
+  }
+  ParseSiteResult result;
+  result.site = site;
+  return result;
 }
 
 // ---------------------------------------------------------------------------

@@ -92,8 +92,23 @@ FaultSite random_site(soc::Soc& soc, Component component, Rng& rng);
 /// Human-readable round-trippable form: "<component> i<index> b<bit> @<cycle>".
 std::string describe(const FaultSite& site);
 
+/// Outcome of parsing a site description: the site on success, otherwise a
+/// diagnostic naming which part of the text failed. Parsing never aborts —
+/// campaign manifests and CLI arguments are untrusted input.
+struct ParseSiteResult {
+  std::optional<FaultSite> site;
+  std::string error;  ///< Empty on success.
+
+  bool ok() const { return site.has_value(); }
+};
+
+/// Inverse of describe(), with a structured diagnostic on failure.
+ParseSiteResult parse_site_checked(std::string_view text);
+
 /// Inverse of describe(); nullopt when the text does not parse.
-std::optional<FaultSite> parse_site(std::string_view text);
+inline std::optional<FaultSite> parse_site(std::string_view text) {
+  return parse_site_checked(text).site;
+}
 
 /// Field-wise FNV-1a digest of a full SoC snapshot. Field-wise (never a raw
 /// struct memcpy) so padding bytes in snapshot records can't leak

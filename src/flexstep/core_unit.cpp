@@ -145,7 +145,35 @@ CoreUnit::CoreUnit(arch::Core& core, GlobalConfig& global, ErrorReporter& report
   core_.set_hooks(this);
 }
 
-CoreUnit::~CoreUnit() = default;
+CoreUnit::~CoreUnit() {
+  if (static_bound_memory_ != nullptr) {
+    static_bound_memory_->unwatch_code_pages(this);
+  }
+}
+
+void CoreUnit::set_static_dbc_bound(arch::Memory& memory,
+                                    std::shared_ptr<const StaticDbcBound> bound) {
+  if (static_bound_memory_ != nullptr) {
+    static_bound_memory_->unwatch_code_pages(this);
+    static_bound_memory_ = nullptr;
+  }
+  static_bound_ = std::move(bound);
+  static_bound_dropped_ = false;
+  if (static_bound_ != nullptr && static_bound_->end > static_bound_->base) {
+    static_bound_memory_ = &memory;
+    memory.watch_code_pages(this, static_bound_->base >> arch::Memory::kPageBits,
+                            (static_bound_->end - 1) >> arch::Memory::kPageBits);
+  }
+}
+
+void CoreUnit::on_code_page_written(u64 page_id) {
+  // Flag only (this runs inside Memory's write path): the analysed image no
+  // longer matches what may execute, so burst sizing falls back to the
+  // conservative global divisor from the next sizing decision on. Sticky —
+  // reanalysis arrives, if ever, through a fresh set_static_dbc_bound.
+  (void)page_id;
+  static_bound_dropped_ = true;
+}
 
 void CoreUnit::save(Snapshot& out) const {
   out.checking_enabled = checking_enabled_;
@@ -248,10 +276,32 @@ u64 CoreUnit::producer_burst_headroom() const {
   if (entries == ~u64{0}) return entries;
   // Reserve one segment boundary (SegmentEnd + the next segment's SCP — the
   // boundary itself ends the burst via request_quantum_end) plus the resume
-  // headroom the next memory pre-check asks for; the rest is two entries per
-  // worst-case instruction (LR/SC, AMO).
+  // headroom the next memory pre-check asks for; the rest is divided by the
+  // worst-case per-instruction entry production.
   constexpr u64 kReserve = 2 + kProducerResumeHeadroom;
-  return entries > kReserve ? (entries - kReserve) / 2 : 0;
+  if (entries <= kReserve) return 0;
+  const u64 avail = entries - kReserve;
+  // Default divisor: the ISA-wide worst case (LR/SC, AMO log two entries).
+  // With a trusted static bound, use the analysis' forward-closure bound for
+  // the pc the burst starts at instead: no instruction from here until the
+  // next segment boundary can produce more per commit (kernel entry ends the
+  // segment — and with it the burst — via request_quantum_end, and kernel
+  // commits never log, so a mid-burst trap cannot out-produce the bound).
+  u64 divisor = 2;
+  if (static_bound_ != nullptr && !static_bound_dropped_) {
+    const StaticDbcBound& bound = *static_bound_;
+    if (!core_.user_mode()) {
+      // Kernel mode: the return pc is wherever mepc points — bound by the
+      // image-wide worst case (kernel commits themselves log nothing).
+      divisor = bound.global;
+    } else if (const Addr pc = core_.pc(); pc >= bound.base && pc < bound.end) {
+      divisor = bound.per_inst[(pc - bound.base) / 4];
+    }
+    // divisor 0: no DBC-producing instruction on any path from here — the
+    // burst can never push, so backpressure can never turn negative.
+    if (divisor == 0) return ~u64{0};
+  }
+  return avail / divisor;
 }
 
 bool CoreUnit::memory_can_commit(arch::Core& core, const Instruction& inst) {

@@ -27,7 +27,21 @@ class InterconnectControl {
   virtual void dissociate(CoreId main_id) = 0;
 };
 
-class CoreUnit final : public arch::CoreHooks {
+/// Static per-pc bound on DBC stream-entry production, produced by
+/// analysis::analyze() from the same pre-decoded image the core fetches from.
+/// per_inst[(pc - base) / 4] is the worst-case entries any SINGLE instruction
+/// can produce on any path starting at pc (forward-closure max); `global` is
+/// the image-wide single-instruction worst case, used whenever the current pc
+/// gives no per-pc answer (kernel mode about to return anywhere into the
+/// image). Shared (immutable) between every unit of a session and its forks.
+struct StaticDbcBound {
+  Addr base = 0;
+  Addr end = 0;
+  std::vector<u8> per_inst;
+  u8 global = 2;
+};
+
+class CoreUnit final : public arch::CoreHooks, public arch::CodeWriteListener {
  public:
   /// DBC headroom (in stream entries) required before a backpressure-blocked
   /// producer may resume: the largest single instruction logs two entries
@@ -78,6 +92,25 @@ class CoreUnit final : public arch::CoreHooks {
   /// pre-check are reserved up front. ~u64{0} when unbounded (not producing,
   /// or every out channel is in checker-starved DMA-spill mode).
   u64 producer_burst_headroom() const;
+
+  /// Worst-case DBC stream entries one retired instruction of `op` produces.
+  /// Public so the static analysis derives its costs from the same table —
+  /// the static and dynamic answers can never drift apart.
+  static u32 entries_for(isa::Opcode op);
+
+  /// Install (or clear, with nullptr) a static production bound for burst
+  /// sizing. `memory` is watched over the bound's code pages: any store into
+  /// them permanently drops the bound back to the conservative global
+  /// divisor (the analysed image may no longer describe what executes).
+  void set_static_dbc_bound(arch::Memory& memory,
+                            std::shared_ptr<const StaticDbcBound> bound);
+  /// True while an installed bound is still trusted (test / bench hook).
+  bool static_bound_active() const {
+    return static_bound_ != nullptr && !static_bound_dropped_;
+  }
+
+  // CodeWriteListener: a store hit the analysed image's pages.
+  void on_code_page_written(u64 page_id) override;
 
   // ---- checker-core state ----
   bool checker_busy() const { return checker_busy_; }
@@ -246,7 +279,6 @@ class CoreUnit final : public arch::CoreHooks {
   void start_segment(Addr start_pc);
   Cycle end_segment(Addr resume_pc);
   Cycle log_memory(const arch::CommitInfo& info);
-  static u32 entries_for(isa::Opcode op);
 
   // Checker-side replay management.
   /// Pop from the in-channel, ending the current execution quantum when the
@@ -277,6 +309,11 @@ class CoreUnit final : public arch::CoreHooks {
   u64 segment_ic_ = 0;           ///< CPC instruction counter.
   u64 checking_budget_ = 0;      ///< Selective checking: instructions left (0 = unbounded).
   Addr segment_start_pc_ = 0;
+
+  // ---- static burst-sizing bound (analysis client) ----
+  std::shared_ptr<const StaticDbcBound> static_bound_;
+  arch::Memory* static_bound_memory_ = nullptr;  ///< Watched while bound set.
+  bool static_bound_dropped_ = false;  ///< Code page written: fall back.
 
   // ---- checker-core (consumer) state ----
   Channel* in_channel_ = nullptr;

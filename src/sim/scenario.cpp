@@ -1,10 +1,26 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/check.h"
 
 namespace flexstep::sim {
+
+namespace {
+
+/// FLEX_ANALYZE=0 disables the static-analysis clients (trace seeding + burst
+/// tightening) for sessions that don't call Scenario::analysis() explicitly.
+/// Read once, same rule as FLEX_TRACE / FLEX_ENGINE.
+bool default_analysis_enabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("FLEX_ANALYZE");
+    return env == nullptr || env[0] != '0';
+  }();
+  return enabled;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Scenario
@@ -74,6 +90,11 @@ Scenario& Scenario::channel_capacity(u64 entries) {
 
 Scenario& Scenario::trace(bool enabled) {
   trace_ = enabled;
+  return *this;
+}
+
+Scenario& Scenario::analysis(bool enabled) {
+  analysis_ = enabled;
   return *this;
 }
 
@@ -181,6 +202,10 @@ isa::Program Scenario::build_program() const {
   return workloads::build_workload(*profile_, build);
 }
 
+analysis::ProgramReport Scenario::analyze() const {
+  return analysis::analyze(build_program());
+}
+
 std::unique_ptr<soc::Soc> Scenario::build_soc() const {
   return std::make_unique<soc::Soc>(soc_config());
 }
@@ -203,12 +228,43 @@ Session::Session(const Scenario& scenario, isa::Program program, bool prepare)
   soc_ = std::make_unique<soc::Soc>(soc_config);
   exec_ = std::make_unique<soc::VerifiedExecution>(*soc_, run_config);
   if (prepare) {
+    if (scenario_.analysis_.value_or(default_analysis_enabled())) {
+      auto report = std::make_shared<analysis::ProgramReport>(
+          analysis::analyze(program_));
+      auto bound = std::make_shared<fs::StaticDbcBound>();
+      bound->base = program_.code_base;
+      bound->end = program_.code_end();
+      bound->per_inst = report->fwd_entry_bound;
+      bound->global = report->global_entry_bound;
+      analysis_ = std::move(report);
+      bound_ = std::move(bound);
+    }
     exec_->prepare(program_);
+    apply_analysis();
   } else {
     // Fork path: register the program image now; the caller restores the
-    // snapshot (which contains the prepared state) on top.
+    // snapshot (which contains the prepared state) on top and re-applies the
+    // parent's analysis.
     soc_->load_program(program_);
   }
+}
+
+void Session::apply_analysis() {
+  if (analysis_ == nullptr) return;
+  for (u32 i = 0; i < soc_->num_cores(); ++i) {
+    // Every core replays user code (checkers included), so all trace caches
+    // get the statically hot entries; the burst bound only binds on whichever
+    // unit is producing, and installing it everywhere is harmless.
+    soc_->core(i).seed_traces(analysis_->trace_seeds);
+    soc_->unit(i).set_static_dbc_bound(soc_->memory(), bound_);
+  }
+}
+
+void Session::restore(const soc::Snapshot& snapshot) {
+  exec_->restore(snapshot);
+  // restore() flushed every trace cache (traces are derived state) and
+  // rewound memory to the analysed image, so re-seed and re-arm the bound.
+  apply_analysis();
 }
 
 fs::Channel* Session::channel() {
@@ -218,7 +274,10 @@ fs::Channel* Session::channel() {
 
 Session Session::fork(const soc::Snapshot& snapshot) const {
   Session child(scenario_, program_, /*prepare=*/false);
+  child.analysis_ = analysis_;  // immutable, shared across the fork tree
+  child.bound_ = bound_;
   child.exec_->restore(snapshot);
+  child.apply_analysis();
   return child;
 }
 

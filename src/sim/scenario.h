@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.h"
 #include "common/types.h"
 #include "soc/snapshot.h"
 #include "soc/soc.h"
@@ -76,6 +77,12 @@ class Scenario {
   /// Superinstruction trace cache on/off (default: on, unless FLEX_TRACE=0).
   /// A pure host-speed knob: results are bit-identical either way.
   Scenario& trace(bool enabled);
+  /// Static guest-program analysis on/off (default: on, unless
+  /// FLEX_ANALYZE=0). When on, the built session pre-seeds every core's trace
+  /// cache from statically hot region heads and installs the per-pc DBC
+  /// production bound that tightens bounded-engine bursts. Host-speed only:
+  /// simulated outcomes are bit-identical either way.
+  Scenario& analysis(bool enabled);
 
   // ---- verification topology ----
 
@@ -112,6 +119,9 @@ class Scenario {
   /// Just the workload program (kernel-driver experiments compose it with
   /// their own scheduler instead of a VerifiedExecution).
   isa::Program build_program() const;
+  /// Static analysis of the program this scenario would run (CFG + dataflow
+  /// + lint) — the pre-run lint entry point; runs regardless of analysis().
+  analysis::ProgramReport analyze() const;
   /// Just the SoC.
   std::unique_ptr<soc::Soc> build_soc() const;
   /// The full prepared session.
@@ -130,6 +140,7 @@ class Scenario {
   std::optional<u32> segment_limit_;
   std::optional<u64> channel_capacity_;
   std::optional<bool> trace_;
+  std::optional<bool> analysis_;
   bool engine_set_ = false;  ///< engine() called; otherwise FLEX_ENGINE rules.
   soc::VerifiedRunConfig run_;
 };
@@ -167,8 +178,14 @@ class Session {
   // ---- state capture ----
 
   soc::Snapshot snapshot() const { return exec_->save(); }
-  /// Rewind this session to a snapshot it (or a sibling fork) took.
-  void restore(const soc::Snapshot& snapshot) { exec_->restore(snapshot); }
+  /// Rewind this session to a snapshot it (or a sibling fork) took. Restoring
+  /// flushes the (derived) trace caches, so the analysis seeds and the static
+  /// burst bound are re-applied afterwards — restored runs keep the same
+  /// host-speed profile as the original.
+  void restore(const soc::Snapshot& snapshot);
+
+  /// The static analysis backing this session (nullptr when analysis is off).
+  const analysis::ProgramReport* analysis() const { return analysis_.get(); }
   /// Clone an independent session at the snapshot's state: fresh Soc, same
   /// program (loaded, not re-generated), same driver config. The clone and
   /// this session share no mutable state and evolve independently.
@@ -182,11 +199,17 @@ class Session {
   /// Fork path: reuse an already-built program instead of re-running the
   /// workload generator (forks happen once per campaign injection).
   Session(const Scenario& scenario, isa::Program program, bool prepare);
+  /// Seed every core's trace cache and (re-)install the static DBC bound.
+  /// Called after prepare and after every restore (restores flush traces).
+  void apply_analysis();
 
   Scenario scenario_;  ///< Copy: forks rebuild the platform from it.
   isa::Program program_;
   std::unique_ptr<soc::Soc> soc_;
   std::unique_ptr<soc::VerifiedExecution> exec_;
+  /// Shared with forks — immutable once built.
+  std::shared_ptr<const analysis::ProgramReport> analysis_;
+  std::shared_ptr<const fs::StaticDbcBound> bound_;
 };
 
 }  // namespace flexstep::sim
