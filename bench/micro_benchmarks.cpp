@@ -14,9 +14,14 @@
 //   ./bench/micro_benchmarks --vuln           # whole-SoC vulnerability campaign + JSON
 //   ./bench/micro_benchmarks --analyze        # static-analysis report + gates + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
+//   ./bench/micro_benchmarks --campaign-worker <spec>  # internal: exec-mode
+//                                             # campaign worker (see
+//                                             # fault/distributed.h)
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +33,7 @@
 #include "common/rng.h"
 #include "common/table.h"
 #include "fault/campaign.h"
+#include "fault/distributed.h"
 #include "fault/sites.h"
 #include "fault/vuln.h"
 #include "runtime/job_pool.h"
@@ -524,7 +530,12 @@ int run_trace_jit_mode() {
 
 // ---------------------------------------------------------------------------
 // Campaign-throughput mode (--campaign): injections per host-second, serial
-// vs. the parallel experiment runtime at full width.
+// vs. the parallel experiment runtime at full width, then the multi-process
+// resumable driver (fault/distributed.h) held to the same outcome stream:
+// a two-worker cold run, a kill-one-worker-mid-shard run resumed to
+// completion, and a warm rerun restoring persisted baselines — every merged
+// result digest-gated against the single-process campaign. Bit-identity
+// always gates the exit code; only speedup claims are host-dependent.
 // ---------------------------------------------------------------------------
 
 int run_campaign_throughput_mode() {
@@ -577,6 +588,77 @@ int run_campaign_throughput_mode() {
   std::printf("\noutcomes bit-identical across thread counts: %s\n",
               identical ? "yes" : "NO (determinism bug!)");
 
+  // --- Multi-process resumable driver, gated against the in-process run ---
+  const u64 base_digest = serial_stats.digest();
+  const std::string camp_dir = "bench_campaign_dir";
+  std::error_code ec;
+  std::filesystem::remove_all(camp_dir, ec);
+
+  fault::DistributedConfig dist;
+  dist.workers = 2;
+  dist.dir = camp_dir;
+  const auto timed_distributed = [&](const char* label,
+                                     fault::DistributedCampaignResult* out) {
+    dist.run_label = label;
+    const auto start = std::chrono::steady_clock::now();
+    *out = fault::run_distributed_campaign(profile, soc_config, campaign, dist);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+  };
+
+  std::printf("\n== Multi-process resumable driver (2 workers) ==\n\n");
+  fault::DistributedCampaignResult cold;
+  const double cold_s = timed_distributed("cold", &cold);
+  const bool cold_identical =
+      cold.run.complete() && cold.stats.digest() == base_digest;
+  std::printf("cold 2-worker run: %u/%u shards, merged digest %s single-process\n",
+              cold.run.shards_completed, cold.run.shards_total,
+              cold_identical ? "==" : "!=");
+
+  // Kill-and-resume, through the exec dispatch path (each worker re-executes
+  // this binary with a shard spec). The FLEX_CAMPAIGN_DIE_SHARD hook makes the
+  // worker that runs shard 0 finish it and die before writing its result file;
+  // the resumed run must redo the missing shards and still merge bit-identical.
+  dist.use_exec = true;
+  dist.exe = "/proc/self/exe";
+  setenv("FLEX_CAMPAIGN_DIE_SHARD", "0", 1);
+  fault::DistributedCampaignResult killed;
+  timed_distributed("resume", &killed);
+  unsetenv("FLEX_CAMPAIGN_DIE_SHARD");
+  const bool kill_incomplete = !killed.run.complete();
+  fault::DistributedCampaignResult resumed;
+  timed_distributed("resume", &resumed);
+  dist.use_exec = false;
+  const bool resume_identical = resumed.run.complete() &&
+                                resumed.run.shards_resumed > 0 &&
+                                resumed.stats.digest() == base_digest;
+  std::printf("worker killed mid-shard: %u/%u shards survived; "
+              "resume: %u resumed + %u redone, merged digest %s single-process\n",
+              killed.run.shards_completed, killed.run.shards_total,
+              resumed.run.shards_resumed,
+              resumed.run.shards_total - resumed.run.shards_resumed,
+              resume_identical ? "==" : "!=");
+
+  // Warm rerun: fresh result files, same campaign dir — every shard restores
+  // its persisted warmed baseline instead of executing the warmup.
+  fault::DistributedCampaignResult warm;
+  const double warm_s = timed_distributed("warm", &warm);
+  const bool warm_identical = warm.run.complete() &&
+                              warm.run.warmup_instructions_elided > 0 &&
+                              warm.stats.digest() == base_digest;
+  std::printf("warm rerun: %llu warmup instructions elided "
+              "(%.3fs vs %.3fs cold), merged digest %s single-process\n",
+              static_cast<unsigned long long>(warm.run.warmup_instructions_elided),
+              warm_s, cold_s, warm_identical ? "==" : "!=");
+
+  std::filesystem::remove_all(camp_dir, ec);
+
+  const bool distributed_ok =
+      cold_identical && kill_incomplete && resume_identical && warm_identical;
+  std::printf("distributed merge / kill-resume / warm-start digests all "
+              "identical: %s\n",
+              distributed_ok ? "yes" : "NO (determinism bug!)");
+
   FILE* json = std::fopen("BENCH_campaign_throughput.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"bench\": \"campaign_throughput\",\n");
@@ -589,12 +671,22 @@ int run_campaign_throughput_mode() {
     std::fprintf(json, "  \"parallel\": {\"threads\": %u, \"host_seconds\": %.6f, "
                        "\"injections_per_second\": %.3f},\n",
                  max_threads, parallel_s, parallel_ips);
-    std::fprintf(json, "  \"speedup\": %.3f,\n  \"outcomes_identical\": %s\n}\n", speedup,
+    std::fprintf(json, "  \"speedup\": %.3f,\n  \"outcomes_identical\": %s,\n", speedup,
                  identical ? "true" : "false");
+    std::fprintf(json,
+                 "  \"distributed\": {\"workers\": %u, \"cold_host_seconds\": %.6f, "
+                 "\"warm_host_seconds\": %.6f, \"warmup_instructions_elided\": %llu,\n"
+                 "    \"cold_digest_identical\": %s, \"resume_digest_identical\": %s, "
+                 "\"warm_digest_identical\": %s}\n}\n",
+                 dist.workers, cold_s, warm_s,
+                 static_cast<unsigned long long>(warm.run.warmup_instructions_elided),
+                 cold_identical ? "true" : "false",
+                 resume_identical ? "true" : "false",
+                 warm_identical ? "true" : "false");
     std::fclose(json);
     std::printf("wrote BENCH_campaign_throughput.json\n");
   }
-  return identical ? 0 : 1;
+  return identical && distributed_ok ? 0 : 1;
 }
 
 // ---------------------------------------------------------------------------
@@ -1099,6 +1191,12 @@ int main(int argc, char** argv) {
   bool vuln = false;
   bool analyze = false;
   for (int i = 1; i < argc; ++i) {
+    // Exec-mode campaign worker: dispatched by the distributed driver, never
+    // by a human. Must be checked first — the worker writes shard files and
+    // exits without touching any benchmark mode.
+    if (std::strcmp(argv[i], "--campaign-worker") == 0 && i + 1 < argc) {
+      return fault::campaign_worker_main(argv[i + 1]);
+    }
     if (std::strncmp(argv[i], "--benchmark", 11) == 0) gbench = true;
     if (std::strcmp(argv[i], "--campaign") == 0) campaign = true;
     if (std::strcmp(argv[i], "--snapshot") == 0) snapshot = true;

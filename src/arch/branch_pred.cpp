@@ -2,9 +2,48 @@
 
 #include <bit>
 
+#include "common/archive.h"
 #include "common/check.h"
 
 namespace flexstep::arch {
+
+void BranchPredictor::Snapshot::serialize(io::ArchiveWriter& ar) const {
+  ar.put_varint(bht.size());
+  ar.put_bytes(bht.data(), bht.size());
+  ar.put_varint(btb.size());
+  for (const BtbEntry& entry : btb) {
+    ar.put_u64(entry.pc);
+    ar.put_u64(entry.target);
+    ar.put_bool(entry.valid);
+    ar.put_varint(entry.lru);
+  }
+  ar.put_varint(ras.size());
+  for (Addr ra : ras) ar.put_u64(ra);
+  ar.put_u32(ras_top);
+  ar.put_varint(btb_tick);
+}
+
+void BranchPredictor::Snapshot::deserialize(io::ArchiveReader& ar) {
+  bht.clear();
+  btb.clear();
+  ras.clear();
+  const u64 bht_count = ar.take_count(1);
+  bht.resize(ar.ok() ? static_cast<std::size_t>(bht_count) : 0);
+  ar.take_bytes(bht.data(), bht.size());
+  const u64 btb_count = ar.take_count(18);  // pc + target + valid + lru >= 18 B
+  for (u64 i = 0; ar.ok() && i < btb_count; ++i) {
+    BtbEntry entry;
+    entry.pc = ar.take_u64();
+    entry.target = ar.take_u64();
+    entry.valid = ar.take_bool();
+    entry.lru = ar.take_varint();
+    btb.push_back(entry);
+  }
+  const u64 ras_count = ar.take_count(8);
+  for (u64 i = 0; ar.ok() && i < ras_count; ++i) ras.push_back(ar.take_u64());
+  ras_top = ar.take_u32();
+  btb_tick = ar.take_varint();
+}
 
 namespace {
 constexpr u8 kWeaklyNotTaken = 1;  // counter states: 0,1 predict not-taken; 2,3 taken

@@ -8,6 +8,11 @@
 
 #include "common/types.h"
 
+namespace flexstep::io {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace flexstep::io
+
 namespace flexstep::arch {
 
 struct BranchPredictorConfig {
@@ -36,6 +41,9 @@ class BranchPredictor {
     std::size_t bytes() const {
       return bht.size() + btb.size() * sizeof(BtbEntry) + ras.size() * sizeof(Addr);
     }
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   explicit BranchPredictor(const BranchPredictorConfig& config);

@@ -2,9 +2,46 @@
 
 #include <bit>
 
+#include "common/archive.h"
 #include "common/check.h"
 
 namespace flexstep::arch {
+
+void Cache::Snapshot::serialize(io::ArchiveWriter& ar) const {
+  ar.put_varint(ways.size());
+  for (const Way& way : ways) {
+    ar.put_u64(way.tag);
+    ar.put_varint(way.lru);
+  }
+  ar.put_varint(tick);
+  ar.put_varint(hits);
+  ar.put_varint(misses);
+}
+
+void Cache::Snapshot::deserialize(io::ArchiveReader& ar) {
+  ways.clear();
+  const u64 count = ar.take_count(9);  // >= 8 tag bytes + 1 lru byte per way
+  ways.reserve(ar.ok() ? static_cast<std::size_t>(count) : 0);
+  for (u64 i = 0; ar.ok() && i < count; ++i) {
+    Way way;
+    way.tag = ar.take_u64();
+    way.lru = ar.take_varint();
+    ways.push_back(way);
+  }
+  tick = ar.take_varint();
+  hits = ar.take_varint();
+  misses = ar.take_varint();
+}
+
+void CacheHierarchy::Snapshot::serialize(io::ArchiveWriter& ar) const {
+  l1i.serialize(ar);
+  l1d.serialize(ar);
+}
+
+void CacheHierarchy::Snapshot::deserialize(io::ArchiveReader& ar) {
+  l1i.deserialize(ar);
+  l1d.deserialize(ar);
+}
 
 Cache::Cache(const CacheConfig& config, std::string name)
     : config_(config), name_(std::move(name)) {

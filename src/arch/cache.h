@@ -15,6 +15,11 @@
 
 #include "common/types.h"
 
+namespace flexstep::io {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace flexstep::io
+
 namespace flexstep::arch {
 
 struct CacheConfig {
@@ -44,6 +49,9 @@ class Cache {
     u64 hits = 0;
     u64 misses = 0;
     std::size_t bytes() const { return ways.size() * sizeof(Way); }
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   explicit Cache(const CacheConfig& config, std::string name = {});
@@ -124,6 +132,9 @@ class CacheHierarchy {
     Cache::Snapshot l1i;
     Cache::Snapshot l1d;
     std::size_t bytes() const { return l1i.bytes() + l1d.bytes(); }
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   void save(Snapshot& out) const {

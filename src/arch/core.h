@@ -90,6 +90,9 @@ class Core : private ReservationObserver {
     Status status = Status::kRunning;
 
     std::size_t bytes() const { return sizeof(*this) + caches.bytes() + bpred.bytes(); }
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   void save(Snapshot& out) const;

@@ -21,6 +21,11 @@
 #include "common/check.h"
 #include "common/types.h"
 
+namespace flexstep::io {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace flexstep::io
+
 namespace flexstep::arch {
 
 /// Receives a deferred notification when a watched (code) page is written.
@@ -68,6 +73,11 @@ class Memory {
   struct Snapshot {
     std::vector<std::pair<u64, Page>> pages;  ///< (page id, contents), id-sorted.
     std::size_t bytes() const { return pages.size() * sizeof(Page); }
+
+    /// Wire format: page count, then (id, raw 4 KiB span) pairs — all fields
+    /// fixed-width so the page payloads stay 8-aligned in the archive.
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   void save(Snapshot& out) const;

@@ -1,8 +1,10 @@
 #include "fault/campaign.h"
 
 #include <algorithm>
+#include <cstring>
 #include <vector>
 
+#include "common/archive.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "runtime/parallel.h"
@@ -55,6 +57,61 @@ void CampaignStats::merge(CampaignStats&& shard) {
   FLEX_CHECK_MSG(masked + detected + sdc + due == injected,
                  "campaign classification invariant violated: "
                  "masked + detected + sdc + due != injected");
+}
+
+u64 CampaignStats::digest() const {
+  u64 h = 14695981039346656037ULL;
+  const auto mix = [&h](u64 v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const FaultOutcome& o : outcomes) {
+    mix(o.detected ? 1 : 0);
+    u64 latency_bits = 0;
+    std::memcpy(&latency_bits, &o.latency_us, sizeof(latency_bits));
+    mix(latency_bits);
+    mix(static_cast<u64>(o.detect_kind));
+    mix(static_cast<u64>(o.target_kind));
+    mix(static_cast<u64>(o.kind));
+  }
+  return h;
+}
+
+void CampaignStats::serialize(io::ArchiveWriter& ar) const {
+  ar.put_varint(outcomes.size());
+  for (const FaultOutcome& o : outcomes) {
+    ar.put_bool(o.detected);
+    ar.put_f64(o.latency_us);
+    ar.put_u8(static_cast<u8>(o.detect_kind));
+    ar.put_u8(static_cast<u8>(o.target_kind));
+    ar.put_u8(static_cast<u8>(o.kind));
+  }
+  ar.put_varint(total_instructions);
+}
+
+void CampaignStats::deserialize(io::ArchiveReader& ar) {
+  *this = CampaignStats{};
+  const u64 count = ar.take_count(12);
+  for (u64 i = 0; ar.ok() && i < count; ++i) {
+    FaultOutcome o;
+    o.detected = ar.take_bool();
+    o.latency_us = ar.take_f64();
+    const u8 detect = ar.take_u8();
+    const u8 target = ar.take_u8();
+    const u8 kind = ar.take_u8();
+    if (ar.ok() && (detect > static_cast<u8>(fs::DetectKind::kStructural) ||
+                    target > static_cast<u8>(fs::StreamItem::Kind::kSegmentEnd) ||
+                    kind > static_cast<u8>(OutcomeKind::kDue))) {
+      ar.fail(io::ArchiveStatus::kMalformed, "fault outcome kind out of domain");
+    }
+    o.detect_kind = static_cast<fs::DetectKind>(detect);
+    o.target_kind = static_cast<fs::StreamItem::Kind>(target);
+    o.kind = static_cast<OutcomeKind>(kind);
+    if (ar.ok()) record(o);
+  }
+  total_instructions = ar.take_varint();
 }
 
 namespace {
@@ -147,16 +204,59 @@ FaultOutcome run_injection(sim::Session& victim, Rng& rng) {
   return outcome;
 }
 
+}  // namespace
+
+namespace detail {
+
+/// A BaselineStore hit is honoured only on an exact tag match, so stale
+/// files from another configuration re-warm instead of corrupting the
+/// campaign.
+u64 baseline_tag(const workloads::WorkloadProfile& profile,
+                 const soc::SocConfig& soc_config,
+                 const CampaignConfig& campaign, u32 shard_index,
+                 u64 session_seed, u64 warmup_rounds, u64 salt) {
+  u64 h = 14695981039346656037ULL;
+  const auto mix_bytes = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix = [&](u64 v) { mix_bytes(&v, sizeof(v)); };
+  mix_bytes(profile.name.data(), profile.name.size());
+  mix(campaign.seed);
+  mix(shard_index);
+  mix(session_seed);
+  mix(warmup_rounds);
+  mix(campaign.workload_iterations);
+  mix(soc_config.num_cores);
+  mix(static_cast<u64>(campaign.engine.value_or(soc::default_engine())));
+  mix(salt);
+  return h;
+}
+
+std::vector<u32> shard_quotas(u32 target_faults, u32 shards) {
+  // Shards beyond target_faults would all get a zero quota, so capping here
+  // changes no outcome — it only bounds the allocations.
+  const u32 n = std::min<u32>(shards, target_faults);
+  std::vector<u32> quota(n);
+  for (u32 s = 0; s < n; ++s) {
+    quota[s] = target_faults / n + (s < target_faults % n ? 1 : 0);
+  }
+  return quota;
+}
+
 /// One shard: a clean baseline session walks warmup + inter-injection gaps;
 /// every injection runs in a disposable session materialised at the baseline's
 /// current state — restored from a snapshot (kSnapshotFork) or re-executed
 /// from scratch (kWarmupReexecution). Everything random derives from
 /// (campaign.seed, shard_index), so a shard's outcome stream is independent
-/// of which thread runs it — and of the materialisation mode.
+/// of which thread or process runs it — and of the materialisation mode.
 CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
                                  const CampaignConfig& campaign, u32 shard_index,
-                                 u32 target_faults) {
+                                 u32 target_faults, BaselineStore* baselines) {
   CampaignStats stats;
   Rng shard_rng = runtime::stream_rng(campaign.seed, shard_index);
   Rng rng = shard_rng.split();               // fault-placement draws
@@ -164,7 +264,11 @@ CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
   u64 session_seed = shard_rng.next_u64();   // workload-build seeds
 
   const bool fork_mode = campaign.mode == CampaignMode::kSnapshotFork;
+  // Stores only engage in fork mode: re-execution victims replay the
+  // baseline's advance schedule, which a restored baseline never executed.
+  BaselineStore* store = fork_mode ? baselines : nullptr;
   u32 failed_warmups = 0;
+  u32 ordinal = 0;  ///< Successful warmups so far — the store key.
 
   while (stats.injected < target_faults) {
     const sim::Scenario scenario =
@@ -178,8 +282,25 @@ CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
       return baseline.advance(rounds);
     };
 
-    if (!baseline_advance(campaign.warmup_rounds +
-                          pace_rng.next_below(kWarmupJitter))) {
+    // The warmup draw happens unconditionally (the pace_rng stream must not
+    // depend on store hits), and its length is part of the baseline tag.
+    const u64 warmup = campaign.warmup_rounds + pace_rng.next_below(kWarmupJitter);
+    u64 baseline_restored = 0;  ///< Instret restored (not executed) from the store.
+    bool warm = false;
+    if (store != nullptr) {
+      const u64 tag = baseline_tag(profile, soc_config, campaign, shard_index,
+                                   session_seed, warmup, /*salt=*/0);
+      if (store->try_load(shard_index, ordinal, tag, baseline)) {
+        baseline_restored = baseline.total_instret();
+        warm = true;
+      } else if ((warm = baseline_advance(warmup))) {
+        store->save(shard_index, ordinal, tag, baseline);
+      }
+      if (warm) ++ordinal;
+    } else {
+      warm = baseline_advance(warmup);
+    }
+    if (!warm) {
       stats.total_instructions += baseline.total_instret();
       ++failed_warmups;
       FLEX_CHECK_MSG(failed_warmups < kMaxWarmupRetries,
@@ -218,12 +339,12 @@ CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
       session_alive = baseline_advance(campaign.gap_rounds +
                                        pace_rng.next_below(kGapJitter));
     }
-    stats.total_instructions += baseline.total_instret();
+    stats.total_instructions += baseline.total_instret() - baseline_restored;
   }
   return stats;
 }
 
-}  // namespace
+}  // namespace detail
 
 CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
@@ -238,22 +359,18 @@ CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
   FLEX_CHECK_MSG(campaign.warmup_rounds > 0 && campaign.gap_rounds > 0,
                  "fault campaign: warmup_rounds and gap_rounds need a nonzero "
                  "horizon");
-  // Shards beyond target_faults would all get a zero quota, so capping here
-  // changes no outcome — it only bounds the quota/partials allocations.
-  const u32 shards = std::min<u32>(campaign.shards, campaign.target_faults);
   // Shard quotas: target_faults split as evenly as possible, the remainder
-  // going to the lowest shard indices. The split depends only on the config.
-  std::vector<u32> quota(shards);
-  for (u32 s = 0; s < shards; ++s) {
-    quota[s] = campaign.target_faults / shards +
-               (s < campaign.target_faults % shards ? 1 : 0);
-  }
+  // going to the lowest shard indices. The split depends only on the config
+  // and is shared with the multi-process driver (fault/distributed.h).
+  const std::vector<u32> quota =
+      detail::shard_quotas(campaign.target_faults, campaign.shards);
+  const u32 shards = static_cast<u32>(quota.size());
 
   auto shard_job = [&](std::size_t s) {
     return quota[s] == 0
                ? CampaignStats{}
-               : run_campaign_shard(profile, soc_config, campaign,
-                                    static_cast<u32>(s), quota[s]);
+               : detail::run_campaign_shard(profile, soc_config, campaign,
+                                            static_cast<u32>(s), quota[s]);
   };
   auto fold = [](CampaignStats& acc, CampaignStats&& part) {
     acc.merge(std::move(part));

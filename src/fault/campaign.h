@@ -16,6 +16,15 @@
 #include "soc/verified_run.h"
 #include "workloads/profile.h"
 
+namespace flexstep::io {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace flexstep::io
+
+namespace flexstep::sim {
+class Session;
+}  // namespace flexstep::sim
+
 namespace flexstep::fault {
 
 /// Default shard count for sharded campaigns. Fixed (not derived from the
@@ -125,6 +134,38 @@ struct CampaignStats {
   /// Enforces the classification invariant
   /// masked + detected + sdc + due == injected on the merged result.
   void merge(CampaignStats&& shard);
+
+  /// Order-sensitive FNV-1a digest of the outcome stream (detected flag,
+  /// latency bits, detect/target/outcome kinds). Deliberately EXCLUDES
+  /// total_instructions: that counter measures host work, which legitimately
+  /// differs between a cold campaign and one resumed from persisted baselines
+  /// while the classified outcomes stay bit-identical. The distributed-merge
+  /// and resume gates compare this.
+  u64 digest() const;
+
+  /// Wire format (shard checkpoint files): the outcome stream + the
+  /// total_instructions counter; deserialize() rebuilds every rollup counter
+  /// through record(), so a decoded shard satisfies the classification
+  /// invariant by construction.
+  void serialize(io::ArchiveWriter& ar) const;
+  void deserialize(io::ArchiveReader& ar);
+};
+
+/// Persistence seam for warmed baseline sessions. A campaign shard asks the
+/// store for a baseline keyed by (shard, ordinal, tag) before executing a
+/// warmup; on a hit the warmup is elided entirely (restore is bit-exact, so
+/// outcomes are unchanged), on a miss the shard executes the warmup and
+/// offers the warmed state back. `tag` fingerprints everything the warmed
+/// state depends on (profile, seed, shard, session seed, warmup length,
+/// iterations, platform), so a stale or foreign file can never be restored.
+/// Stores only engage in kSnapshotFork mode — re-execution victims replay the
+/// baseline's advance schedule, which a restored baseline never executed.
+class BaselineStore {
+ public:
+  virtual ~BaselineStore() = default;
+  /// Restore the keyed baseline into `session` if present and tag-matching.
+  virtual bool try_load(u32 shard, u32 ordinal, u64 tag, sim::Session& session) = 0;
+  virtual void save(u32 shard, u32 ordinal, u64 tag, const sim::Session& session) = 0;
 };
 
 /// Run a campaign on `profile` under dual-core verification. The campaign is
@@ -138,5 +179,35 @@ struct CampaignStats {
 CampaignStats run_fault_campaign(const workloads::WorkloadProfile& profile,
                                  const soc::SocConfig& soc_config,
                                  const CampaignConfig& campaign);
+
+namespace detail {
+
+/// The per-shard quota split run_fault_campaign uses: target_faults divided
+/// as evenly as possible over min(shards, target_faults) shards, remainder to
+/// the lowest indices. Exposed so the multi-process driver (distributed.h)
+/// partitions work identically to the in-process one.
+std::vector<u32> shard_quotas(u32 target_faults, u32 shards);
+
+/// Fingerprint of everything a warmed baseline's state depends on (workload
+/// identity + build seed, shard seeding, exact warmup length, platform,
+/// engine). `salt` separates campaign kinds whose scenarios differ beyond
+/// these fields (0 = DBC-stream campaign, 1 = whole-SoC vuln campaign).
+u64 baseline_tag(const workloads::WorkloadProfile& profile,
+                 const soc::SocConfig& soc_config,
+                 const CampaignConfig& campaign, u32 shard_index,
+                 u64 session_seed, u64 warmup_rounds, u64 salt);
+
+/// One campaign shard, exactly as run_fault_campaign executes it. Exposed so
+/// worker processes can run individual shards; everything random derives from
+/// (campaign.seed, shard_index), so a shard's outcome stream is independent
+/// of which thread OR process runs it. `baselines` (optional) elides warmups
+/// via persisted warmed state — outcomes are unchanged.
+CampaignStats run_campaign_shard(const workloads::WorkloadProfile& profile,
+                                 const soc::SocConfig& soc_config,
+                                 const CampaignConfig& campaign, u32 shard_index,
+                                 u32 target_faults,
+                                 BaselineStore* baselines = nullptr);
+
+}  // namespace detail
 
 }  // namespace flexstep::fault

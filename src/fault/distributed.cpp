@@ -1,0 +1,575 @@
+#include "fault/distributed.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/archive.h"
+#include "common/check.h"
+#include "common/log.h"
+#include "sim/scenario.h"
+#include "soc/snapshot.h"
+
+namespace flexstep::fault {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Wire formats: shard-result files and persisted baselines
+// ---------------------------------------------------------------------------
+
+/// Shard-result archive: app tag "FSHD", one meta section (campaign kind,
+/// shard index, elided-warmup counter) + one payload section (the shard's
+/// CampaignStats / VulnReport wire form).
+constexpr u32 kShardTag = 0x44485346;  // "FSHD" little-endian.
+constexpr u32 kShardVersion = 1;
+constexpr u32 kShardMetaSection = 1;
+constexpr u32 kShardPayloadSection = 2;
+
+/// Persisted-baseline archive: app tag "FBAS", one meta section (the
+/// BaselineStore tag fingerprint) followed by the soc::Snapshot sections.
+constexpr u32 kBaselineTag = 0x53414246;  // "FBAS" little-endian.
+constexpr u32 kBaselineVersion = 1;
+constexpr u32 kBaselineMetaSection = 100;  ///< Distinct from SnapshotSection ids.
+
+constexpr u8 kKindCampaign = 0;
+constexpr u8 kKindVuln = 1;
+
+std::string shard_path(const DistributedConfig& dist, u32 shard) {
+  return dist.dir + "/" + dist.run_label + "_shard_" + std::to_string(shard) +
+         ".fxar";
+}
+
+template <typename Result>
+struct ShardFile {
+  Result result;
+  u64 elided = 0;  ///< Warmup instructions restored, not executed, that run.
+};
+
+/// Decode a shard-result file; nullopt on ANY defect (missing, truncated,
+/// corrupt, wrong kind/index) — an invalid file simply means "not done",
+/// which is exactly the resume semantic. Atomic-rename writes guarantee a
+/// file that exists is either whole or from a different (stale) run.
+template <typename Result>
+std::optional<ShardFile<Result>> read_shard_file(const std::string& path,
+                                                 u8 kind, u32 shard) {
+  std::vector<u8> data;
+  if (!io::read_file(path, data).ok()) return std::nullopt;
+  io::ArchiveReader ar(data.data(), data.size(), kShardTag, kShardVersion);
+  if (!ar.begin_section(kShardMetaSection)) return std::nullopt;
+  const u8 stored_kind = ar.take_u8();
+  const u32 stored_shard = ar.take_u32();
+  ShardFile<Result> out;
+  out.elided = ar.take_varint();
+  ar.end_section();
+  if (!ar.ok() || stored_kind != kind || stored_shard != shard) {
+    return std::nullopt;
+  }
+  if (!ar.begin_section(kShardPayloadSection)) return std::nullopt;
+  out.result.deserialize(ar);
+  ar.end_section();
+  if (!ar.ok()) return std::nullopt;
+  return out;
+}
+
+template <typename Result>
+bool write_shard_file(const std::string& path, u8 kind, u32 shard, u64 elided,
+                      const Result& result) {
+  io::ArchiveWriter ar(kShardTag, kShardVersion);
+  ar.begin_section(kShardMetaSection);
+  ar.put_u8(kind);
+  ar.put_u32(shard);
+  ar.put_varint(elided);
+  ar.end_section();
+  ar.begin_section(kShardPayloadSection);
+  result.serialize(ar);
+  ar.end_section();
+  const io::ArchiveError err = ar.write_file(path);
+  if (!err.ok()) {
+    FLEX_LOG_ERROR("distributed campaign: cannot write %s: %s", path.c_str(),
+                  err.message().c_str());
+  }
+  return err.ok();
+}
+
+// ---------------------------------------------------------------------------
+// FileBaselineStore
+// ---------------------------------------------------------------------------
+
+/// BaselineStore over one directory of "FBAS" archives, keyed by
+/// (shard, ordinal) in the file name and the fingerprint tag in the file.
+/// Load failures of every kind fall back to re-warming; save failures only
+/// cost the next run its warm start. Never fatal — baselines are a cache.
+class FileBaselineStore final : public BaselineStore {
+ public:
+  explicit FileBaselineStore(std::string dir) : dir_(std::move(dir)) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+  }
+
+  u64 elided_instructions() const { return elided_; }
+
+  bool try_load(u32 shard, u32 ordinal, u64 tag, sim::Session& session) override {
+    std::vector<u8> data;
+    if (!io::read_file(path(shard, ordinal), data).ok()) return false;
+    io::ArchiveReader ar(data.data(), data.size(), kBaselineTag,
+                         kBaselineVersion);
+    if (!ar.begin_section(kBaselineMetaSection)) return false;
+    const u64 stored_tag = ar.take_u64();
+    ar.end_section();
+    if (!ar.ok() || stored_tag != tag) return false;
+    soc::Snapshot snapshot;
+    snapshot.deserialize(ar);
+    if (!ar.ok()) return false;
+    // The tag fingerprints the platform, so a tag-matching snapshot fits this
+    // session's geometry; restore() FLEX_CHECKs the remaining invariants.
+    session.restore(snapshot);
+    elided_ += session.total_instret();
+    return true;
+  }
+
+  void save(u32 shard, u32 ordinal, u64 tag,
+            const sim::Session& session) override {
+    io::ArchiveWriter ar(kBaselineTag, kBaselineVersion);
+    ar.begin_section(kBaselineMetaSection);
+    ar.put_u64(tag);
+    ar.end_section();
+    session.snapshot().serialize(ar);
+    const io::ArchiveError err = ar.write_file(path(shard, ordinal));
+    if (!err.ok()) {
+      FLEX_LOG_ERROR("baseline store: cannot write %s: %s",
+                    path(shard, ordinal).c_str(), err.message().c_str());
+    }
+  }
+
+ private:
+  std::string path(u32 shard, u32 ordinal) const {
+    return dir_ + "/baseline_s" + std::to_string(shard) + "_o" +
+           std::to_string(ordinal) + ".fxar";
+  }
+
+  std::string dir_;
+  u64 elided_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Worker body
+// ---------------------------------------------------------------------------
+
+/// Kill hook: FLEX_CAMPAIGN_DIE_SHARD=<index> makes the worker that runs that
+/// shard finish the work and _exit(42) BEFORE the result file is written —
+/// the kill-and-resume tests' "died between compute and rename" window.
+bool die_requested(u32 shard) {
+  const char* env = std::getenv("FLEX_CAMPAIGN_DIE_SHARD");
+  if (env == nullptr || *env == '\0') return false;
+  return std::strtoul(env, nullptr, 10) == shard;
+}
+
+/// Run one shard with a baseline store and persist its result. Shared by the
+/// fork-mode child and the exec-mode worker so the two dispatch modes are
+/// behaviourally identical (including the die hook).
+template <typename Result>
+void run_and_store_shard(
+    u8 kind, u32 shard, const DistributedConfig& dist,
+    const std::function<Result(u32, BaselineStore*)>& run_shard) {
+  FileBaselineStore store(dist.dir + "/baselines");
+  const Result result = run_shard(shard, &store);
+  if (die_requested(shard)) _exit(42);
+  write_shard_file(shard_path(dist, shard), kind, shard,
+                   store.elided_instructions(), result);
+}
+
+// ---------------------------------------------------------------------------
+// Parent driver
+// ---------------------------------------------------------------------------
+
+void write_journal(const DistributedConfig& dist, u8 kind,
+                   const std::vector<bool>& complete) {
+  std::string text = "# resumable campaign journal: kind=";
+  text += (kind == kKindCampaign ? "campaign" : "vuln");
+  text += " run=" + dist.run_label + "\n";
+  for (std::size_t s = 0; s < complete.size(); ++s) {
+    text += "shard " + std::to_string(s) +
+            (complete[s] ? " complete\n" : " missing\n");
+  }
+  io::write_file_atomic(dist.dir + "/" + dist.run_label + "_journal.txt",
+                        text.data(), text.size());
+}
+
+/// The generic driver: scan → partition pending shards over workers → fork
+/// (or fork+exec) → wait → rescan → merge in shard order → journal.
+/// `spawn_exec` writes a worker's spec file and returns its path (exec mode
+/// only). Returns the outcome; `merged` receives completed shards merged in
+/// ascending shard-index order (the in-process fold order).
+template <typename Result>
+DistributedOutcome drive(
+    u8 kind, u32 shards, const DistributedConfig& dist,
+    const std::function<Result(u32, BaselineStore*)>& run_shard,
+    const std::function<std::string(u32 worker, const std::vector<u32>&)>&
+        spawn_exec,
+    Result& merged) {
+  FLEX_CHECK_MSG(dist.workers >= 1,
+                 "distributed campaign: workers must be >= 1");
+  FLEX_CHECK_MSG(!dist.dir.empty(), "distributed campaign: dir must be set");
+  std::error_code ec;
+  std::filesystem::create_directories(dist.dir, ec);
+
+  DistributedOutcome out;
+  out.shards_total = shards;
+
+  // Resume scan: a shard whose result file decodes cleanly is done — its
+  // worker survived the atomic rename. Everything else re-runs.
+  std::vector<std::optional<ShardFile<Result>>> have(shards);
+  std::vector<u32> pending;
+  for (u32 s = 0; s < shards; ++s) {
+    have[s] = read_shard_file<Result>(shard_path(dist, s), kind, s);
+    if (!have[s].has_value()) pending.push_back(s);
+  }
+  out.shards_resumed = shards - static_cast<u32>(pending.size());
+
+  // Round-robin the pending shards over the workers; shard->worker placement
+  // is irrelevant to outcomes (shards are (seed, index)-seeded), so the
+  // simplest deterministic partition wins.
+  std::vector<std::vector<u32>> plan(dist.workers);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    plan[i % dist.workers].push_back(pending[i]);
+  }
+
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> children;
+  for (u32 w = 0; w < dist.workers; ++w) {
+    if (plan[w].empty()) continue;
+    const pid_t pid = fork();
+    FLEX_CHECK_MSG(pid >= 0, "distributed campaign: fork() failed");
+    if (pid == 0) {
+      if (spawn_exec != nullptr) {
+        const std::string spec = spawn_exec(w, plan[w]);
+        execl(dist.exe.c_str(), dist.exe.c_str(), "--campaign-worker",
+              spec.c_str(), static_cast<char*>(nullptr));
+        std::fprintf(stderr, "campaign worker: exec %s failed\n",
+                     dist.exe.c_str());
+        _exit(127);
+      }
+      for (u32 s : plan[w]) run_and_store_shard(kind, s, dist, run_shard);
+      _exit(0);
+    }
+    children.push_back(pid);
+  }
+  for (pid_t pid : children) {
+    int status = 0;
+    waitpid(pid, &status, 0);
+    // A dead worker is not fatal to the driver: its shards simply stay
+    // missing and the next invocation resumes them.
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      FLEX_LOG_ERROR("distributed campaign: worker %d exited abnormally "
+                    "(status %d) — run again to resume its shards",
+                    static_cast<int>(pid), status);
+    }
+  }
+
+  // Rescan what the workers produced, then merge every completed shard in
+  // ascending index order — the exact fold order of the in-process driver.
+  std::vector<bool> complete(shards, false);
+  for (u32 s = 0; s < shards; ++s) {
+    if (!have[s].has_value()) {
+      have[s] = read_shard_file<Result>(shard_path(dist, s), kind, s);
+    }
+    complete[s] = have[s].has_value();
+  }
+  for (u32 s = 0; s < shards; ++s) {
+    if (!have[s].has_value()) continue;
+    ++out.shards_completed;
+    out.warmup_instructions_elided += have[s]->elided;
+    merged.merge(std::move(have[s]->result));
+  }
+  write_journal(dist, kind, complete);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Exec-mode spec files
+// ---------------------------------------------------------------------------
+
+std::string csv(const std::vector<u32>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+std::vector<u32> parse_csv(const std::string& text) {
+  std::vector<u32> out;
+  std::stringstream ss(text);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(static_cast<u32>(std::strtoul(item.c_str(), nullptr, 10)));
+    }
+  }
+  return out;
+}
+
+/// Common spec fields of both campaign kinds. Exec-mode specs carry the
+/// workload by profile name and the platform as a core count, so exec mode
+/// supports exactly the SocConfig::paper_default platforms.
+void spec_common(std::string& spec, const workloads::WorkloadProfile& profile,
+                 const soc::SocConfig& soc_config,
+                 const DistributedConfig& dist, u32 worker,
+                 const std::vector<u32>& assigned) {
+  spec += "profile=" + profile.name + "\n";
+  spec += "cores=" + std::to_string(soc_config.num_cores) + "\n";
+  spec += "dir=" + dist.dir + "\n";
+  spec += "run_label=" + dist.run_label + "\n";
+  spec += "assigned=" + csv(assigned) + "\n";
+  (void)worker;
+}
+
+std::string write_spec_file(const DistributedConfig& dist, u32 worker,
+                            const std::string& spec) {
+  const std::string path = dist.dir + "/" + dist.run_label + "_worker_" +
+                           std::to_string(worker) + ".spec";
+  const io::ArchiveError err =
+      io::write_file_atomic(path, spec.data(), spec.size());
+  FLEX_CHECK_MSG(err.ok(), "distributed campaign: cannot write worker spec");
+  return path;
+}
+
+std::map<std::string, std::string> parse_spec(const std::string& text) {
+  std::map<std::string, std::string> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    out[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  return out;
+}
+
+u64 spec_u64(const std::map<std::string, std::string>& kv,
+             const std::string& key, u64 fallback) {
+  const auto it = kv.find(key);
+  if (it == kv.end() || it->second.empty()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+std::string spec_str(const std::map<std::string, std::string>& kv,
+                     const std::string& key) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? std::string() : it->second;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public drivers
+// ---------------------------------------------------------------------------
+
+DistributedCampaignResult run_distributed_campaign(
+    const workloads::WorkloadProfile& profile, const soc::SocConfig& soc_config,
+    const CampaignConfig& campaign, const DistributedConfig& dist) {
+  const std::vector<u32> quota =
+      detail::shard_quotas(campaign.target_faults, campaign.shards);
+
+  const std::function<CampaignStats(u32, BaselineStore*)> run_shard =
+      [&](u32 s, BaselineStore* store) {
+        return detail::run_campaign_shard(profile, soc_config, campaign, s,
+                                          quota[s], store);
+      };
+  std::function<std::string(u32, const std::vector<u32>&)> spawn_exec;
+  if (dist.use_exec) {
+    spawn_exec = [&](u32 worker, const std::vector<u32>& assigned) {
+      std::string spec = "kind=campaign\n";
+      spec_common(spec, profile, soc_config, dist, worker, assigned);
+      spec += "target_faults=" + std::to_string(campaign.target_faults) + "\n";
+      spec += "warmup_rounds=" + std::to_string(campaign.warmup_rounds) + "\n";
+      spec += "gap_rounds=" + std::to_string(campaign.gap_rounds) + "\n";
+      spec += "seed=" + std::to_string(campaign.seed) + "\n";
+      spec += "workload_iterations=" +
+              std::to_string(campaign.workload_iterations) + "\n";
+      spec += "shards=" + std::to_string(campaign.shards) + "\n";
+      spec += std::string("mode=") +
+              (campaign.mode == CampaignMode::kSnapshotFork ? "fork" : "reexec") +
+              "\n";
+      if (campaign.engine.has_value()) {
+        spec += "engine=" +
+                std::to_string(static_cast<int>(*campaign.engine)) + "\n";
+      }
+      return write_spec_file(dist, worker, spec);
+    };
+  }
+
+  DistributedCampaignResult result;
+  result.run = drive<CampaignStats>(kKindCampaign,
+                                    static_cast<u32>(quota.size()), dist,
+                                    run_shard, spawn_exec, result.stats);
+  return result;
+}
+
+DistributedVulnResult run_distributed_vuln_campaign(
+    const workloads::WorkloadProfile& profile, const soc::SocConfig& soc_config,
+    const VulnConfig& config, const DistributedConfig& dist) {
+  const std::vector<u32> quota =
+      detail::shard_quotas(config.target_faults, config.shards);
+  const std::vector<Component> comps = detail::resolve_components(config);
+  std::vector<u32> start(quota.size());
+  u32 assigned_faults = 0;
+  for (std::size_t s = 0; s < quota.size(); ++s) {
+    start[s] = assigned_faults;
+    assigned_faults += quota[s];
+  }
+
+  const std::function<VulnReport(u32, BaselineStore*)> run_shard =
+      [&](u32 s, BaselineStore* store) {
+        return detail::run_vuln_shard(profile, soc_config, config, comps, s,
+                                      quota[s], start[s], store);
+      };
+  std::function<std::string(u32, const std::vector<u32>&)> spawn_exec;
+  if (dist.use_exec) {
+    spawn_exec = [&](u32 worker, const std::vector<u32>& assigned) {
+      std::string spec = "kind=vuln\n";
+      spec_common(spec, profile, soc_config, dist, worker, assigned);
+      spec += "target_faults=" + std::to_string(config.target_faults) + "\n";
+      spec += "warmup_rounds=" + std::to_string(config.warmup_rounds) + "\n";
+      spec += "gap_rounds=" + std::to_string(config.gap_rounds) + "\n";
+      spec += "horizon=" + std::to_string(config.horizon) + "\n";
+      spec += "seed=" + std::to_string(config.seed) + "\n";
+      spec += "workload_iterations=" +
+              std::to_string(config.workload_iterations) + "\n";
+      spec += "shards=" + std::to_string(config.shards) + "\n";
+      spec += std::string("mode=") +
+              (config.mode == CampaignMode::kSnapshotFork ? "fork" : "reexec") +
+              "\n";
+      spec += std::string("root_cause=") + (config.root_cause ? "1" : "0") + "\n";
+      if (config.engine.has_value()) {
+        spec += "engine=" + std::to_string(static_cast<int>(*config.engine)) +
+                "\n";
+      }
+      if (!config.components.empty()) {
+        std::vector<u32> comp_ids;
+        for (Component c : config.components) {
+          comp_ids.push_back(static_cast<u32>(c));
+        }
+        spec += "components=" + csv(comp_ids) + "\n";
+      }
+      return write_spec_file(dist, worker, spec);
+    };
+  }
+
+  DistributedVulnResult result;
+  result.run = drive<VulnReport>(kKindVuln, static_cast<u32>(quota.size()),
+                                 dist, run_shard, spawn_exec, result.report);
+  return result;
+}
+
+int campaign_worker_main(const std::string& spec_path) {
+  std::vector<u8> raw;
+  if (!io::read_file(spec_path, raw).ok()) {
+    std::fprintf(stderr, "campaign worker: cannot read spec %s\n",
+                 spec_path.c_str());
+    return 2;
+  }
+  const auto kv = parse_spec(
+      std::string(reinterpret_cast<const char*>(raw.data()), raw.size()));
+
+  const std::string kind = spec_str(kv, "kind");
+  const std::string profile_name = spec_str(kv, "profile");
+  if ((kind != "campaign" && kind != "vuln") || profile_name.empty()) {
+    std::fprintf(stderr, "campaign worker: malformed spec %s\n",
+                 spec_path.c_str());
+    return 2;
+  }
+  const workloads::WorkloadProfile& profile =
+      workloads::find_profile(profile_name);
+  const soc::SocConfig soc_config = soc::SocConfig::paper_default(
+      static_cast<u32>(spec_u64(kv, "cores", 2)));
+
+  DistributedConfig dist;
+  dist.dir = spec_str(kv, "dir");
+  dist.run_label = spec_str(kv, "run_label");
+  const std::vector<u32> assigned = parse_csv(spec_str(kv, "assigned"));
+
+  if (kind == "campaign") {
+    CampaignConfig campaign;
+    campaign.target_faults = static_cast<u32>(spec_u64(kv, "target_faults", 0));
+    campaign.warmup_rounds = spec_u64(kv, "warmup_rounds", 0);
+    campaign.gap_rounds = spec_u64(kv, "gap_rounds", 0);
+    campaign.seed = spec_u64(kv, "seed", 0);
+    campaign.workload_iterations =
+        static_cast<u32>(spec_u64(kv, "workload_iterations", 0));
+    campaign.shards = static_cast<u32>(spec_u64(kv, "shards", 1));
+    campaign.mode = spec_str(kv, "mode") == "reexec"
+                        ? CampaignMode::kWarmupReexecution
+                        : CampaignMode::kSnapshotFork;
+    if (kv.count("engine") != 0) {
+      campaign.engine =
+          static_cast<soc::Engine>(spec_u64(kv, "engine", 0));
+    }
+    const std::vector<u32> quota =
+        detail::shard_quotas(campaign.target_faults, campaign.shards);
+    const std::function<CampaignStats(u32, BaselineStore*)> run_shard =
+        [&](u32 s, BaselineStore* store) {
+          return detail::run_campaign_shard(profile, soc_config, campaign, s,
+                                            quota[s], store);
+        };
+    for (u32 s : assigned) {
+      if (s >= quota.size()) return 2;
+      run_and_store_shard(kKindCampaign, s, dist, run_shard);
+    }
+    return 0;
+  }
+
+  VulnConfig config;
+  config.target_faults = static_cast<u32>(spec_u64(kv, "target_faults", 0));
+  config.warmup_rounds = spec_u64(kv, "warmup_rounds", 0);
+  config.gap_rounds = spec_u64(kv, "gap_rounds", 0);
+  config.horizon = spec_u64(kv, "horizon", 0);
+  config.seed = spec_u64(kv, "seed", 0);
+  config.workload_iterations =
+      static_cast<u32>(spec_u64(kv, "workload_iterations", 0));
+  config.shards = static_cast<u32>(spec_u64(kv, "shards", 1));
+  config.mode = spec_str(kv, "mode") == "reexec"
+                    ? CampaignMode::kWarmupReexecution
+                    : CampaignMode::kSnapshotFork;
+  config.root_cause = spec_u64(kv, "root_cause", 0) != 0;
+  if (kv.count("engine") != 0) {
+    config.engine = static_cast<soc::Engine>(spec_u64(kv, "engine", 0));
+  }
+  for (u32 c : parse_csv(spec_str(kv, "components"))) {
+    if (c >= kComponentCount) return 2;
+    config.components.push_back(static_cast<Component>(c));
+  }
+  const std::vector<u32> quota =
+      detail::shard_quotas(config.target_faults, config.shards);
+  const std::vector<Component> comps = detail::resolve_components(config);
+  std::vector<u32> start(quota.size());
+  u32 assigned_faults = 0;
+  for (std::size_t s = 0; s < quota.size(); ++s) {
+    start[s] = assigned_faults;
+    assigned_faults += quota[s];
+  }
+  const std::function<VulnReport(u32, BaselineStore*)> run_shard =
+      [&](u32 s, BaselineStore* store) {
+        return detail::run_vuln_shard(profile, soc_config, config, comps, s,
+                                      quota[s], start[s], store);
+      };
+  for (u32 s : assigned) {
+    if (s >= quota.size()) return 2;
+    run_and_store_shard(kKindVuln, s, dist, run_shard);
+  }
+  return 0;
+}
+
+}  // namespace flexstep::fault

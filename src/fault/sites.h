@@ -31,6 +31,7 @@
 namespace flexstep::soc {
 class Soc;
 struct Snapshot;
+u64 snapshot_digest(const Snapshot& snapshot);
 }  // namespace flexstep::soc
 
 namespace flexstep::fault {
@@ -110,10 +111,12 @@ inline std::optional<FaultSite> parse_site(std::string_view text) {
   return parse_site_checked(text).site;
 }
 
-/// Field-wise FNV-1a digest of a full SoC snapshot. Field-wise (never a raw
-/// struct memcpy) so padding bytes in snapshot records can't leak
-/// indeterminate host state into the digest; used by the flip round-trip
-/// tests and the campaign determinism gates.
-u64 snapshot_digest(const soc::Snapshot& snapshot);
+/// Field-wise FNV-1a digest of a full SoC snapshot. The implementation lives
+/// in src/soc/ with the snapshot type so every digest user — fault gates,
+/// snapshot-file identity tests, the distributed campaign merge check —
+/// shares one definition; re-exported here so existing fault-layer callers
+/// keep compiling unchanged (and stay unambiguous against ADL, which also
+/// finds the soc:: name through the argument type).
+using soc::snapshot_digest;
 
 }  // namespace flexstep::fault

@@ -6,6 +6,7 @@
 
 #include "arch/core.h"
 #include "arch/memory.h"
+#include "common/archive.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "flexstep/channel.h"
@@ -116,6 +117,53 @@ u64 VulnReport::digest() const {
     mix(r.rc_golden_pc);
   }
   return h;
+}
+
+void VulnReport::serialize(io::ArchiveWriter& ar) const {
+  ar.put_varint(records.size());
+  for (const InjectionRecord& r : records) {
+    ar.put_u8(static_cast<u8>(r.site.component));
+    ar.put_varint(r.site.index);
+    ar.put_varint(r.site.bit);
+    ar.put_varint(r.site.cycle);
+    ar.put_u8(static_cast<u8>(r.outcome));
+    ar.put_u8(static_cast<u8>(r.detect_kind));
+    ar.put_f64(r.latency_us);
+    ar.put_bool(r.rc_valid);
+    ar.put_varint(r.rc_instret);
+    ar.put_u64(r.rc_victim_pc);
+    ar.put_u64(r.rc_golden_pc);
+  }
+  ar.put_varint(total_instructions);
+}
+
+void VulnReport::deserialize(io::ArchiveReader& ar) {
+  *this = VulnReport{};
+  const u64 count = ar.take_count(16);
+  for (u64 i = 0; ar.ok() && i < count; ++i) {
+    InjectionRecord r;
+    const u8 component = ar.take_u8();
+    r.site.index = ar.take_varint();
+    r.site.bit = ar.take_varint();
+    r.site.cycle = ar.take_varint();
+    const u8 outcome = ar.take_u8();
+    const u8 detect = ar.take_u8();
+    if (ar.ok() && (component >= kComponentCount ||
+                    outcome > static_cast<u8>(OutcomeKind::kDue) ||
+                    detect > static_cast<u8>(fs::DetectKind::kStructural))) {
+      ar.fail(io::ArchiveStatus::kMalformed, "injection record out of domain");
+    }
+    r.site.component = static_cast<Component>(component);
+    r.outcome = static_cast<OutcomeKind>(outcome);
+    r.detect_kind = static_cast<fs::DetectKind>(detect);
+    r.latency_us = ar.take_f64();
+    r.rc_valid = ar.take_bool();
+    r.rc_instret = ar.take_varint();
+    r.rc_victim_pc = ar.take_u64();
+    r.rc_golden_pc = ar.take_u64();
+    if (ar.ok()) add(r);
+  }
+  total_instructions = ar.take_varint();
 }
 
 std::string VulnReport::render() const {
@@ -384,6 +432,20 @@ InjectionRecord run_one_injection(sim::Session& victim, Component component,
   return rec;
 }
 
+}  // namespace
+
+namespace detail {
+
+std::vector<Component> resolve_components(const VulnConfig& config) {
+  std::vector<Component> comps = config.components;
+  if (comps.empty()) {
+    for (std::size_t c = 0; c < kComponentCount; ++c) {
+      comps.push_back(static_cast<Component>(c));
+    }
+  }
+  return comps;
+}
+
 /// One shard: identical structure to the DBC campaign's shard
 /// (campaign.cpp) — clean baseline walks warmup + gaps, every injection runs
 /// in a disposable session materialised per `config.mode`. The target
@@ -393,7 +455,8 @@ VulnReport run_vuln_shard(const workloads::WorkloadProfile& profile,
                           const soc::SocConfig& soc_config,
                           const VulnConfig& config,
                           const std::vector<Component>& comps, u32 shard_index,
-                          u32 target_faults, u32 global_start) {
+                          u32 target_faults, u32 global_start,
+                          BaselineStore* baselines) {
   VulnReport report;
   Rng shard_rng = runtime::stream_rng(config.seed, shard_index);
   Rng rng = shard_rng.split();               // site-placement draws
@@ -401,8 +464,19 @@ VulnReport run_vuln_shard(const workloads::WorkloadProfile& profile,
   u64 session_seed = shard_rng.next_u64();   // workload-build seeds
 
   const bool fork_mode = config.mode == CampaignMode::kSnapshotFork;
+  // Stores only engage in fork mode (see campaign.cpp): re-execution victims
+  // replay the baseline's schedule, which a restored baseline never executed.
+  BaselineStore* store = fork_mode ? baselines : nullptr;
   u32 failed_warmups = 0;
   u32 done = 0;
+  u32 ordinal = 0;  ///< Successful warmups so far — the store key.
+
+  // The baseline tag shares the DBC campaign's fingerprint fields; salt 1
+  // separates the two campaign kinds (vuln scenarios tolerate stalls).
+  CampaignConfig tag_fields;
+  tag_fields.seed = config.seed;
+  tag_fields.workload_iterations = config.workload_iterations;
+  tag_fields.engine = config.engine;
 
   while (done < target_faults) {
     const sim::Scenario scenario =
@@ -414,8 +488,23 @@ VulnReport run_vuln_shard(const workloads::WorkloadProfile& profile,
       return baseline.advance(rounds);
     };
 
-    if (!baseline_advance(config.warmup_rounds +
-                          pace_rng.next_below(kWarmupJitter))) {
+    const u64 warmup = config.warmup_rounds + pace_rng.next_below(kWarmupJitter);
+    u64 baseline_restored = 0;  ///< Instret restored (not executed) from the store.
+    bool warm = false;
+    if (store != nullptr) {
+      const u64 tag = baseline_tag(profile, soc_config, tag_fields, shard_index,
+                                   session_seed, warmup, /*salt=*/1);
+      if (store->try_load(shard_index, ordinal, tag, baseline)) {
+        baseline_restored = baseline.total_instret();
+        warm = true;
+      } else if ((warm = baseline_advance(warmup))) {
+        store->save(shard_index, ordinal, tag, baseline);
+      }
+      if (warm) ++ordinal;
+    } else {
+      warm = baseline_advance(warmup);
+    }
+    if (!warm) {
       report.total_instructions += baseline.total_instret();
       ++failed_warmups;
       FLEX_CHECK_MSG(failed_warmups < kMaxWarmupRetries,
@@ -457,12 +546,12 @@ VulnReport run_vuln_shard(const workloads::WorkloadProfile& profile,
       session_alive = baseline_advance(config.gap_rounds +
                                        pace_rng.next_below(kGapJitter));
     }
-    report.total_instructions += baseline.total_instret();
+    report.total_instructions += baseline.total_instret() - baseline_restored;
   }
   return report;
 }
 
-}  // namespace
+}  // namespace detail
 
 VulnReport run_vuln_campaign(const workloads::WorkloadProfile& profile,
                              const soc::SocConfig& soc_config,
@@ -476,20 +565,14 @@ VulnReport run_vuln_campaign(const workloads::WorkloadProfile& profile,
                  "vuln campaign: warmup_rounds, gap_rounds and horizon must "
                  "all be nonzero");
 
-  std::vector<Component> comps = config.components;
-  if (comps.empty()) {
-    for (std::size_t c = 0; c < kComponentCount; ++c) {
-      comps.push_back(static_cast<Component>(c));
-    }
-  }
+  const std::vector<Component> comps = detail::resolve_components(config);
 
-  const u32 shards = std::min<u32>(config.shards, config.target_faults);
-  std::vector<u32> quota(shards);
+  const std::vector<u32> quota =
+      detail::shard_quotas(config.target_faults, config.shards);
+  const u32 shards = static_cast<u32>(quota.size());
   std::vector<u32> start(shards);
   u32 assigned = 0;
   for (u32 s = 0; s < shards; ++s) {
-    quota[s] = config.target_faults / shards +
-               (s < config.target_faults % shards ? 1 : 0);
     start[s] = assigned;
     assigned += quota[s];
   }
@@ -497,8 +580,8 @@ VulnReport run_vuln_campaign(const workloads::WorkloadProfile& profile,
   auto shard_job = [&](std::size_t s) {
     return quota[s] == 0
                ? VulnReport{}
-               : run_vuln_shard(profile, soc_config, config, comps,
-                                static_cast<u32>(s), quota[s], start[s]);
+               : detail::run_vuln_shard(profile, soc_config, config, comps,
+                                        static_cast<u32>(s), quota[s], start[s]);
   };
   auto fold = [](VulnReport& acc, VulnReport&& part) {
     acc.merge(std::move(part));

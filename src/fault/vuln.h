@@ -125,11 +125,20 @@ struct VulnReport {
 
   /// Order-sensitive FNV-1a digest of the full record stream (site, outcome,
   /// detect kind, latency bits, root-cause fields). Two campaigns classified
-  /// identically iff their digests match — the determinism gates compare this.
+  /// identically iff their digests match — the determinism gates compare
+  /// this. Deliberately EXCLUDES total_instructions, which measures host work
+  /// (a resumed campaign executes less while classifying identically).
   u64 digest() const;
 
   /// Multi-line per-component summary table.
   std::string render() const;
+
+  /// Wire format (shard checkpoint files): the record stream + the
+  /// total_instructions counter; deserialize() rebuilds every per-component
+  /// rollup through add(), so a decoded report satisfies check_invariant()
+  /// by construction.
+  void serialize(io::ArchiveWriter& ar) const;
+  void deserialize(io::ArchiveReader& ar);
 };
 
 /// Run a whole-SoC vulnerability campaign on `profile` under dual-core
@@ -139,5 +148,26 @@ struct VulnReport {
 VulnReport run_vuln_campaign(const workloads::WorkloadProfile& profile,
                              const soc::SocConfig& soc_config,
                              const VulnConfig& config);
+
+namespace detail {
+
+/// The component rotation run_vuln_campaign injects into: config.components,
+/// or all seven classes when empty. Exposed so worker processes resolve the
+/// identical rotation.
+std::vector<Component> resolve_components(const VulnConfig& config);
+
+/// One vulnerability-campaign shard, exactly as run_vuln_campaign executes
+/// it. `global_start` is the shard's first global injection index (drives the
+/// component rotation); `baselines` optionally elides warmups via persisted
+/// warmed state — outcomes are unchanged. Deterministic in
+/// (config.seed, shard_index) regardless of thread or process placement.
+VulnReport run_vuln_shard(const workloads::WorkloadProfile& profile,
+                          const soc::SocConfig& soc_config,
+                          const VulnConfig& config,
+                          const std::vector<Component>& comps, u32 shard_index,
+                          u32 target_faults, u32 global_start,
+                          BaselineStore* baselines = nullptr);
+
+}  // namespace detail
 
 }  // namespace flexstep::fault

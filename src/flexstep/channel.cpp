@@ -2,9 +2,116 @@
 
 #include <algorithm>
 
+#include "common/archive.h"
 #include "common/check.h"
 
 namespace flexstep::fs {
+
+namespace {
+
+void serialize_item(io::ArchiveWriter& ar, const StreamItem& item) {
+  ar.put_u8(static_cast<u8>(item.kind));
+  ar.put_varint(item.seq);
+  ar.put_varint(item.visible_at);
+  ar.put_u8(static_cast<u8>(item.mem.kind));
+  ar.put_u8(item.mem.bytes);
+  ar.put_u64(item.mem.addr);
+  ar.put_u64(item.mem.data);
+  ar.put_u64(item.state.pc);
+  for (u64 r : item.state.regs) ar.put_u64(r);
+  ar.put_varint(item.inst_count);
+}
+
+StreamItem deserialize_item(io::ArchiveReader& ar) {
+  StreamItem item;
+  const u8 kind = ar.take_u8();
+  if (ar.ok() && kind > static_cast<u8>(StreamItem::Kind::kSegmentEnd)) {
+    ar.fail(io::ArchiveStatus::kMalformed, "stream item kind out of domain");
+  }
+  item.kind = static_cast<StreamItem::Kind>(kind);
+  item.seq = ar.take_varint();
+  item.visible_at = ar.take_varint();
+  const u8 mem_kind = ar.take_u8();
+  if (ar.ok() && mem_kind > static_cast<u8>(MemEntryKind::kAmoStore)) {
+    ar.fail(io::ArchiveStatus::kMalformed, "MAL entry kind out of domain");
+  }
+  item.mem.kind = static_cast<MemEntryKind>(mem_kind);
+  item.mem.bytes = ar.take_u8();
+  item.mem.addr = ar.take_u64();
+  item.mem.data = ar.take_u64();
+  item.state.pc = ar.take_u64();
+  for (u64& r : item.state.regs) r = ar.take_u64();
+  item.inst_count = ar.take_varint();
+  return item;
+}
+
+}  // namespace
+
+void Channel::Snapshot::serialize(io::ArchiveWriter& ar) const {
+  ar.put_varint(main_id);
+  ar.put_varint(checker_id);
+  ar.put_varint(items.size());
+  for (const StreamItem& item : items) serialize_item(ar, item);
+  ar.put_varint(segments.size());
+  for (const SegmentMeta& seg : segments) {
+    ar.put_varint(seg.inst_count);
+    ar.put_varint(seg.ready_at);
+    ar.put_varint(seg.end_seq);
+  }
+  ar.put_varint(next_seq);
+  ar.put_varint(last_popped_seq);
+  ar.put_varint(last_pop_cycle);
+  ar.put_bool(closed);
+  ar.put_varint(max_occupancy);
+  ar.put_varint(backpressure_events);
+  ar.put_bool(fault.has_value());
+  if (fault.has_value()) {
+    ar.put_varint(fault->seq);
+    ar.put_u64(fault->segment_end_seq);  // kUnresolvedSegmentEnd = ~0
+    ar.put_varint(fault->injected_at);
+    ar.put_u8(static_cast<u8>(fault->item_kind));
+    ar.put_u8(fault->bit);
+  }
+}
+
+void Channel::Snapshot::deserialize(io::ArchiveReader& ar) {
+  items.clear();
+  segments.clear();
+  fault.reset();
+  main_id = static_cast<CoreId>(ar.take_varint());
+  checker_id = static_cast<CoreId>(ar.take_varint());
+  const u64 item_count = ar.take_count(1 + 1 + 1 + 1 + 16 + 8 + 256 + 1);
+  for (u64 i = 0; ar.ok() && i < item_count; ++i) {
+    items.push_back(deserialize_item(ar));
+  }
+  const u64 seg_count = ar.take_count(3);
+  for (u64 i = 0; ar.ok() && i < seg_count; ++i) {
+    SegmentMeta seg;
+    seg.inst_count = ar.take_varint();
+    seg.ready_at = ar.take_varint();
+    seg.end_seq = ar.take_varint();
+    segments.push_back(seg);
+  }
+  next_seq = ar.take_varint();
+  last_popped_seq = ar.take_varint();
+  last_pop_cycle = ar.take_varint();
+  closed = ar.take_bool();
+  max_occupancy = ar.take_varint();
+  backpressure_events = ar.take_varint();
+  if (ar.take_bool()) {
+    InjectedFault f;
+    f.seq = ar.take_varint();
+    f.segment_end_seq = ar.take_u64();
+    f.injected_at = ar.take_varint();
+    const u8 kind = ar.take_u8();
+    if (ar.ok() && kind > static_cast<u8>(StreamItem::Kind::kSegmentEnd)) {
+      ar.fail(io::ArchiveStatus::kMalformed, "injected-fault kind out of domain");
+    }
+    f.item_kind = static_cast<StreamItem::Kind>(kind);
+    f.bit = ar.take_u8();
+    if (ar.ok()) fault = f;
+  }
+}
 
 bool Channel::producer_can_push(u32 entries) const {
   if (items_.size() + entries <= config_.channel_capacity) return true;

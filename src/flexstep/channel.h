@@ -22,6 +22,11 @@
 #include "flexstep/config.h"
 #include "flexstep/stream.h"
 
+namespace flexstep::io {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace flexstep::io
+
 namespace flexstep::fs {
 
 inline constexpr Cycle kNever = ~Cycle{0};
@@ -64,6 +69,9 @@ class Channel {
     std::size_t bytes() const {
       return items.size() * sizeof(StreamItem) + segments.size() * sizeof(SegmentMeta);
     }
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   Channel(CoreId main_id, CoreId checker_id, const FlexStepConfig& config)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/archive.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "isa/csr.h"
@@ -10,6 +11,70 @@ namespace flexstep::fs {
 
 using arch::ArchState;
 using arch::CommitInfo;
+
+namespace {
+
+void serialize_state(io::ArchiveWriter& ar, const ArchState& s) {
+  ar.put_u64(s.pc);
+  for (u64 r : s.regs) ar.put_u64(r);
+}
+
+void deserialize_state(io::ArchiveReader& ar, ArchState& s) {
+  s.pc = ar.take_u64();
+  for (u64& r : s.regs) r = ar.take_u64();
+}
+
+}  // namespace
+
+void CoreUnit::Snapshot::serialize(io::ArchiveWriter& ar) const {
+  ar.put_bool(checking_enabled);
+  ar.put_bool(segment_active);
+  ar.put_varint(segment_ic);
+  ar.put_varint(checking_budget);
+  ar.put_u64(segment_start_pc);
+  ar.put_bool(checker_busy);
+  ar.put_bool(replay_active);
+  ar.put_bool(replay_suspended);
+  ar.put_bool(have_thread_ctx);
+  serialize_state(ar, ass_thread_ctx);
+  serialize_state(ar, pending_scp);
+  ar.put_varint(expected_ic);
+  ar.put_varint(replayed);
+  ar.put_bool(segment_result_ok);
+  ar.put_bool(segment_verify_failed);
+  ar.put_bool(segment_abort);
+  ar.put_varint(segments_produced);
+  ar.put_varint(segments_verified);
+  ar.put_varint(segments_failed);
+  ar.put_varint(checkpoints_captured);
+  ar.put_varint(mem_entries_logged);
+  ar.put_varint(replayed_total);
+}
+
+void CoreUnit::Snapshot::deserialize(io::ArchiveReader& ar) {
+  checking_enabled = ar.take_bool();
+  segment_active = ar.take_bool();
+  segment_ic = ar.take_varint();
+  checking_budget = ar.take_varint();
+  segment_start_pc = ar.take_u64();
+  checker_busy = ar.take_bool();
+  replay_active = ar.take_bool();
+  replay_suspended = ar.take_bool();
+  have_thread_ctx = ar.take_bool();
+  deserialize_state(ar, ass_thread_ctx);
+  deserialize_state(ar, pending_scp);
+  expected_ic = ar.take_varint();
+  replayed = ar.take_varint();
+  segment_result_ok = ar.take_bool();
+  segment_verify_failed = ar.take_bool();
+  segment_abort = ar.take_bool();
+  segments_produced = ar.take_varint();
+  segments_verified = ar.take_varint();
+  segments_failed = ar.take_varint();
+  checkpoints_captured = ar.take_varint();
+  mem_entries_logged = ar.take_varint();
+  replayed_total = ar.take_varint();
+}
 using arch::MemResult;
 using isa::Instruction;
 using isa::Opcode;

@@ -202,6 +202,9 @@ class CoreUnit final : public arch::CoreHooks, public arch::CodeWriteListener {
     u64 checkpoints_captured = 0;
     u64 mem_entries_logged = 0;
     u64 replayed_total = 0;
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   void save(Snapshot& out) const;

@@ -1,9 +1,41 @@
 #include "flexstep/error.h"
 
+#include "common/archive.h"
 #include "common/log.h"
 #include "flexstep/channel.h"
 
 namespace flexstep::fs {
+
+void ErrorReporter::Snapshot::serialize(io::ArchiveWriter& ar) const {
+  ar.put_varint(events.size());
+  for (const DetectionEvent& event : events) {
+    ar.put_varint(event.checker);
+    ar.put_varint(event.at);
+    ar.put_u8(static_cast<u8>(event.kind));
+    ar.put_bool(event.attributed);
+    ar.put_varint(event.latency);
+  }
+  ar.put_varint(attributed);
+}
+
+void ErrorReporter::Snapshot::deserialize(io::ArchiveReader& ar) {
+  events.clear();
+  const u64 count = ar.take_count(5);
+  for (u64 i = 0; ar.ok() && i < count; ++i) {
+    DetectionEvent event;
+    event.checker = static_cast<CoreId>(ar.take_varint());
+    event.at = ar.take_varint();
+    const u8 kind = ar.take_u8();
+    if (ar.ok() && kind > static_cast<u8>(DetectKind::kStructural)) {
+      ar.fail(io::ArchiveStatus::kMalformed, "detect kind out of domain");
+    }
+    event.kind = static_cast<DetectKind>(kind);
+    event.attributed = ar.take_bool();
+    event.latency = ar.take_varint();
+    events.push_back(event);
+  }
+  attributed = static_cast<std::size_t>(ar.take_varint());
+}
 
 void ErrorReporter::on_detect(Channel& channel, DetectKind kind, CoreId checker,
                               Cycle now) {

@@ -6,6 +6,11 @@
 
 #include "common/types.h"
 
+namespace flexstep::io {
+class ArchiveWriter;
+class ArchiveReader;
+}  // namespace flexstep::io
+
 namespace flexstep::fs {
 
 class Channel;
@@ -63,6 +68,9 @@ class ErrorReporter {
   struct Snapshot {
     std::vector<DetectionEvent> events;
     std::size_t attributed = 0;
+
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
   void save(Snapshot& out) const {
     out.events = events_;

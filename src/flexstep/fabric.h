@@ -79,6 +79,12 @@ class Fabric final : public InterconnectControl {
     std::vector<std::size_t> in_channel;   ///< Per unit: index + 1 (0 = none).
     std::vector<std::vector<std::size_t>> waitlists;     ///< Per checker: channel indices.
     std::size_t bytes() const;
+
+    /// Wire format. deserialize() validates the index graph (every channel
+    /// index in range, in_channel offsets by one) so a decoded snapshot never
+    /// feeds restore() an out-of-range wiring table.
+    void serialize(io::ArchiveWriter& ar) const;
+    void deserialize(io::ArchiveReader& ar);
   };
 
   void save(Snapshot& out) const;

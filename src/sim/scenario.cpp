@@ -267,6 +267,44 @@ void Session::restore(const soc::Snapshot& snapshot) {
   apply_analysis();
 }
 
+io::ArchiveError Session::save_file(const std::string& path) const {
+  return soc::save_snapshot(snapshot(), path);
+}
+
+io::ArchiveError Session::load_file(const std::string& path) {
+  soc::Snapshot loaded;
+  if (io::ArchiveError err = soc::load_snapshot(path, loaded); !err.ok()) {
+    return err;
+  }
+  // Geometry gate: restore() FLEX_CHECK-aborts on platform mismatches, but a
+  // file is untrusted input — turn shape skew into a structured error first.
+  const soc::Snapshot ref = snapshot();
+  const auto mismatch = [](const std::string& what) {
+    return io::ArchiveError{io::ArchiveStatus::kMalformed,
+                            "snapshot does not fit this session's platform: " + what};
+  };
+  if (loaded.cores.size() != ref.cores.size()) return mismatch("core count");
+  if (loaded.l2.ways.size() != ref.l2.ways.size()) return mismatch("L2 geometry");
+  for (std::size_t i = 0; i < loaded.cores.size(); ++i) {
+    const auto& a = loaded.cores[i];
+    const auto& b = ref.cores[i];
+    if (a.caches.l1i.ways.size() != b.caches.l1i.ways.size() ||
+        a.caches.l1d.ways.size() != b.caches.l1d.ways.size()) {
+      return mismatch("L1 geometry of core " + std::to_string(i));
+    }
+    if (a.bpred.bht.size() != b.bpred.bht.size() ||
+        a.bpred.btb.size() != b.bpred.btb.size() ||
+        a.bpred.ras.size() != b.bpred.ras.size()) {
+      return mismatch("predictor tables of core " + std::to_string(i));
+    }
+  }
+  if (loaded.fabric.units.size() != ref.fabric.units.size()) {
+    return mismatch("fabric unit count");
+  }
+  restore(loaded);
+  return {};
+}
+
 fs::Channel* Session::channel() {
   auto channels = soc_->fabric().channels();
   return channels.empty() ? nullptr : channels.front();

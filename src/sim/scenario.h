@@ -184,6 +184,18 @@ class Session {
   /// host-speed profile as the original.
   void restore(const soc::Snapshot& snapshot);
 
+  /// Persist the current state as a versioned, CRC-guarded snapshot archive
+  /// (soc::save_snapshot: temp file + atomic rename, never a torn file).
+  io::ArchiveError save_file(const std::string& path) const;
+  /// Load a snapshot archive and restore() this session to it. Beyond the
+  /// archive-level checks (magic / version / per-section CRC), the decoded
+  /// snapshot's geometry — core count, cache way counts, predictor table
+  /// sizes, fabric unit count — is validated against this session's platform
+  /// before restore() runs, so a snapshot from a different SocConfig yields a
+  /// structured error instead of a FLEX_CHECK abort. On any error the session
+  /// is left untouched.
+  io::ArchiveError load_file(const std::string& path);
+
   /// The static analysis backing this session (nullptr when analysis is off).
   const analysis::ProgramReport* analysis() const { return analysis_.get(); }
   /// Clone an independent session at the snapshot's state: fresh Soc, same

@@ -24,14 +24,37 @@
 // indistinguishable from the original continuing (tests/test_sim.cpp).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "arch/cache.h"
 #include "arch/core.h"
 #include "arch/memory.h"
+#include "common/archive.h"
 #include "flexstep/fabric.h"
 
 namespace flexstep::soc {
+
+/// Wire-format identity of a serialized soc::Snapshot: the archive app tag
+/// ("FSNP") and the snapshot format version. Policy: the version is bumped on
+/// ANY layout change — in this header's sections or any component
+/// serialize() — and readers reject every other version with a structured
+/// kVersionSkew (no migration shims; persisted snapshots are caches their
+/// owners recompute, not an interchange format).
+inline constexpr u32 kSnapshotAppTag = 0x504E5346;  // "FSNP" little-endian.
+inline constexpr u32 kSnapshotFormatVersion = 1;
+
+/// Section ids inside a snapshot archive, in file order. The resident-page
+/// payload gets its own section so the (large, 8-aligned, raw-span) page data
+/// can be mmap-read in place while the fiddly varint-packed state stays
+/// compact.
+enum SnapshotSection : u32 {
+  kSectionMemory = 1,
+  kSectionL2 = 2,
+  kSectionCores = 3,
+  kSectionFabric = 4,
+  kSectionDriver = 5,
+};
 
 struct Snapshot {
   arch::Memory::Snapshot memory;
@@ -50,6 +73,33 @@ struct Snapshot {
     for (const auto& core : cores) total += core.bytes();
     return total;
   }
+
+  /// Encode into `ar` as one CRC-guarded section per subsystem (the
+  /// SnapshotSection ids above). `ar` must have been constructed with
+  /// kSnapshotAppTag / kSnapshotFormatVersion.
+  void serialize(io::ArchiveWriter& ar) const;
+
+  /// Decode; mirrors serialize() exactly. On any failure (truncation, CRC,
+  /// version skew, malformed payload) `ar.error()` is latched with the first
+  /// failure and *this is left in a safe (possibly partial) state — callers
+  /// must check `ar.ok()` before using the snapshot.
+  void deserialize(io::ArchiveReader& ar);
 };
+
+/// Serialize `snapshot` and write it to `path` via temp-file + atomic rename
+/// (a crashed writer never leaves a torn file — readers see the old file or
+/// the complete new one).
+io::ArchiveError save_snapshot(const Snapshot& snapshot, const std::string& path);
+
+/// Read + decode `path` into `out`. On failure returns the structured error
+/// and leaves `out` partially filled — treat it as garbage.
+io::ArchiveError load_snapshot(const std::string& path, Snapshot& out);
+
+/// Field-wise FNV-1a digest of a full SoC snapshot. Field-wise (never a raw
+/// struct memcpy) so padding bytes in snapshot records can't leak
+/// indeterminate host state into the digest. Shared by the fault flip
+/// round-trip tests, the campaign determinism gates, and the snapshot-file
+/// round-trip identity tests.
+u64 snapshot_digest(const Snapshot& snapshot);
 
 }  // namespace flexstep::soc

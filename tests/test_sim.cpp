@@ -10,6 +10,8 @@
 //     (seed, shards) while executing measurably fewer instructions.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "common/rng.h"
 #include "fault/campaign.h"
 #include "isa/assembler.h"
@@ -80,6 +82,45 @@ TEST(Snapshot, InPlaceRestoreIsBitIdentical) {
   session.restore(warm);
   const soc::RunStats restored_run = session.run();
   EXPECT_EQ(run_on, restored_run);
+}
+
+TEST(Snapshot, FileRoundTripIsBitIdentical) {
+  // The file path of the identity suite: save_file -> load_file into a fresh
+  // session must reproduce the exact digest and be execution-indistinguishable
+  // from the session that kept its state in memory.
+  const Scenario scenario = small_verified_scenario();
+  Session session = scenario.build();
+  ASSERT_TRUE(session.advance(50'000));
+  const u64 digest_at_save = soc::snapshot_digest(session.snapshot());
+
+  const std::string path = "test_sim_snapshot.fxar";
+  ASSERT_TRUE(session.save_file(path).ok());
+
+  Session restored = scenario.build();
+  const io::ArchiveError err = restored.load_file(path);
+  ASSERT_TRUE(err.ok()) << err.message();
+  EXPECT_EQ(soc::snapshot_digest(restored.snapshot()), digest_at_save);
+
+  const soc::RunStats run_on = session.run();
+  const soc::RunStats from_file = restored.run();
+  EXPECT_EQ(run_on, from_file);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadFileRejectsForeignGeometry) {
+  // A snapshot from a dual-core platform must not restore into a single-core
+  // session: structured kMalformed, target session untouched.
+  Session dual = small_verified_scenario().build();
+  ASSERT_TRUE(dual.advance(10'000));
+  const std::string path = "test_sim_snapshot_geometry.fxar";
+  ASSERT_TRUE(dual.save_file(path).ok());
+
+  Session plain = Scenario().workload("swaptions").seed(7).iterations(600).plain().build();
+  const u64 digest_before = soc::snapshot_digest(plain.snapshot());
+  const io::ArchiveError err = plain.load_file(path);
+  EXPECT_EQ(err.status, io::ArchiveStatus::kMalformed);
+  EXPECT_EQ(soc::snapshot_digest(plain.snapshot()), digest_before);
+  std::remove(path.c_str());
 }
 
 TEST(Snapshot, ForkedSessionRunsBitIdenticalToRunOn) {

@@ -1,0 +1,396 @@
+// Wire-format robustness for the FXAR archive container and the snapshot /
+// campaign checkpoint formats built on it, plus the multi-process resumable
+// campaign driver (fork dispatch, small scale — the exec path and full-size
+// parity gates live in micro_benchmarks --campaign).
+//
+// The contracts under test:
+//   * Primitive and structure round-trips are bit-exact (re-serializing a
+//     decoded snapshot reproduces the identical byte buffer).
+//   * Every byte of a well-formed archive is covered by a check: a
+//     deterministic single-bit corruption sweep must reject EVERY flip with a
+//     structured error — never a crash, never a silent wrong decode.
+//   * Truncation at any prefix and version skew are structured errors.
+//   * A two-worker multi-process campaign merges digest-identical to the
+//     single-process run, including after a worker dies mid-shard and the
+//     campaign is resumed, and warm reruns elide persisted warmups.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "common/archive.h"
+#include "fault/campaign.h"
+#include "fault/distributed.h"
+#include "fault/vuln.h"
+#include "sim/scenario.h"
+#include "soc/snapshot.h"
+
+namespace flexstep {
+namespace {
+
+using io::ArchiveReader;
+using io::ArchiveStatus;
+using io::ArchiveWriter;
+
+constexpr u32 kTestTag = 0x54534554;  // "TEST"
+
+TEST(Archive, PrimitiveRoundTrip) {
+  ArchiveWriter w(kTestTag, 3);
+  w.begin_section(1);
+  w.put_u8(0xAB);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_bool(true);
+  w.put_bool(false);
+  w.put_f64(-2.5);
+  w.end_section();
+  w.begin_section(2);
+  w.put_varint(0);
+  w.put_varint(127);
+  w.put_varint(128);
+  w.put_varint(0xFFFFFFFFFFFFFFFFULL);
+  const u8 raw[5] = {1, 2, 3, 4, 5};
+  w.put_bytes(raw, sizeof(raw));
+  w.end_section();
+
+  const auto& buf = w.buffer();
+  ArchiveReader r(buf.data(), buf.size(), kTestTag, 3);
+  ASSERT_TRUE(r.begin_section(1));
+  EXPECT_EQ(r.take_u8(), 0xAB);
+  EXPECT_EQ(r.take_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.take_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.take_bool());
+  EXPECT_FALSE(r.take_bool());
+  EXPECT_EQ(r.take_f64(), -2.5);
+  r.end_section();
+  ASSERT_TRUE(r.begin_section(2));
+  EXPECT_EQ(r.take_varint(), 0u);
+  EXPECT_EQ(r.take_varint(), 127u);
+  EXPECT_EQ(r.take_varint(), 128u);
+  EXPECT_EQ(r.take_varint(), 0xFFFFFFFFFFFFFFFFULL);
+  u8 got[5] = {};
+  r.take_bytes(got, sizeof(got));
+  EXPECT_EQ(std::memcmp(got, raw, sizeof(raw)), 0);
+  r.end_section();
+  EXPECT_TRUE(r.ok()) << r.error().message();
+}
+
+TEST(Archive, RejectsWrongTagAndVersion) {
+  ArchiveWriter w(kTestTag, 3);
+  w.begin_section(1);
+  w.put_u64(42);
+  w.end_section();
+  const auto& buf = w.buffer();
+
+  ArchiveReader wrong_tag(buf.data(), buf.size(), kTestTag + 1, 3);
+  EXPECT_EQ(wrong_tag.error().status, ArchiveStatus::kBadMagic);
+
+  ArchiveReader wrong_version(buf.data(), buf.size(), kTestTag, 4);
+  EXPECT_EQ(wrong_version.error().status, ArchiveStatus::kVersionSkew);
+  // The skew message names both versions so campaign logs are actionable.
+  EXPECT_NE(wrong_version.error().message().find("3"), std::string::npos);
+  EXPECT_NE(wrong_version.error().message().find("4"), std::string::npos);
+}
+
+TEST(Archive, SectionOrderAndOverconsumptionAreStructured) {
+  ArchiveWriter w(kTestTag, 1);
+  w.begin_section(7);
+  w.put_u32(5);
+  w.end_section();
+  const auto& buf = w.buffer();
+
+  ArchiveReader wrong_id(buf.data(), buf.size(), kTestTag, 1);
+  EXPECT_FALSE(wrong_id.begin_section(8));
+  EXPECT_EQ(wrong_id.error().status, ArchiveStatus::kMalformed);
+
+  // A decoder that reads past the payload gets kTruncated, zeros, no crash.
+  ArchiveReader over(buf.data(), buf.size(), kTestTag, 1);
+  ASSERT_TRUE(over.begin_section(7));
+  EXPECT_EQ(over.take_u32(), 5u);
+  EXPECT_EQ(over.take_u64(), 0u);
+  EXPECT_EQ(over.error().status, ArchiveStatus::kTruncated);
+
+  // A decoder that consumes less than the payload is caught at end_section.
+  ArchiveReader under(buf.data(), buf.size(), kTestTag, 1);
+  ASSERT_TRUE(under.begin_section(7));
+  under.end_section();
+  EXPECT_EQ(under.error().status, ArchiveStatus::kMalformed);
+}
+
+TEST(Archive, CountValidationBlocksGiantAllocations) {
+  ArchiveWriter w(kTestTag, 1);
+  w.begin_section(1);
+  w.put_varint(1u << 20);  // claims 2^20 elements in a near-empty payload
+  w.end_section();
+  const auto& buf = w.buffer();
+  ArchiveReader r(buf.data(), buf.size(), kTestTag, 1);
+  ASSERT_TRUE(r.begin_section(1));
+  EXPECT_EQ(r.take_count(8), 0u);
+  EXPECT_EQ(r.error().status, ArchiveStatus::kMalformed);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot wire form
+// ---------------------------------------------------------------------------
+
+sim::Session warmed_session() {
+  sim::Scenario scenario;
+  scenario.workload("swaptions").seed(11).iterations(400).dual();
+  sim::Session session = scenario.build();
+  EXPECT_TRUE(session.advance(5'000));
+  return session;
+}
+
+std::vector<u8> snapshot_bytes(const soc::Snapshot& snap) {
+  ArchiveWriter w(soc::kSnapshotAppTag, soc::kSnapshotFormatVersion);
+  snap.serialize(w);
+  return w.buffer();
+}
+
+TEST(SnapshotWire, RoundTripIsBitIdentical) {
+  sim::Session session = warmed_session();
+  const soc::Snapshot snap = session.snapshot();
+  const std::vector<u8> bytes = snapshot_bytes(snap);
+
+  ArchiveReader r(bytes.data(), bytes.size(), soc::kSnapshotAppTag,
+                  soc::kSnapshotFormatVersion);
+  soc::Snapshot decoded;
+  decoded.deserialize(r);
+  ASSERT_TRUE(r.ok()) << r.error().message();
+  EXPECT_EQ(soc::snapshot_digest(decoded), soc::snapshot_digest(snap));
+  // Bit-identity of the wire form itself: re-encoding the decoded snapshot
+  // reproduces the exact byte buffer.
+  EXPECT_EQ(snapshot_bytes(decoded), bytes);
+}
+
+TEST(SnapshotWire, SingleBitCorruptionSweepAllRejected) {
+  sim::Session session = warmed_session();
+  const std::vector<u8> bytes = snapshot_bytes(session.snapshot());
+  const u64 clean_digest = soc::snapshot_digest(session.snapshot());
+
+  const auto decode = [&](const std::vector<u8>& buf, soc::Snapshot* out) {
+    ArchiveReader r(buf.data(), buf.size(), soc::kSnapshotAppTag,
+                    soc::kSnapshotFormatVersion);
+    out->deserialize(r);
+    return r.error();
+  };
+
+  // Deterministic sweep: every bit of the first 64 bytes (container header +
+  // first section header — the fields with bespoke checks), then a fixed
+  // prime stride across the whole buffer so every section's payload, CRC,
+  // reserved word and padding gets sampled. Every flip must be rejected with
+  // a structured error; none may crash or decode to a different snapshot.
+  std::vector<std::size_t> bit_positions;
+  const std::size_t total_bits = bytes.size() * 8;
+  for (std::size_t b = 0; b < std::min<std::size_t>(64 * 8, total_bits); ++b) {
+    bit_positions.push_back(b);
+  }
+  for (std::size_t b = 64 * 8; b < total_bits; b += 4099) bit_positions.push_back(b);
+
+  std::vector<u8> corrupt = bytes;
+  for (const std::size_t bit : bit_positions) {
+    corrupt[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+    soc::Snapshot out;
+    const io::ArchiveError err = decode(corrupt, &out);
+    EXPECT_FALSE(err.ok()) << "bit flip at " << bit << " was not rejected";
+    corrupt[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+  }
+
+  // The unflipped buffer still decodes to the clean digest (sweep hygiene).
+  soc::Snapshot out;
+  ASSERT_TRUE(decode(corrupt, &out).ok());
+  EXPECT_EQ(soc::snapshot_digest(out), clean_digest);
+}
+
+TEST(SnapshotWire, EveryTruncationPrefixIsStructurallyHandled) {
+  // Small archive (a CampaignStats section) so every prefix length is cheap
+  // to try. A prefix may only succeed if it merely dropped trailing padding;
+  // anything else must fail with a structured error — never crash.
+  fault::CampaignStats stats;
+  fault::FaultOutcome o;
+  o.detected = true;
+  o.latency_us = 3.75;
+  o.kind = fault::OutcomeKind::kDetected;
+  stats.record(o);
+  o.detected = false;
+  o.latency_us = 0.0;
+  o.kind = fault::OutcomeKind::kMasked;
+  stats.record(o);
+  stats.total_instructions = 12345;
+
+  ArchiveWriter w(kTestTag, 1);
+  w.begin_section(1);
+  stats.serialize(w);
+  w.end_section();
+  const auto& buf = w.buffer();
+
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    ArchiveReader r(buf.data(), len, kTestTag, 1);
+    fault::CampaignStats decoded;
+    if (r.begin_section(1)) {
+      decoded.deserialize(r);
+      r.end_section();
+    }
+    if (r.ok()) {
+      // Only a pad-only truncation may decode; it must decode identically.
+      EXPECT_GE(len, buf.size() - 7);
+      EXPECT_EQ(decoded.digest(), stats.digest());
+    } else {
+      EXPECT_NE(r.error().status, ArchiveStatus::kOk);
+    }
+  }
+}
+
+TEST(SnapshotWire, DomainChecksRejectCrcCleanGarbage) {
+  // A CRC-valid payload whose fields are out of domain (e.g. written by a
+  // buggy producer) must still be rejected: detect_kind 99 does not exist.
+  ArchiveWriter w(kTestTag, 1);
+  w.begin_section(1);
+  w.put_varint(1);
+  w.put_bool(true);
+  w.put_f64(1.0);
+  w.put_u8(99);  // detect_kind out of domain
+  w.put_u8(0);
+  w.put_u8(1);
+  w.put_varint(0);
+  w.end_section();
+  const auto& buf = w.buffer();
+
+  ArchiveReader r(buf.data(), buf.size(), kTestTag, 1);
+  ASSERT_TRUE(r.begin_section(1));
+  fault::CampaignStats decoded;
+  decoded.deserialize(r);
+  EXPECT_EQ(r.error().status, ArchiveStatus::kMalformed);
+}
+
+TEST(SnapshotWire, CampaignStatsAndVulnReportRoundTrip) {
+  fault::CampaignStats stats;
+  fault::FaultOutcome o;
+  o.detected = true;
+  o.latency_us = 0.5;
+  o.kind = fault::OutcomeKind::kDetected;
+  stats.record(o);
+  stats.total_instructions = 777;
+
+  ArchiveWriter sw(kTestTag, 1);
+  sw.begin_section(1);
+  stats.serialize(sw);
+  sw.end_section();
+  ArchiveReader sr(sw.buffer().data(), sw.buffer().size(), kTestTag, 1);
+  ASSERT_TRUE(sr.begin_section(1));
+  fault::CampaignStats stats2;
+  stats2.deserialize(sr);
+  sr.end_section();
+  ASSERT_TRUE(sr.ok()) << sr.error().message();
+  EXPECT_EQ(stats2.digest(), stats.digest());
+  EXPECT_EQ(stats2.detected, stats.detected);
+  EXPECT_EQ(stats2.total_instructions, stats.total_instructions);
+
+  fault::VulnReport report;
+  fault::InjectionRecord rec;
+  rec.site = {fault::Component::kMemory, 12, 3, 77};
+  rec.outcome = fault::OutcomeKind::kSdc;
+  rec.rc_valid = true;
+  rec.rc_instret = 1234;
+  rec.rc_victim_pc = 0x80000010;
+  rec.rc_golden_pc = 0x80000014;
+  report.add(rec);
+  rec = fault::InjectionRecord{};
+  rec.site = {fault::Component::kDbcEntry, 4, 60, 900};
+  rec.outcome = fault::OutcomeKind::kDetected;
+  rec.latency_us = 8.25;
+  report.add(rec);
+  report.total_instructions = 4242;
+
+  ArchiveWriter vw(kTestTag, 1);
+  vw.begin_section(1);
+  report.serialize(vw);
+  vw.end_section();
+  ArchiveReader vr(vw.buffer().data(), vw.buffer().size(), kTestTag, 1);
+  ASSERT_TRUE(vr.begin_section(1));
+  fault::VulnReport report2;
+  report2.deserialize(vr);
+  vr.end_section();
+  ASSERT_TRUE(vr.ok()) << vr.error().message();
+  EXPECT_EQ(report2.digest(), report.digest());
+  EXPECT_EQ(report2.injected, report.injected);
+  EXPECT_EQ(report2.sdc, report.sdc);
+  report2.check_invariant();
+}
+
+TEST(SnapshotWire, FileHelpersReportIoErrors) {
+  std::vector<u8> out;
+  const io::ArchiveError err = io::read_file("does_not_exist.fxar", out);
+  EXPECT_EQ(err.status, ArchiveStatus::kIoError);
+
+  soc::Snapshot snap;
+  EXPECT_EQ(soc::load_snapshot("also_missing.fxar", snap).status,
+            ArchiveStatus::kIoError);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-process resumable driver (fork dispatch, small scale)
+// ---------------------------------------------------------------------------
+
+TEST(Distributed, TwoWorkerCampaignMatchesSingleProcessAndResumes) {
+  const auto& profile = workloads::find_profile("swaptions");
+  const auto soc_config = soc::SocConfig::paper_default(2);
+  fault::CampaignConfig campaign;
+  campaign.target_faults = 8;
+  campaign.warmup_rounds = 2'000;
+  campaign.gap_rounds = 500;
+  campaign.workload_iterations = 4'000;
+  campaign.shards = 4;
+  campaign.threads = 1;
+
+  const fault::CampaignStats single =
+      fault::run_fault_campaign(profile, soc_config, campaign);
+  ASSERT_EQ(single.injected, campaign.target_faults);
+
+  const std::string dir = "test_snapshot_io_campaign";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  fault::DistributedConfig dist;
+  dist.workers = 2;
+  dist.dir = dir;
+
+  // Cold two-worker run: merged result digest-identical to single-process.
+  dist.run_label = "cold";
+  const auto cold = fault::run_distributed_campaign(profile, soc_config, campaign, dist);
+  EXPECT_TRUE(cold.run.complete());
+  EXPECT_EQ(cold.stats.digest(), single.digest());
+  EXPECT_EQ(cold.stats.injected, single.injected);
+
+  // Kill the worker that runs shard 1 after it finishes but before it writes
+  // its result; the run is incomplete, then a resumed invocation redoes the
+  // missing shards and still merges digest-identical.
+  dist.run_label = "resume";
+  setenv("FLEX_CAMPAIGN_DIE_SHARD", "1", 1);
+  const auto killed = fault::run_distributed_campaign(profile, soc_config, campaign, dist);
+  unsetenv("FLEX_CAMPAIGN_DIE_SHARD");
+  EXPECT_FALSE(killed.run.complete());
+  EXPECT_LT(killed.run.shards_completed, killed.run.shards_total);
+
+  const auto resumed = fault::run_distributed_campaign(profile, soc_config, campaign, dist);
+  EXPECT_TRUE(resumed.run.complete());
+  EXPECT_GT(resumed.run.shards_resumed, 0u);
+  EXPECT_EQ(resumed.stats.digest(), single.digest());
+
+  // Warm rerun against the baselines the cold run persisted: every warmup is
+  // elided, outcomes unchanged.
+  dist.run_label = "warm";
+  const auto warm = fault::run_distributed_campaign(profile, soc_config, campaign, dist);
+  EXPECT_TRUE(warm.run.complete());
+  EXPECT_GT(warm.run.warmup_instructions_elided, 0u);
+  EXPECT_EQ(warm.stats.digest(), single.digest());
+
+  // The resume journal names every shard.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/warm_journal.txt"));
+  std::filesystem::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace flexstep
