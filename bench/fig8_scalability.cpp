@@ -1,14 +1,34 @@
-// Fig. 8: average power (a) and area (b) of Vanilla vs FlexStep SoCs as the
-// core count scales 2 -> 32.
+// Fig. 8: many-core scalability of FlexStep, 2 -> 64 cores.
 //
-// Paper result: the FlexStep increase stays near-linear in core count (fixed
-// per-core storage + logic), demonstrating many-core scalability.
+// Two halves, mirroring the paper's claim that FlexStep scales because both
+// the hardware cost AND the scheduling stay per-core:
+//
+//  (1) MEASURED: a simulated sweep over role-based topologies at every core
+//      count — independent producer/checker pairs plus shared-checker groups
+//      (three producers arbitrating for one checker) from 4 cores up. Each
+//      point runs the relaxed bounded engine against the stepwise reference
+//      and exits non-zero if any observable result diverges: the bit-identity
+//      contract is what makes the batched engine usable as the paper's
+//      fast path at 64 cores.
+//  (2) ANALYTIC: average power / area of Vanilla vs FlexStep SoCs from the
+//      28 nm model (the paper's figure): near-linear growth, the relative
+//      overhead shrinking as the shared L2 amortises.
+//
+// The shared L2 grows with the core count (128 KiB/core floor, "banked") so
+// capacity per core — and the no-eviction property the cross-engine identity
+// argument leans on — is the same at 64 cores as at 4.
+//
+// Env knobs (smoke-test scale-down): FLEX_FIG8_MAX_CORES, FLEX_FIG8_ITERS.
+#include <chrono>
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/table.h"
 #include "model/power_area.h"
 #include "runtime/parallel.h"
+#include "sim/scenario.h"
 
 using namespace flexstep;
 
@@ -22,14 +42,126 @@ struct ScalingRow {
   double area_overhead = 0.0;
 };
 
+struct MeasuredPoint {
+  std::string topology;
+  u32 cores = 0;
+  u32 producers = 0;
+  soc::RunStats stepwise;
+  soc::RunStats bounded;
+  u64 stepwise_handoffs = 0;
+  u64 bounded_handoffs = 0;
+  u64 instructions = 0;
+  double stepwise_mips = 0.0;
+  double bounded_mips = 0.0;
+};
+
+soc::SocConfig scaled_soc(u32 cores) {
+  soc::SocConfig cfg = soc::SocConfig::paper_default(cores);
+  cfg.l2.size_bytes = std::max(cfg.l2.size_bytes, cores * 128 * 1024);
+  return cfg;
+}
+
+bool same_verified_results(const soc::RunStats& a, const soc::RunStats& b) {
+  return a.main_cycles == b.main_cycles &&
+         a.completion_cycles == b.completion_cycles &&
+         a.segments_produced == b.segments_produced &&
+         a.segments_verified == b.segments_verified &&
+         a.segments_failed == b.segments_failed &&
+         a.mem_entries == b.mem_entries &&
+         a.backpressure_events == b.backpressure_events;
+}
+
+MeasuredPoint measure_point(const char* topology, u32 cores, u32 iterations,
+                            const std::vector<soc::RoleBinding>& roles) {
+  MeasuredPoint point;
+  point.topology = topology;
+  point.cores = cores;
+  point.producers = static_cast<u32>(roles.size());
+  for (const soc::Engine engine :
+       {soc::Engine::kStepwise, soc::Engine::kQuantumBounded}) {
+    sim::Session session = sim::Scenario()
+                               .workload("swaptions")
+                               .iterations(iterations)
+                               .soc(scaled_soc(cores))
+                               .topology(roles)
+                               .engine(engine)
+                               .build();
+    const auto start = std::chrono::steady_clock::now();
+    session.run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    const double mips =
+        seconds <= 0.0 ? 0.0 : session.total_instret() / seconds / 1e6;
+    point.instructions = session.total_instret();
+    if (engine == soc::Engine::kStepwise) {
+      point.stepwise = session.stats();
+      point.stepwise_handoffs = session.arbitration_handoffs();
+      point.stepwise_mips = mips;
+    } else {
+      point.bounded = session.stats();
+      point.bounded_handoffs = session.arbitration_handoffs();
+      point.bounded_mips = mips;
+    }
+  }
+  return point;
+}
+
 }  // namespace
 
 int main() {
-  std::printf("== Fig. 8: power & area scaling, Vanilla vs FlexStep (28 nm) ==\n\n");
-  const model::PowerAreaModel m;
+  const auto iterations = static_cast<u32>(bench::env_u64("FLEX_FIG8_ITERS", 600));
+  const auto max_cores =
+      static_cast<u32>(bench::env_u64("FLEX_FIG8_MAX_CORES", 64));
 
-  // One job per sweep point on the shared runtime; rows print in sweep order.
-  const std::vector<u32> core_counts = {2, 4, 8, 16, 32};
+  std::printf("== Fig. 8: many-core scalability, Vanilla vs FlexStep ==\n\n");
+
+  // (1) Measured sweep.
+  std::printf("(1) measured verified-execution sweep (workload swaptions, "
+              "%u iterations/producer):\n", iterations);
+  bool identical = true;
+  Table measured({"topology", "cores", "producers", "sim inst", "segments",
+                  "handoffs", "stepwise MIPS", "bounded MIPS", "identical"});
+  for (const u32 cores : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    if (cores > max_cores) break;
+    struct Topo {
+      const char* name;
+      std::vector<soc::RoleBinding> roles;
+    };
+    std::vector<Topo> topologies;
+    std::vector<soc::RoleBinding> pairs;
+    for (u32 p = 0; p < cores / 2; ++p) pairs.push_back({2 * p, {2 * p + 1}});
+    topologies.push_back({"pairs", std::move(pairs)});
+    if (cores >= 4) {
+      std::vector<soc::RoleBinding> shared;
+      for (u32 g = 0; g + 4 <= cores; g += 4) {
+        for (u32 p = 0; p < 3; ++p) shared.push_back({g + p, {g + 3}});
+      }
+      topologies.push_back({"shared", std::move(shared)});
+    }
+    for (const auto& topo : topologies) {
+      const MeasuredPoint point =
+          measure_point(topo.name, cores, iterations, topo.roles);
+      const bool same = same_verified_results(point.stepwise, point.bounded) &&
+                        point.stepwise_handoffs == point.bounded_handoffs;
+      if (!same) {
+        identical = false;
+        std::fprintf(stderr, "FAIL: %s/%u cores diverged from stepwise\n",
+                     topo.name, cores);
+      }
+      measured.add_row({point.topology, std::to_string(point.cores),
+                        std::to_string(point.producers),
+                        std::to_string(point.instructions),
+                        std::to_string(point.bounded.segments_verified),
+                        std::to_string(point.bounded_handoffs),
+                        Table::num(point.stepwise_mips, 2),
+                        Table::num(point.bounded_mips, 2), same ? "yes" : "NO"});
+    }
+  }
+  measured.print();
+
+  // (2) Analytic power/area model (the paper figure), extended to 64.
+  const model::PowerAreaModel m;
+  const std::vector<u32> core_counts = {2, 4, 8, 16, 32, 64};
   const auto rows = runtime::parallel_map<ScalingRow>(
       core_counts.size(), [&](std::size_t i) {
         const u32 cores = core_counts[i];
@@ -45,15 +177,19 @@ int main() {
     area.add_row({std::to_string(row.cores), Table::num(row.vanilla.area_mm2, 2),
                   Table::num(row.flexstep.area_mm2, 2), Table::pct(row.area_overhead)});
   }
-  std::printf("(a) average power:\n");
+  std::printf("\n(2a) average power:\n");
   power.print();
-  std::printf("\n(b) area:\n");
+  std::printf("\n(2b) area:\n");
   area.print();
 
   std::printf(
       "\npaper anchor points: 2-core ~2.0 mm2 / ~0.3 W, 32-core ~12 mm2 / ~3.3 W\n"
       "(vanilla); FlexStep tracks within a few percent at every size — the\n"
       "relative overhead *shrinks* as the shared L2 amortises, i.e. growth is\n"
-      "linear, not exponential.\n");
-  return 0;
+      "linear, not exponential. The measured sweep above demonstrates the\n"
+      "scheduling half of the claim: every topology stays bit-identical to the\n"
+      "stepwise reference up to 64 cores, contended checkers included.\n");
+  std::printf("\nresults identical across engines: %s\n",
+              identical ? "yes" : "NO (equivalence bug!)");
+  return identical ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 //   ./bench/micro_benchmarks --snapshot       # snapshot-fork vs re-execution + JSON
 //   ./bench/micro_benchmarks --trace          # trace-JIT on/off comparison + JSON
 //   ./bench/micro_benchmarks --cosim          # dual/triple x three engines + JSON
+//   ./bench/micro_benchmarks --scale          # 2->64-core role sweep + contended
+//                                             # shared-checker gate + JSON
 //   ./bench/micro_benchmarks --vuln           # whole-SoC vulnerability campaign + JSON
 //   ./bench/micro_benchmarks --analyze        # static-analysis report + gates + JSON
 //   ./bench/micro_benchmarks --benchmark_...  # google-benchmark micro benches
@@ -260,6 +262,11 @@ int run_cosim_mode() {
 
   const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
   std::vector<ThroughputSample> samples;
+  // Per-sample burst accounting (sim::Session::cosim_stats): deterministic per
+  // configuration, so the last rep's values are THE values. Recorded in the
+  // JSON so contention regressions show up in the trend before they show up
+  // in MIPS.
+  std::vector<soc::CosimStats> sample_cosim;
   std::vector<double> speedups;  // per mode: bounded vs stepwise
   bool identical = true;
   u64 max_skew_cycles = 0;
@@ -273,6 +280,7 @@ int run_cosim_mode() {
       sample.mode = mode.name;
       sample.engine = soc::engine_name(engine);
       soc::RunStats stats{};
+      soc::CosimStats cosim{};
       for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
         sim::Session session = sim::Scenario()
                                    .program(program)
@@ -286,12 +294,13 @@ int run_cosim_mode() {
         const double seconds = std::chrono::duration<double>(stop - start).count();
         if (rep == 0 || seconds < sample.host_seconds) sample.host_seconds = seconds;
         sample.instructions = session.total_instret();
+        cosim = session.cosim_stats();
         if (engine == soc::Engine::kQuantumBounded) {
-          max_skew_cycles = std::max(
-              max_skew_cycles, session.exec().cosim_stats().max_skew_cycles);
+          max_skew_cycles = std::max(max_skew_cycles, cosim.max_skew_cycles);
           skew_instructions = session.exec().skew_instructions();
         }
       }
+      sample_cosim.push_back(cosim);
       // Equivalence spot-check: the relaxed engine's whole claim is that
       // these are bit-identical to stepwise (max_channel_occupancy is the
       // one wall-order diagnostic allowed to grow — see the test suite).
@@ -335,12 +344,19 @@ int run_cosim_mode() {
     std::fprintf(json, "  \"samples\": [\n");
     for (std::size_t i = 0; i < samples.size(); ++i) {
       const auto& s = samples[i];
+      const auto& c = sample_cosim[i];
       std::fprintf(json,
                    "    {\"mode\": \"%s\", \"engine\": \"%s\", \"instructions\": %llu, "
-                   "\"host_seconds\": %.6f, \"mips\": %.3f}%s\n",
+                   "\"host_seconds\": %.6f, \"mips\": %.3f, "
+                   "\"relaxed_bursts\": %llu, \"strict_fallbacks\": %llu, "
+                   "\"parked_producer_bursts\": %llu, \"max_skew_cycles\": %llu}%s\n",
                    s.mode.c_str(), s.engine.c_str(),
                    static_cast<unsigned long long>(s.instructions), s.host_seconds,
-                   s.mips(), i + 1 < samples.size() ? "," : "");
+                   s.mips(), static_cast<unsigned long long>(c.relaxed_bursts),
+                   static_cast<unsigned long long>(c.strict_fallbacks),
+                   static_cast<unsigned long long>(c.parked_producer_bursts),
+                   static_cast<unsigned long long>(c.max_skew_cycles),
+                   i + 1 < samples.size() ? "," : "");
     }
     std::fprintf(json, "  ],\n  \"bounded_speedup\": {");
     for (std::size_t i = 0; i < std::size(modes); ++i) {
@@ -365,6 +381,220 @@ int run_cosim_mode() {
       gate = false;
       std::fprintf(stderr, "FAIL: dual-mode bounded speedup %.2fx below the 2x gate\n",
                    speedups[0]);
+    }
+  }
+  return gate && identical ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Scaling mode (--scale): role-based many-core sweep + contended-checker gate.
+//
+// Two parts:
+//  * A contended gate on the smallest shared-checker topology (two producers,
+//    one checker): the bounded engine's parked-producer relaxation must beat
+//    the strict-leapfrog (kQuantum) path by >= 1.5x MIPS — the regime where
+//    pre-refactor scheduling dragged the whole SoC to the strict bound.
+//  * A throughput sweep over simulated core counts 2 -> 64 in two topology
+//    families: independent producer/checker pairs and shared-checker groups
+//    (three producers per checker). Every sweep point is checked identical
+//    to the stepwise reference (always binding); MIPS rows land in
+//    BENCH_scaling.json for the PR-over-PR trend.
+//
+// The shared L2 is grown with the core count (128 KiB/core floor, "banked")
+// so the capacity-per-core — and with it the no-eviction property backing
+// cross-engine bit-identity — holds at 64 cores like it does at 4.
+// ---------------------------------------------------------------------------
+
+soc::SocConfig scaled_soc(u32 cores) {
+  soc::SocConfig cfg = soc::SocConfig::paper_default(cores);
+  cfg.l2.size_bytes = std::max(cfg.l2.size_bytes, cores * 128 * 1024);
+  return cfg;
+}
+
+/// Shared-checker groups: three producers streaming to one checker, repeated
+/// every four cores — the contended shape of the sweep.
+std::vector<soc::RoleBinding> shared_group_roles(u32 cores) {
+  std::vector<soc::RoleBinding> roles;
+  for (u32 g = 0; g + 4 <= cores; g += 4) {
+    for (u32 p = 0; p < 3; ++p) roles.push_back({g + p, {g + 3}});
+  }
+  return roles;
+}
+
+struct ScaleSample {
+  std::string mode;    ///< pairs / shared / contended
+  std::string engine;
+  u32 cores = 0;
+  u64 instructions = 0;
+  double host_seconds = 0.0;
+  soc::CosimStats cosim;
+  u64 handoffs = 0;
+  soc::RunStats stats;
+  double mips() const {
+    return host_seconds <= 0.0 ? 0.0 : instructions / host_seconds / 1e6;
+  }
+};
+
+ScaleSample measure_scale(const char* mode, u32 cores, u32 iterations,
+                          const std::vector<soc::RoleBinding>& roles,
+                          soc::Engine engine, u32 reps) {
+  ScaleSample sample;
+  sample.mode = mode;
+  sample.engine = soc::engine_name(engine);
+  sample.cores = cores;
+  for (u32 rep = 0; rep < std::max(reps, 1u); ++rep) {
+    sim::Session session = sim::Scenario()
+                               .workload("swaptions")
+                               .iterations(iterations)
+                               .soc(scaled_soc(cores))
+                               .topology(roles)
+                               .engine(engine)
+                               .build();
+    const auto start = std::chrono::steady_clock::now();
+    sample.stats = session.run();
+    const auto stop = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || seconds < sample.host_seconds) sample.host_seconds = seconds;
+    sample.instructions = session.total_instret();
+    sample.cosim = session.cosim_stats();
+    sample.handoffs = session.arbitration_handoffs();
+  }
+  return sample;
+}
+
+int run_scale_mode() {
+  const auto iterations = static_cast<u32>(bench::env_u64("FLEX_SCALE_ITERS", 1000));
+  const auto gate_iterations =
+      static_cast<u32>(bench::env_u64("FLEX_BENCH_ITERS", 4000));
+  const auto max_cores =
+      static_cast<u32>(bench::env_u64("FLEX_SCALE_MAX_CORES", 64));
+  const auto reps = static_cast<u32>(bench::env_u64("FLEX_BENCH_REPS", 3));
+
+  std::printf("== Role-based scaling sweep (workload swaptions, %u iterations, "
+              "<= %u cores) ==\n\n", iterations, max_cores);
+
+  std::vector<ScaleSample> samples;
+  bool identical = true;
+  const auto check_identity = [&identical](const ScaleSample& ref,
+                                           const ScaleSample& other) {
+    if (!same_verified_results(ref.stats, other.stats) ||
+        ref.handoffs != other.handoffs) {
+      identical = false;
+      std::fprintf(stderr, "FAIL: %s/%u-core/%s diverged from stepwise\n",
+                   other.mode.c_str(), other.cores, other.engine.c_str());
+    }
+  };
+
+  // Part 1: the contended gate (dual-verified work through one shared
+  // checker). kQuantum is the strict-fallback baseline: every parked-producer
+  // round collapses to the leapfrog. The refactored bounded engine keeps the
+  // parked producers streaming.
+  const std::vector<soc::RoleBinding> contended = {{0, {2}}, {1, {2}}};
+  const auto c_step = measure_scale("contended", 3, gate_iterations, contended,
+                                    soc::Engine::kStepwise, reps);
+  const auto c_strict = measure_scale("contended", 3, gate_iterations, contended,
+                                      soc::Engine::kQuantum, reps);
+  const auto c_bounded = measure_scale("contended", 3, gate_iterations, contended,
+                                       soc::Engine::kQuantumBounded, reps);
+  check_identity(c_step, c_strict);
+  check_identity(c_step, c_bounded);
+  samples.push_back(c_step);
+  samples.push_back(c_strict);
+  samples.push_back(c_bounded);
+  const double contended_speedup =
+      c_strict.mips() > 0.0 ? c_bounded.mips() / c_strict.mips() : 0.0;
+  std::printf("contended 2-producers/1-checker: stepwise %.2f, strict %.2f, "
+              "bounded %.2f MIPS (bounded/strict %.2fx, %llu parked bursts, "
+              "%llu handoffs)\n\n",
+              c_step.mips(), c_strict.mips(), c_bounded.mips(), contended_speedup,
+              static_cast<unsigned long long>(c_bounded.cosim.parked_producer_bursts),
+              static_cast<unsigned long long>(c_bounded.handoffs));
+
+  // Part 2: the sweep. Stepwise + bounded per point; identity always binding.
+  Table table({"topology", "cores", "engine", "sim inst", "host s", "MIPS",
+               "speedup", "handoffs"});
+  for (const u32 cores : {2u, 4u, 8u, 16u, 32u, 64u}) {
+    if (cores > max_cores) break;
+    struct Topo {
+      const char* name;
+      std::vector<soc::RoleBinding> roles;
+    };
+    std::vector<Topo> topologies;
+    std::vector<soc::RoleBinding> pairs;
+    for (u32 p = 0; p < cores / 2; ++p) pairs.push_back({2 * p, {2 * p + 1}});
+    topologies.push_back({"pairs", std::move(pairs)});
+    if (cores >= 4) topologies.push_back({"shared", shared_group_roles(cores)});
+    for (const auto& topo : topologies) {
+      const auto stepwise = measure_scale(topo.name, cores, iterations,
+                                          topo.roles, soc::Engine::kStepwise, reps);
+      const auto bounded =
+          measure_scale(topo.name, cores, iterations, topo.roles,
+                        soc::Engine::kQuantumBounded, reps);
+      check_identity(stepwise, bounded);
+      const double speedup =
+          stepwise.mips() > 0.0 ? bounded.mips() / stepwise.mips() : 0.0;
+      table.add_row({topo.name, std::to_string(cores), "stepwise",
+                     std::to_string(stepwise.instructions),
+                     Table::num(stepwise.host_seconds, 3),
+                     Table::num(stepwise.mips(), 2), "1.00",
+                     std::to_string(stepwise.handoffs)});
+      table.add_row({topo.name, std::to_string(cores), "bounded",
+                     std::to_string(bounded.instructions),
+                     Table::num(bounded.host_seconds, 3),
+                     Table::num(bounded.mips(), 2), Table::num(speedup, 2),
+                     std::to_string(bounded.handoffs)});
+      samples.push_back(stepwise);
+      samples.push_back(bounded);
+    }
+  }
+  table.print();
+  std::printf("\nresults identical across engines: %s\n",
+              identical ? "yes" : "NO (equivalence bug!)");
+
+  FILE* json = std::fopen("BENCH_scaling.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"bench\": \"scaling\",\n");
+    std::fprintf(json, "  \"workload\": \"swaptions\",\n  \"iterations\": %u,\n",
+                 iterations);
+    std::fprintf(json, "  \"max_cores\": %u,\n", max_cores);
+    std::fprintf(json, "  \"thread_count\": %u,\n", bench::thread_count());
+    std::fprintf(json, "  \"samples\": [\n");
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto& s = samples[i];
+      std::fprintf(json,
+                   "    {\"mode\": \"%s\", \"cores\": %u, \"engine\": \"%s\", "
+                   "\"instructions\": %llu, \"host_seconds\": %.6f, "
+                   "\"mips\": %.3f, \"relaxed_bursts\": %llu, "
+                   "\"strict_fallbacks\": %llu, \"parked_producer_bursts\": %llu, "
+                   "\"handoffs\": %llu}%s\n",
+                   s.mode.c_str(), s.cores, s.engine.c_str(),
+                   static_cast<unsigned long long>(s.instructions),
+                   s.host_seconds, s.mips(),
+                   static_cast<unsigned long long>(s.cosim.relaxed_bursts),
+                   static_cast<unsigned long long>(s.cosim.strict_fallbacks),
+                   static_cast<unsigned long long>(s.cosim.parked_producer_bursts),
+                   static_cast<unsigned long long>(s.handoffs),
+                   i + 1 < samples.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"contended_speedup\": %.3f,\n"
+                 "  \"results_identical\": %s\n}\n",
+                 contended_speedup, identical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_scaling.json\n");
+  }
+
+  // CI gates: identity always binds; the contended-throughput gate is
+  // advisory on single-thread hosts like the other speedup gates, and can be
+  // switched off outright for reduced-scale smoke runs (FLEX_SCALE_GATE=0)
+  // where a best-of-1 ratio is noise.
+  bool gate = true;
+  if (bench::env_u64("FLEX_SCALE_GATE", 1) != 0 && perf_gates_enabled()) {
+    if (contended_speedup < 1.5) {
+      gate = false;
+      std::fprintf(stderr,
+                   "FAIL: contended bounded/strict speedup %.2fx below the "
+                   "1.5x gate\n", contended_speedup);
     }
   }
   return gate && identical ? 0 : 1;
@@ -1188,6 +1418,7 @@ int main(int argc, char** argv) {
   bool snapshot = false;
   bool trace = false;
   bool cosim = false;
+  bool scale = false;
   bool vuln = false;
   bool analyze = false;
   for (int i = 1; i < argc; ++i) {
@@ -1202,12 +1433,14 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--snapshot") == 0) snapshot = true;
     if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strcmp(argv[i], "--cosim") == 0) cosim = true;
+    if (std::strcmp(argv[i], "--scale") == 0) scale = true;
     if (std::strcmp(argv[i], "--vuln") == 0) vuln = true;
     if (std::strcmp(argv[i], "--analyze") == 0) analyze = true;
   }
   if (analyze) return run_analyze_mode();
   if (vuln) return run_vuln_mode();
   if (cosim) return run_cosim_mode();
+  if (scale) return run_scale_mode();
   if (trace) return run_trace_jit_mode();
   if (snapshot) return run_snapshot_fork_mode();
   if (campaign) return run_campaign_throughput_mode();

@@ -4,8 +4,9 @@
 Usage: check_perf_trend.py FRESH.json BASELINE.json
 
 Every sample in the fresh file is matched to the baseline sample with the
-same identity fields (mode / engine / trace / fused) and must reach at least
-(1 - THRESHOLD) of the baseline MIPS. Exit 1 on any regression beyond that.
+same identity fields (mode / engine / trace / fused / cores) and must reach
+at least (1 - THRESHOLD) of the baseline MIPS. Exit 1 on any regression
+beyond that.
 
 Skips (exit 0, with a notice):
   * fresh run on a single-hardware-thread host — no scheduling headroom, the
@@ -19,7 +20,7 @@ import json
 import sys
 
 THRESHOLD = 0.30  # fail when fresh MIPS drops >30% below the committed value
-IDENTITY_FIELDS = ("mode", "engine", "trace", "fused")
+IDENTITY_FIELDS = ("mode", "engine", "trace", "fused", "cores")
 
 
 def sample_key(sample):

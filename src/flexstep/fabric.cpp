@@ -59,14 +59,26 @@ void Fabric::pump_assignments() {
   for (CoreId checker = 0; checker < units_.size(); ++checker) {
     CoreUnit& checker_unit = unit(checker);
     Channel* current = checker_unit.in_channel();
+    Channel* released = nullptr;
     if (current != nullptr && current->drained() && !checker_unit.replay_active() &&
         !checker_unit.replay_suspended()) {
       checker_unit.set_in_channel(nullptr);
+      released = current;
       current = nullptr;
     }
     if (current == nullptr && !waitlists_[checker].empty()) {
-      checker_unit.set_in_channel(waitlists_[checker].front());
+      Channel* next = waitlists_[checker].front();
       waitlists_[checker].pop_front();
+      checker_unit.set_in_channel(next);
+      // The waitlist only ever fills while an in-channel is attached, so an
+      // attach-from-waitlist always pairs with a release — in this pass or an
+      // earlier one with an empty waitlist (impossible by the above). Record
+      // the arbitration decision at the checker's local clock: it is frozen
+      // while the unit sat drained, making the log engine-independent.
+      handoff_events_.push_back({checker_unit.core().cycle(), checker,
+                                 released != nullptr ? released->main_id()
+                                                     : next->main_id(),
+                                 next->main_id()});
     }
   }
 }
@@ -209,6 +221,7 @@ void Fabric::restore(const Snapshot& snapshot) {
                  "fabric snapshot core-count mismatch");
   global_.configure(snapshot.main_mask, snapshot.checker_mask);
   reporter_.restore(snapshot.reporter);
+  handoff_events_.clear();
 
   channels_.clear();
   channels_.reserve(snapshot.channels.size());

@@ -54,6 +54,31 @@ class Fabric final : public InterconnectControl {
   /// ones. The SoC driver calls this every scheduling round.
   void pump_assignments();
 
+  /// Channels currently parked on `checker`'s waitlist (contending producers
+  /// whose streams buffer in their own FIFO space until the checker frees up).
+  std::size_t waitlist_depth(CoreId checker) const {
+    return waitlists_.at(checker).size();
+  }
+
+  /// One arbitration decision: `checker` released `from_main`'s drained
+  /// channel and attached `to_main`'s waitlisted one, at the checker's local
+  /// clock `cycle`. The handoff happens between scheduling rounds (in
+  /// pump_assignments), so the cycle is engine-independent — the contended-
+  /// topology equivalence tests compare whole event logs across engines.
+  struct HandoffEvent {
+    Cycle cycle = 0;
+    CoreId checker = 0;
+    CoreId from_main = 0;
+    CoreId to_main = 0;
+  };
+
+  /// Arbitration log, in decision order. Diagnostics only: not part of the
+  /// snapshot wire form, cleared by restore() (a rewound run re-derives its
+  /// own suffix).
+  const std::vector<HandoffEvent>& handoff_events() const {
+    return handoff_events_;
+  }
+
   /// Ready horizon: the earliest cycle at which any unit that is not already
   /// replaying has a complete segment to pick up (kNever if none). Co-sim
   /// drivers use it to tell "everything drained / parked for good" apart from
@@ -102,6 +127,7 @@ class Fabric final : public InterconnectControl {
   std::vector<std::unique_ptr<CoreUnit>> units_;
   std::vector<std::unique_ptr<Channel>> channels_;
   std::vector<std::deque<Channel*>> waitlists_;  ///< Per checker core id.
+  std::vector<HandoffEvent> handoff_events_;
 };
 
 }  // namespace flexstep::fs

@@ -119,6 +119,36 @@ Scenario& Scenario::triple() {
                    static_cast<CoreId>(run_.main_core + 2)});
 }
 
+Scenario& Scenario::topology(std::vector<soc::RoleBinding> roles) {
+  run_.roles = std::move(roles);
+  return *this;
+}
+
+Scenario& Scenario::pairs(u32 count) {
+  std::vector<soc::RoleBinding> roles;
+  roles.reserve(count);
+  for (u32 i = 0; i < count; ++i) {
+    roles.push_back({static_cast<CoreId>(2 * i),
+                     {static_cast<CoreId>(2 * i + 1)}});
+  }
+  return topology(std::move(roles));
+}
+
+Scenario& Scenario::shared_checker(u32 producers) {
+  std::vector<soc::RoleBinding> roles;
+  roles.reserve(producers);
+  const CoreId checker = static_cast<CoreId>(producers);
+  for (u32 i = 0; i < producers; ++i) {
+    roles.push_back({static_cast<CoreId>(i), {checker}});
+  }
+  return topology(std::move(roles));
+}
+
+Scenario& Scenario::programs(std::vector<isa::Program> programs) {
+  programs_ = std::move(programs);
+  return *this;
+}
+
 Scenario& Scenario::engine(soc::Engine engine) {
   run_.engine = engine;
   engine_set_ = true;
@@ -167,6 +197,10 @@ soc::SocConfig Scenario::soc_config() const {
       // Auto-size: the highest core the topology names, plus one.
       CoreId highest = run_.main_core;
       for (CoreId id : run_.checkers) highest = std::max(highest, id);
+      for (const soc::RoleBinding& role : run_.roles) {
+        highest = std::max(highest, role.producer);
+        for (CoreId id : role.checkers) highest = std::max(highest, id);
+      }
       cores = static_cast<u32>(highest) + 1;
     }
     config = soc::SocConfig::paper_default(cores);
@@ -202,6 +236,43 @@ isa::Program Scenario::build_program() const {
   return workloads::build_workload(*profile_, build);
 }
 
+std::vector<isa::Program> Scenario::build_role_programs() const {
+  const std::size_t role_count = std::max<std::size_t>(1, run_.roles.size());
+  if (programs_.has_value()) {
+    FLEX_CHECK_MSG(programs_->size() == role_count,
+                   "programs() must provide exactly one program per role");
+    return *programs_;
+  }
+  if (role_count == 1) return {build_program()};
+  FLEX_CHECK_MSG(!program_.has_value(),
+                 "one explicit program() cannot serve several producers — the "
+                 "data base is baked into the code; use programs()");
+  FLEX_CHECK_MSG(profile_.has_value(),
+                 "Scenario needs a workload() profile or explicit programs()");
+  // Each producer gets its own workload instance at disjoint code/data
+  // regions. The stride is 1 MiB + 64 KiB: larger than any generated image or
+  // default working set, and deliberately not a multiple of the L2 set span,
+  // so per-role lines spread across sets instead of piling onto one.
+  constexpr Addr kRoleStride = 0x0011'0000;
+  // Lift the data region clear of the strided code regions (64 producers of
+  // code stride end well below 128 MiB).
+  const Addr data_floor = std::max<Addr>(build_.data_base, 0x0800'0000);
+  std::vector<isa::Program> programs;
+  programs.reserve(role_count);
+  for (std::size_t r = 0; r < role_count; ++r) {
+    workloads::BuildOptions build = build_;
+    if (duration_us_.has_value()) {
+      build.iterations_override = std::max<u32>(
+          1, static_cast<u32>(*duration_us_ * kCyclesPerUs / 2.3 /
+                              profile_->body_instructions));
+    }
+    build.code_base = build_.code_base + static_cast<Addr>(r) * kRoleStride;
+    build.data_base = data_floor + static_cast<Addr>(r) * kRoleStride;
+    programs.push_back(workloads::build_workload(*profile_, build));
+  }
+  return programs;
+}
+
 analysis::ProgramReport Scenario::analyze() const {
   return analysis::analyze(build_program());
 }
@@ -217,35 +288,48 @@ Session Scenario::build() const { return Session(*this, /*prepare=*/true); }
 // ---------------------------------------------------------------------------
 
 Session::Session(const Scenario& scenario, bool prepare)
-    : Session(scenario, scenario.build_program(), prepare) {}
+    : Session(scenario, scenario.build_role_programs(), prepare) {}
 
-Session::Session(const Scenario& scenario, isa::Program program, bool prepare)
-    : scenario_(scenario), program_(std::move(program)) {
+Session::Session(const Scenario& scenario, std::vector<isa::Program> programs,
+                 bool prepare)
+    : scenario_(scenario), programs_(std::move(programs)) {
   const soc::SocConfig soc_config = scenario_.soc_config();
   const soc::VerifiedRunConfig run_config = scenario_.run_config();
   FLEX_CHECK_MSG(run_config.main_core < soc_config.num_cores,
                  "scenario main core outside the SoC");
+  for (const soc::RoleBinding& role : run_config.roles) {
+    FLEX_CHECK_MSG(role.producer < soc_config.num_cores,
+                   "scenario role producer outside the SoC");
+    for (CoreId id : role.checkers) {
+      FLEX_CHECK_MSG(id < soc_config.num_cores,
+                     "scenario role checker outside the SoC");
+    }
+  }
   soc_ = std::make_unique<soc::Soc>(soc_config);
   exec_ = std::make_unique<soc::VerifiedExecution>(*soc_, run_config);
   if (prepare) {
-    if (scenario_.analysis_.value_or(default_analysis_enabled())) {
+    // Static analysis backs single-program sessions; a multi-producer session
+    // skips it (conservative: dynamic trace recording and the global DBC
+    // divisor still apply — per-role reports are a follow-on).
+    if (programs_.size() == 1 &&
+        scenario_.analysis_.value_or(default_analysis_enabled())) {
       auto report = std::make_shared<analysis::ProgramReport>(
-          analysis::analyze(program_));
+          analysis::analyze(programs_.front()));
       auto bound = std::make_shared<fs::StaticDbcBound>();
-      bound->base = program_.code_base;
-      bound->end = program_.code_end();
+      bound->base = programs_.front().code_base;
+      bound->end = programs_.front().code_end();
       bound->per_inst = report->fwd_entry_bound;
       bound->global = report->global_entry_bound;
       analysis_ = std::move(report);
       bound_ = std::move(bound);
     }
-    exec_->prepare(program_);
+    exec_->prepare(programs_);
     apply_analysis();
   } else {
-    // Fork path: register the program image now; the caller restores the
+    // Fork path: register the program images now; the caller restores the
     // snapshot (which contains the prepared state) on top and re-applies the
     // parent's analysis.
-    soc_->load_program(program_);
+    for (const isa::Program& program : programs_) soc_->load_program(program);
   }
 }
 
@@ -311,7 +395,7 @@ fs::Channel* Session::channel() {
 }
 
 Session Session::fork(const soc::Snapshot& snapshot) const {
-  Session child(scenario_, program_, /*prepare=*/false);
+  Session child(scenario_, programs_, /*prepare=*/false);
   child.analysis_ = analysis_;  // immutable, shared across the fork tree
   child.bound_ = bound_;
   child.exec_->restore(snapshot);

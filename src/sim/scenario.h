@@ -93,6 +93,21 @@ class Scenario {
   Scenario& dual();
   Scenario& triple();
 
+  /// Role-based many-core topology: N producers x M checkers (see
+  /// soc::RoleBinding). Overrides main_core()/checkers(). Multi-producer
+  /// topologies get one program per producer: either via programs(), or
+  /// auto-generated from the workload profile at per-role disjoint code/data
+  /// bases.
+  Scenario& topology(std::vector<soc::RoleBinding> roles);
+  /// `count` producer/checker pairs: role i = {core 2i, checker 2i+1}.
+  Scenario& pairs(u32 count);
+  /// `producers` cores 0..producers-1 all streaming to one shared checker
+  /// (core `producers`) — the contended waitlist-arbitration regime.
+  Scenario& shared_checker(u32 producers);
+  /// Explicit per-producer programs for a multi-role topology (programs[i]
+  /// runs on roles[i].producer). Must occupy disjoint code/data regions.
+  Scenario& programs(std::vector<isa::Program> programs);
+
   // ---- co-simulation driver ----
 
   /// Engine selection. When never called, the FLEX_ENGINE environment
@@ -117,8 +132,13 @@ class Scenario {
   /// The resolved co-simulation driver configuration.
   soc::VerifiedRunConfig run_config() const;
   /// Just the workload program (kernel-driver experiments compose it with
-  /// their own scheduler instead of a VerifiedExecution).
+  /// their own scheduler instead of a VerifiedExecution). Single-role
+  /// scenarios only.
   isa::Program build_program() const;
+  /// One program per producer role (a single-role scenario yields one entry).
+  /// Multi-role scenarios without explicit programs() generate the workload
+  /// once per producer at disjoint per-role code/data bases.
+  std::vector<isa::Program> build_role_programs() const;
   /// Static analysis of the program this scenario would run (CFG + dataflow
   /// + lint) — the pre-run lint entry point; runs regardless of analysis().
   analysis::ProgramReport analyze() const;
@@ -132,6 +152,7 @@ class Scenario {
 
   std::optional<workloads::WorkloadProfile> profile_;
   std::optional<isa::Program> program_;
+  std::optional<std::vector<isa::Program>> programs_;  ///< Per-role override.
   workloads::BuildOptions build_;
   std::optional<double> duration_us_;
 
@@ -154,7 +175,10 @@ class Session {
   Session& operator=(const Session&) = delete;
 
   soc::Soc& soc() { return *soc_; }
-  const isa::Program& program() const { return program_; }
+  /// First producer's program (the only one in single-role scenarios).
+  const isa::Program& program() const { return programs_.front(); }
+  /// One program per producer role.
+  const std::vector<isa::Program>& programs() const { return programs_; }
   soc::VerifiedExecution& exec() { return *exec_; }
   const Scenario& scenario() const { return scenario_; }
 
@@ -168,6 +192,14 @@ class Session {
   /// Deadlocked under tolerate_stall (DUE signature). See
   /// VerifiedExecution::stalled().
   bool stalled() const { return exec_->stalled(); }
+  /// Relaxed-engine burst accounting (relaxed_bursts / strict_fallbacks /
+  /// max_skew_cycles ...; all-zero under other engines). Contention
+  /// regressions show up here before they show up in MIPS.
+  const soc::CosimStats& cosim_stats() const { return exec_->cosim_stats(); }
+  /// Waitlist arbitration decisions taken by the fabric so far.
+  u64 arbitration_handoffs() const {
+    return soc_->fabric().handoff_events().size();
+  }
 
   // ---- campaign conveniences ----
 
@@ -208,15 +240,16 @@ class Session {
  private:
   friend class Scenario;
   Session(const Scenario& scenario, bool prepare);
-  /// Fork path: reuse an already-built program instead of re-running the
+  /// Fork path: reuse already-built programs instead of re-running the
   /// workload generator (forks happen once per campaign injection).
-  Session(const Scenario& scenario, isa::Program program, bool prepare);
+  Session(const Scenario& scenario, std::vector<isa::Program> programs,
+          bool prepare);
   /// Seed every core's trace cache and (re-)install the static DBC bound.
   /// Called after prepare and after every restore (restores flush traces).
   void apply_analysis();
 
   Scenario scenario_;  ///< Copy: forks rebuild the platform from it.
-  isa::Program program_;
+  std::vector<isa::Program> programs_;  ///< One per producer role.
   std::unique_ptr<soc::Soc> soc_;
   std::unique_ptr<soc::VerifiedExecution> exec_;
   /// Shared with forks — immutable once built.

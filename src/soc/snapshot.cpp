@@ -22,7 +22,7 @@ void Snapshot::serialize(io::ArchiveWriter& ar) const {
 
   ar.begin_section(kSectionDriver);
   ar.put_bool(exec_prepared);
-  ar.put_bool(exec_main_halted);
+  ar.put_u64(exec_halted_mask);
   ar.end_section();
 }
 
@@ -50,7 +50,7 @@ void Snapshot::deserialize(io::ArchiveReader& ar) {
   }
   if (ar.begin_section(kSectionDriver)) {
     exec_prepared = ar.take_bool();
-    exec_main_halted = ar.take_bool();
+    exec_halted_mask = ar.take_u64();
     ar.end_section();
   }
 }
@@ -251,7 +251,7 @@ u64 snapshot_digest(const Snapshot& snapshot) {
   }
 
   fnv.flag(snapshot.exec_prepared);
-  fnv.flag(snapshot.exec_main_halted);
+  fnv.word(snapshot.exec_halted_mask);
   return fnv.h;
 }
 

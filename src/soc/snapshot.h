@@ -42,7 +42,9 @@ namespace flexstep::soc {
 /// kVersionSkew (no migration shims; persisted snapshots are caches their
 /// owners recompute, not an interchange format).
 inline constexpr u32 kSnapshotAppTag = 0x504E5346;  // "FSNP" little-endian.
-inline constexpr u32 kSnapshotFormatVersion = 1;
+// v2: the driver section's single exec_main_halted flag became the per-core
+// exec_halted_mask for the role-based N-producer topology.
+inline constexpr u32 kSnapshotFormatVersion = 2;
 
 /// Section ids inside a snapshot archive, in file order. The resident-page
 /// payload gets its own section so the (large, 8-aligned, raw-span) page data
@@ -63,9 +65,10 @@ struct Snapshot {
   fs::Fabric::Snapshot fabric;
 
   // Co-simulation driver state (filled by VerifiedExecution::save; a bare
-  // Soc::save leaves the defaults).
+  // Soc::save leaves the defaults). exec_halted_mask holds one bit per
+  // producer core id that has signalled task exit.
   bool exec_prepared = false;
-  bool exec_main_halted = false;
+  u64 exec_halted_mask = 0;
 
   /// Approximate host footprint (dominated by the resident memory pages).
   std::size_t bytes() const {

@@ -46,11 +46,44 @@ const char* engine_name(Engine engine) {
 
 VerifiedExecution::VerifiedExecution(Soc& soc, VerifiedRunConfig config)
     : soc_(soc), config_(std::move(config)) {
-  FLEX_CHECK(config_.main_core < soc_.num_cores());
-  for (CoreId checker : config_.checkers) {
-    FLEX_CHECK(checker < soc_.num_cores());
-    FLEX_CHECK(checker != config_.main_core);
+  // Normalize the topology: legacy (main_core, checkers) configs become the
+  // one-role lattice; explicit roles take over and mirror roles[0] back into
+  // the legacy fields so config().main_core keeps meaning "first producer".
+  roles_ = config_.roles;
+  if (roles_.empty()) roles_.push_back({config_.main_core, config_.checkers});
+  config_.main_core = roles_.front().producer;
+  config_.checkers = roles_.front().checkers;
+
+  core_role_.assign(soc_.num_cores(), -1);
+  producer_halted_.assign(roles_.size(), false);
+  u64 producer_mask = 0;
+  u64 checker_mask = 0;
+  for (std::size_t r = 0; r < roles_.size(); ++r) {
+    const RoleBinding& role = roles_[r];
+    FLEX_CHECK_MSG(role.producer < soc_.num_cores(),
+                   "role producer out of range");
+    FLEX_CHECK_MSG(role.producer < 64, "G.Configure masks hold core ids 0..63");
+    FLEX_CHECK_MSG((producer_mask & (u64{1} << role.producer)) == 0,
+                   "duplicate producer across roles");
+    producer_mask |= u64{1} << role.producer;
+    core_role_[role.producer] = static_cast<i32>(r);
+    for (CoreId checker : role.checkers) {
+      FLEX_CHECK_MSG(checker < soc_.num_cores(), "role checker out of range");
+      FLEX_CHECK_MSG(checker < 64, "G.Configure masks hold core ids 0..63");
+      if ((checker_mask & (u64{1} << checker)) == 0) {
+        checker_mask |= u64{1} << checker;
+        checker_ids_.push_back(checker);
+      }
+    }
   }
+  // G.Configure's mask registers are disjoint: no core both produces and
+  // checks within one run.
+  FLEX_CHECK_MSG((producer_mask & checker_mask) == 0,
+                 "a core cannot be both producer and checker in one run");
+  for (const RoleBinding& role : roles_) sched_order_.push_back(role.producer);
+  sched_order_.insert(sched_order_.end(), checker_ids_.begin(),
+                      checker_ids_.end());
+
   const fs::FlexStepConfig& fs_config = soc_.config().flexstep;
   skew_insts_ = config_.skew_instructions != 0
                     ? config_.skew_instructions
@@ -62,8 +95,10 @@ VerifiedExecution::VerifiedExecution(Soc& soc, VerifiedRunConfig config)
 VerifiedExecution::~VerifiedExecution() = default;
 
 void VerifiedExecution::install_driver_wiring() {
-  soc_.core(config_.main_core).set_trap_handler(this);
-  for (CoreId id : config_.checkers) {
+  for (const RoleBinding& role : roles_) {
+    soc_.core(role.producer).set_trap_handler(this);
+  }
+  for (CoreId id : checker_ids_) {
     soc_.core(id).set_trap_handler(this);
     soc_.unit(id).set_on_segment_done([](CoreUnit& unit, bool) {
       // Start the next pending segment immediately, otherwise park.
@@ -77,38 +112,60 @@ void VerifiedExecution::install_driver_wiring() {
 }
 
 void VerifiedExecution::prepare(const isa::Program& program) {
+  FLEX_CHECK_MSG(roles_.size() == 1,
+                 "multi-producer topologies need one program per producer "
+                 "(prepare(vector) overload)");
+  prepare(std::vector<isa::Program>{program});
+}
+
+void VerifiedExecution::prepare(const std::vector<isa::Program>& programs) {
   FLEX_CHECK_MSG(!prepared_, "prepare called twice");
+  FLEX_CHECK_MSG(programs.size() == roles_.size(),
+                 "need exactly one program per producer role");
   prepared_ = true;
 
-  if (soc_.images().find(program.entry()) == nullptr) soc_.load_program(program);
+  for (const isa::Program& program : programs) {
+    if (soc_.images().find(program.entry()) == nullptr) {
+      soc_.load_program(program);
+    }
+  }
 
   install_driver_wiring();
-  Core& main = soc_.core(config_.main_core);
-  main.set_user_mode(false);  // kernel performs the setup
-  main.set_pc(program.entry());
-  // Conventional initial registers: x2 = stack-ish scratch, x10 = data base.
-  main.set_reg(10, program.data_base);
+  for (std::size_t r = 0; r < roles_.size(); ++r) {
+    Core& producer = soc_.core(roles_[r].producer);
+    producer.set_user_mode(false);  // kernel performs the setup
+    producer.set_pc(programs[r].entry());
+    // Conventional initial registers: x2 = stack-ish scratch, x10 = data base.
+    producer.set_reg(10, programs[r].data_base);
+  }
   if (config_.os_ticks) {
     // Staggered phases: cores enter kernel mode at different times, the
-    // "execution inconsistency" the paper identifies (Sec. VI-A).
-    main.set_timer(config_.tick_period);
-    u32 phase = 1;
-    for (CoreId id : config_.checkers) {
+    // "execution inconsistency" the paper identifies (Sec. VI-A). One global
+    // phase counter over (producers..., checkers...) keeps the legacy
+    // single-role stagger bit-identical.
+    u32 phase = 0;
+    for (CoreId id : sched_order_) {
       soc_.core(id).set_timer(config_.tick_period +
                               phase++ * config_.tick_period / 4);
     }
   }
 
-  if (!config_.checkers.empty()) {
-    // G.Configure: write the main/checker ID sets into the global registers.
+  if (!checker_ids_.empty()) {
+    // G.Configure: write the producer/checker ID sets into the global
+    // registers (union across every role; the masks are disjoint).
+    u64 producer_mask = 0;
     u64 checker_mask = 0;
-    for (CoreId c : config_.checkers) checker_mask |= u64{1} << c;
-    main.set_reg(5, u64{1} << config_.main_core);
-    main.set_reg(6, checker_mask);
-    main.exec_kernel_instruction(isa::make_r(isa::Opcode::kGConfigure, 0, 5, 6));
+    for (const RoleBinding& role : roles_) {
+      producer_mask |= u64{1} << role.producer;
+      for (CoreId c : role.checkers) checker_mask |= u64{1} << c;
+    }
+    Core& first = soc_.core(roles_.front().producer);
+    first.set_reg(5, producer_mask);
+    first.set_reg(6, checker_mask);
+    first.exec_kernel_instruction(isa::make_r(isa::Opcode::kGConfigure, 0, 5, 6));
 
     // Checker side: C.check_state(busy) + C.record, then wait for SCPs.
-    for (CoreId id : config_.checkers) {
+    for (CoreId id : checker_ids_) {
       Core& checker = soc_.core(id);
       checker.set_user_mode(false);
       checker.exec_kernel_instruction(
@@ -116,20 +173,37 @@ void VerifiedExecution::prepare(const isa::Program& program) {
       checker.set_idle();  // parked until a segment is ready
     }
 
-    // M.associate + M.check.enable on the main core. The enable snapshots the
-    // already-installed user context as the first SCP.
-    main.exec_kernel_instruction(isa::make_r(isa::Opcode::kMAssociate, 0, 6, 0));
-    main.exec_kernel_instruction(isa::make_i(isa::Opcode::kMCheck, 0, 0, 1));
+    // M.associate + M.check.enable per producer, in role order — a shared
+    // checker therefore attaches the first role's channel and waitlists the
+    // rest in role order (deterministic arbitration FIFO). The enable
+    // snapshots the already-installed user context as the first SCP.
+    for (const RoleBinding& role : roles_) {
+      if (role.checkers.empty()) continue;
+      u64 role_mask = 0;
+      for (CoreId c : role.checkers) role_mask |= u64{1} << c;
+      Core& producer = soc_.core(role.producer);
+      producer.set_reg(6, role_mask);
+      producer.exec_kernel_instruction(
+          isa::make_r(isa::Opcode::kMAssociate, 0, 6, 0));
+      producer.exec_kernel_instruction(
+          isa::make_i(isa::Opcode::kMCheck, 0, 0, 1));
+    }
   }
 
-  main.set_user_mode(true);
-  main.activate();
+  for (const RoleBinding& role : roles_) {
+    Core& producer = soc_.core(role.producer);
+    producer.set_user_mode(true);
+    producer.activate();
+  }
 }
 
 void VerifiedExecution::save(Snapshot& out) const {
   soc_.save(out);
   out.exec_prepared = prepared_;
-  out.exec_main_halted = main_halted_;
+  out.exec_halted_mask = 0;
+  for (std::size_t r = 0; r < roles_.size(); ++r) {
+    if (producer_halted_[r]) out.exec_halted_mask |= u64{1} << roles_[r].producer;
+  }
 }
 
 Snapshot VerifiedExecution::save() const {
@@ -141,7 +215,10 @@ Snapshot VerifiedExecution::save() const {
 void VerifiedExecution::restore(const Snapshot& snapshot) {
   soc_.restore(snapshot);
   prepared_ = snapshot.exec_prepared;
-  main_halted_ = snapshot.exec_main_halted;
+  for (std::size_t r = 0; r < roles_.size(); ++r) {
+    producer_halted_[r] =
+        (snapshot.exec_halted_mask & (u64{1} << roles_[r].producer)) != 0;
+  }
   stalled_ = false;  // stall state is not snapshotted: a rewound run re-derives it
   // A freshly constructed driver (fork path) has never wired itself into the
   // cores; an in-place restore re-asserts the same pointers harmlessly.
@@ -155,14 +232,15 @@ TrapAction VerifiedExecution::on_trap(Core& core, TrapCause cause) {
       return {TrapAction::Kind::kResumeUser, config_.ecall_cost};
 
     case TrapCause::kTaskExit: {
-      if (core.id() == config_.main_core) {
-        if (!config_.checkers.empty()) {
+      const i32 role = role_of(core.id());
+      if (role >= 0) {
+        if (!roles_[static_cast<std::size_t>(role)].checkers.empty()) {
           // Flush the final (partial) segment and close the stream so the
-          // checkers can finish draining.
+          // checkers can finish draining (possibly via a waitlist handoff).
           core.exec_kernel_instruction(isa::make_i(isa::Opcode::kMCheck, 0, 0, 0));
-          soc_.fabric().dissociate(config_.main_core);
+          soc_.fabric().dissociate(core.id());
         }
-        main_halted_ = true;
+        producer_halted_[static_cast<std::size_t>(role)] = true;
       }
       return {TrapAction::Kind::kHalt, 0};
     }
@@ -198,7 +276,7 @@ TrapAction VerifiedExecution::on_trap(Core& core, TrapCause cause) {
 
 void VerifiedExecution::pump_checkers() {
   soc_.fabric().pump_assignments();
-  for (CoreId id : config_.checkers) {
+  for (CoreId id : checker_ids_) {
     Core& checker = soc_.core(id);
     CoreUnit& unit = soc_.unit(id);
     if (checker.status() != Core::Status::kIdle) continue;
@@ -209,36 +287,50 @@ void VerifiedExecution::pump_checkers() {
     checker.activate();
     unit.begin_replay();
   }
-  // Resolve backpressure: a blocked main may resume once all its channels
+  // Resolve backpressure: a blocked producer may resume once all its channels
   // have space again (the consumer pop freed it).
-  Core& main = soc_.core(config_.main_core);
-  if (main.status() == Core::Status::kBlocked) {
-    CoreUnit& unit = soc_.unit(config_.main_core);
+  for (const RoleBinding& role : roles_) {
+    Core& producer = soc_.core(role.producer);
+    if (producer.status() != Core::Status::kBlocked) continue;
+    CoreUnit& unit = soc_.unit(role.producer);
     if (unit.out_channels_have_space()) {
-      main.unblock_at(std::max(main.cycle(), unit.out_channel_space_available_at()));
+      producer.unblock_at(
+          std::max(producer.cycle(), unit.out_channel_space_available_at()));
     }
   }
 }
 
 Core* VerifiedExecution::pick_next_core() {
   Core* best = nullptr;
-  auto consider = [&](CoreId id) {
+  for (CoreId id : sched_order_) {
     Core& core = soc_.core(id);
-    if (core.status() != Core::Status::kRunning) return;
+    if (core.status() != Core::Status::kRunning) continue;
     if (best == nullptr || core.cycle() < best->cycle()) best = &core;
-  };
-  consider(config_.main_core);
-  for (CoreId id : config_.checkers) consider(id);
+  }
   return best;
 }
 
+i32 VerifiedExecution::role_of(CoreId id) const {
+  return id < core_role_.size() ? core_role_[id] : -1;
+}
+
+bool VerifiedExecution::all_producers_halted() const {
+  for (bool halted : producer_halted_) {
+    if (!halted) return false;
+  }
+  return true;
+}
+
 bool VerifiedExecution::finished() const {
-  if (!main_halted_) return false;
-  for (CoreId id : config_.checkers) {
+  if (!all_producers_halted()) return false;
+  for (CoreId id : checker_ids_) {
     const CoreUnit& unit = soc_.fabric().unit(id);
     if (unit.replay_active() || unit.replay_suspended()) return false;
     const fs::Channel* in = unit.in_channel();
     if (in != nullptr && !in->drained()) return false;
+    // A parked channel can still hold undrained segments: the checker picks
+    // it up at the next arbitration handoff, so the run is not done yet.
+    if (soc_.fabric().waitlist_depth(id) != 0) return false;
   }
   return true;
 }
@@ -268,84 +360,136 @@ bool VerifiedExecution::step_round() {
   }
   core->step();
 
-  if (core->id() == config_.main_core) {
+  if (role_of(core->id()) >= 0) {
     FLEX_CHECK_MSG(core->instret() <= config_.max_instructions,
-                   "main core exceeded the instruction safety cap");
+                   "producer core exceeded the instruction safety cap");
   }
   return true;
 }
 
 Cycle VerifiedExecution::quantum_bound(const arch::Core& chosen) const {
   // The stepwise scheduler picks the smallest-cycle runnable core, ties going
-  // to the earlier core in (main, checkers...) order. `chosen` therefore
-  // stays picked while its clock is below every higher-priority runnable
-  // core's clock and at-or-below every lower-priority one's. Only `chosen`
-  // executes during the quantum, so the other clocks are fixed; cross-core
-  // state changes (wakes, unblocks) are handled by hooks ending the quantum.
+  // to the earlier core in (producers..., checkers...) order. `chosen`
+  // therefore stays picked while its clock is below every higher-priority
+  // runnable core's clock and at-or-below every lower-priority one's. Only
+  // `chosen` executes during the quantum, so the other clocks are fixed;
+  // cross-core state changes (wakes, unblocks) are handled by hooks ending
+  // the quantum.
   Cycle bound = arch::kNoCycleBound;
   bool past_chosen = false;
-  auto consider = [&](CoreId id) {
+  for (CoreId id : sched_order_) {
     const Core& core = soc_.core(id);
     if (&core == &chosen) {
       past_chosen = true;
-      return;
+      continue;
     }
-    if (core.status() != Core::Status::kRunning) return;
+    if (core.status() != Core::Status::kRunning) continue;
     // Higher-priority core (considered earlier): chosen runs while strictly
     // below its clock. Lower-priority: chosen also wins ties.
     const Cycle b = past_chosen ? core.cycle() + 1 : core.cycle();
     bound = std::min(bound, b);
-  };
-  consider(config_.main_core);
-  for (CoreId id : config_.checkers) consider(id);
+  }
   return bound;
 }
 
 Cycle VerifiedExecution::bounded_quantum(const arch::Core& chosen, u64& budget) {
-  if (chosen.id() == config_.main_core) {
-    // The producer may ignore the consumers' clocks entirely while its DBC
+  if (role_of(chosen.id()) >= 0) {
+    CoreUnit& unit = soc_.unit(chosen.id());
+    // A producer may ignore the consumers' clocks entirely while its DBC
     // channels guarantee headroom for the whole burst: no backpressure
     // decision inside it can depend on pops the relaxed schedule defers, so
     // the burst commits exactly what the strict interleaving would. Burst-end
     // hooks (segment publish) still fire; the skew window caps the lead.
-    const u64 headroom = soc_.unit(config_.main_core).producer_burst_headroom();
-    if (headroom == 0) {
-      // Contended: a block decision could land inside the burst. Fall back to
-      // the strict leapfrog — the laggard checkers then catch up first (they
-      // are picked while behind), restoring the exact stepwise interleaving
-      // before the producer commits anything near the threshold.
-      ++cosim_.strict_fallbacks;
-      return quantum_bound(chosen);
+    const u64 headroom = unit.producer_burst_headroom();
+    if (headroom > 0) {
+      ++cosim_.relaxed_bursts;
+      budget = std::min(budget, std::min(headroom, skew_insts_));
+      return arch::kNoCycleBound;
     }
-    ++cosim_.relaxed_bursts;
-    budget = std::min(budget, std::min(headroom, skew_insts_));
-    return arch::kNoCycleBound;
+    // Out of headroom: a block decision could land inside the burst, and its
+    // outcome depends on which pops have happened. Pops on *this* producer's
+    // channels can only come from consumers currently attached to them — a
+    // channel parked on a fabric waitlist cannot be popped at all until an
+    // arbitration handoff (which only happens between rounds). Bound the
+    // burst against exactly those attached consumers; everyone else's clock
+    // is irrelevant to this producer's lattice.
+    Cycle bound = arch::kNoCycleBound;
+    bool any_attached = false;
+    for (const fs::Channel* ch : unit.out_channels()) {
+      const CoreUnit& consumer = soc_.unit(ch->checker_id());
+      if (consumer.in_channel() != ch) continue;  // parked on the waitlist
+      any_attached = true;
+      const Core& checker = soc_.core(ch->checker_id());
+      if (checker.status() == Core::Status::kRunning) {
+        // Producers precede checkers in the tie-break, so the producer also
+        // wins ties against its consumers.
+        bound = std::min(bound, checker.cycle() + 1);
+      }
+    }
+    if (!any_attached) {
+      // Parked producer: every out-channel is waitlisted. The upcoming block
+      // is deterministic (no pop can change it), so run free up to the skew
+      // window instead of dragging the SoC to the strict leapfrog — this is
+      // the first-class contended regime.
+      ++cosim_.relaxed_bursts;
+      ++cosim_.parked_producer_bursts;
+      budget = std::min(budget, skew_insts_);
+      return arch::kNoCycleBound;
+    }
+    if (bound == arch::kNoCycleBound) {
+      // Attached consumers exist but none is runnable right now: their next
+      // pops happen only after a pump wake, which this producer's own
+      // segment-publish hook triggers (ending the burst). Keep the skew cap
+      // as the only brake.
+      ++cosim_.relaxed_bursts;
+      budget = std::min(budget, skew_insts_);
+      return arch::kNoCycleBound;
+    }
+    // Strict against the attached consumers only: the laggard consumer
+    // catches up first (it is picked while behind), restoring the exact
+    // stepwise interleaving before the producer commits anything near the
+    // threshold. For the legacy single-role topology this degenerates to the
+    // old global strict fallback.
+    ++cosim_.strict_fallbacks;
+    return bound;
   }
   // Checkers: free of each other (their pops land in disjoint channels), but
-  // never past the producer's clock — every pop must stay in the producer's
-  // past so future backpressure decisions see exactly the stepwise-visible
-  // pop set. The same bound covers a backpressure-BLOCKED producer while the
-  // checker's clock still trails it: all pops then land strictly before the
-  // producer's resume, which is its own (larger) clock no matter which pop
-  // crossed the space threshold — so the quantum need not end at the exact
-  // wake pop, and the unit may retire log entries in bulk straight through
-  // the threshold (see CoreUnit::set_bulk_consume_horizon). Only once the
-  // checker has caught up to the blocked producer's clock does the wake
-  // cycle become load-bearing: stay on the strict, wake-exact bound there.
-  // A halted producer makes no further push decisions at all, so the drain
-  // phase keeps the strict bound (vs. the other checkers) but pops freely.
-  const Core& main = soc_.core(config_.main_core);
+  // never past their attached producer's clock — every pop must stay in that
+  // producer's past so future backpressure decisions see exactly the
+  // stepwise-visible pop set. The same bound covers a backpressure-BLOCKED
+  // producer while the checker's clock still trails it: all pops then land
+  // strictly before the producer's resume, which is its own (larger) clock
+  // no matter which pop crossed the space threshold — so the quantum need
+  // not end at the exact wake pop, and the unit may retire log entries in
+  // bulk straight through the threshold (see
+  // CoreUnit::set_bulk_consume_horizon). Only once the checker has caught up
+  // to the blocked producer's clock does the wake cycle become load-bearing:
+  // stay on the strict, wake-exact bound there. A halted producer makes no
+  // further push decisions at all, so the drain phase keeps the strict bound
+  // (vs. the other cores) but pops freely. The attached producer is read off
+  // the checker's *current* in-channel: while serving a waitlist the checker
+  // keeps relaxed bulk-consume progress on that channel regardless of what
+  // the parked producers are doing.
   CoreUnit& unit = soc_.unit(chosen.id());
-  if (main.status() == Core::Status::kRunning ||
-      (main.status() == Core::Status::kBlocked && chosen.cycle() < main.cycle())) {
-    ++cosim_.relaxed_bursts;
-    unit.set_bulk_consume_horizon(main.cycle());
-    return main.cycle();
-  }
-  if (main_halted_) {
-    ++cosim_.relaxed_bursts;
-    unit.set_bulk_consume_horizon(arch::kNoCycleBound);
-    return quantum_bound(chosen);
+  const fs::Channel* in = unit.in_channel();
+  if (in != nullptr) {
+    const Core& producer = soc_.core(in->main_id());
+    if (producer.status() == Core::Status::kRunning ||
+        (producer.status() == Core::Status::kBlocked &&
+         chosen.cycle() < producer.cycle())) {
+      ++cosim_.relaxed_bursts;
+      unit.set_bulk_consume_horizon(producer.cycle());
+      return producer.cycle();
+    }
+    const i32 role = role_of(in->main_id());
+    const bool producer_done =
+        role >= 0 ? producer_halted_[static_cast<std::size_t>(role)]
+                  : producer.status() == Core::Status::kHalted;
+    if (producer_done) {
+      ++cosim_.relaxed_bursts;
+      unit.set_bulk_consume_horizon(arch::kNoCycleBound);
+      return quantum_bound(chosen);
+    }
   }
   ++cosim_.strict_fallbacks;
   unit.set_bulk_consume_horizon(0);
@@ -357,14 +501,12 @@ void VerifiedExecution::note_burst_skew(const arch::Core& chosen) {
   // leapfrog the burst ran. Parked cores are excluded — their clocks lag in
   // every engine (they only advance again at their wake time).
   Cycle trailing = chosen.cycle();
-  auto consider = [&](CoreId id) {
+  for (CoreId id : sched_order_) {
     const Core& core = soc_.core(id);
     if (&core != &chosen && core.status() == Core::Status::kRunning) {
       trailing = std::min(trailing, core.cycle());
     }
-  };
-  consider(config_.main_core);
-  for (CoreId id : config_.checkers) consider(id);
+  }
   cosim_.max_skew_cycles =
       std::max<u64>(cosim_.max_skew_cycles, chosen.cycle() - trailing);
 }
@@ -395,7 +537,7 @@ bool VerifiedExecution::quantum_round(u64 max_instructions) {
   const bool bounded = config_.engine == Engine::kQuantumBounded;
   u64 budget = max_instructions;
   const Cycle bound = bounded ? bounded_quantum(*core, budget) : quantum_bound(*core);
-  if (core->id() == config_.main_core) {
+  if (role_of(core->id()) >= 0) {
     // Leave one instruction of headroom so the safety check below can fire
     // exactly like the stepwise driver's.
     const u64 cap_left = config_.max_instructions + 1 - core->instret();
@@ -423,16 +565,16 @@ bool VerifiedExecution::quantum_round(u64 max_instructions) {
     note_burst_skew(*core);
   }
 
-  if (core->id() == config_.main_core) {
+  if (role_of(core->id()) >= 0) {
     FLEX_CHECK_MSG(core->instret() <= config_.max_instructions,
-                   "main core exceeded the instruction safety cap");
+                   "producer core exceeded the instruction safety cap");
   }
   return true;
 }
 
 u64 VerifiedExecution::total_instret() const {
-  u64 total = soc_.core(config_.main_core).instret();
-  for (CoreId id : config_.checkers) total += soc_.core(id).instret();
+  u64 total = 0;
+  for (CoreId id : sched_order_) total += soc_.core(id).instret();
   return total;
 }
 
@@ -463,15 +605,17 @@ RunStats VerifiedExecution::run() {
 
 RunStats VerifiedExecution::stats() const {
   RunStats s;
-  const Core& main = soc_.core(config_.main_core);
-  s.main_cycles = main.cycle();
-  s.main_instructions = main.instret();
+  const Core& first = soc_.core(roles_.front().producer);
+  s.main_cycles = first.cycle();
+  s.main_instructions = first.instret();
   s.completion_cycles = soc_.max_cycle();
 
-  const CoreUnit& main_unit = soc_.unit(config_.main_core);
-  s.segments_produced = main_unit.segments_produced();
-  s.mem_entries = main_unit.mem_entries_logged();
-  for (CoreId id : config_.checkers) {
+  for (const RoleBinding& role : roles_) {
+    const CoreUnit& unit = soc_.unit(role.producer);
+    s.segments_produced += unit.segments_produced();
+    s.mem_entries += unit.mem_entries_logged();
+  }
+  for (CoreId id : checker_ids_) {
     const CoreUnit& unit = soc_.unit(id);
     s.segments_verified += unit.segments_verified();
     s.segments_failed += unit.segments_failed();

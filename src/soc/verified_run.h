@@ -1,12 +1,14 @@
-// Co-simulation driver for a single verified workload: one main core streams
-// checking segments to one or more checker cores (dual-core = DCLS-like,
-// one-to-two = TCLS-like, paper Sec. II). This is the substrate of the
-// Fig. 4 / Fig. 6 slowdown experiments and the Fig. 7 fault campaigns.
+// Co-simulation driver for verified workloads on a role-based topology:
+// N producer cores stream checking segments to M checker cores (dual-core =
+// DCLS-like, one-to-two = TCLS-like, paper Sec. II; several producers may
+// share one checker through the fabric waitlist, paper Sec. III-C). This is
+// the substrate of the Fig. 4 / Fig. 6 slowdown experiments, the Fig. 7
+// fault campaigns and the Fig. 8 many-core scaling sweeps.
 //
-// The driver plays the OS role of Alg. 1/2 for a single task: it configures
-// the fabric through the custom ISA, pumps checker replays, resolves
-// backpressure wake-ups, and models ECALL kernel excursions with a fixed
-// cycle cost.
+// The driver plays the OS role of Alg. 1/2: it configures the fabric through
+// the custom ISA, pumps checker replays and waitlist arbitration, resolves
+// backpressure wake-ups per producer, and models ECALL kernel excursions
+// with a fixed cycle cost.
 #pragma once
 
 #include <vector>
@@ -25,17 +27,21 @@ enum class Engine : u8 {
               ///< (Core::run_until). Bit-identical state evolution.
   kQuantumBounded,  ///< Relaxed-skew batched: bursts may overrun the strict
                     ///< cycle-leapfrog bound by up to a skew window wherever
-                    ///< the overrun is provably invisible — the main core
-                    ///< while its DBC channels guarantee headroom (no
-                    ///< backpressure decision can depend on deferred consumer
-                    ///< pops), checkers up to the main's local clock (their
-                    ///< pops stay in the producer's past). Bursts still end
-                    ///< at every cross-core interaction point (segment
-                    ///< publish, space-freeing pop, backpressure block), and
-                    ///< the contended regime falls back to the strict bound —
-                    ///< so the observable schedule, and with it every
-                    ///< verdict, stat and cycle count, stays bit-identical to
-                    ///< kStepwise. tests/test_exec_engine.cpp enforces this.
+                    ///< the overrun is provably invisible — a producer while
+                    ///< its DBC channels guarantee headroom (no backpressure
+                    ///< decision can depend on deferred consumer pops) or
+                    ///< while every out-channel is parked on a fabric
+                    ///< waitlist (no pop can touch them at all), checkers up
+                    ///< to their attached producer's local clock (their pops
+                    ///< stay in that producer's past). Bursts still end at
+                    ///< every cross-core interaction point (segment publish,
+                    ///< space-freeing pop, backpressure block), and a
+                    ///< producer out of headroom with an attached consumer
+                    ///< falls back to a strict bound against just the
+                    ///< consumers on its own channels — so the observable
+                    ///< schedule, and with it every verdict, stat and cycle
+                    ///< count, stays bit-identical to kStepwise at every
+                    ///< topology. tests/test_exec_engine.cpp enforces this.
 };
 
 /// The engine FLEX_ENGINE selects ("stepwise" / "quantum" / "bounded", also
@@ -46,6 +52,16 @@ Engine default_engine();
 
 /// Short lowercase name for tables/JSON ("stepwise", "quantum", "bounded").
 const char* engine_name(Engine engine);
+
+/// One producer/checker binding of the role-based topology: `producer`
+/// streams checking segments to every core in `checkers` (empty = plain,
+/// unverified producer). Several bindings may name the same checker — those
+/// producers then contend for it through the fabric waitlist (paper
+/// Sec. III-C), which the driver arbitrates as a first-class regime.
+struct RoleBinding {
+  CoreId producer = 0;
+  std::vector<CoreId> checkers;
+};
 
 struct VerifiedRunConfig {
   CoreId main_core = 0;
@@ -80,6 +96,16 @@ struct VerifiedRunConfig {
   /// this set, the driver latches stalled() and reports "finished" instead
   /// of tripping its deadlock FLEX_CHECKs.
   bool tolerate_stall = false;
+
+  /// Role-based topology: N producers x M checkers. Empty = legacy
+  /// single-producer mode, equivalent to {{main_core, checkers}}. When set,
+  /// `main_core`/`checkers` above are ignored (the driver mirrors roles[0]
+  /// into them for legacy accessors). Producers must be pairwise distinct
+  /// and no core may appear as both a producer and a checker — the paper's
+  /// G.Configure mask registers are disjoint by construction; "any core may
+  /// produce or check" is a per-run wiring choice, not a concurrent dual
+  /// role on one core.
+  std::vector<RoleBinding> roles;
 };
 
 /// Quantum-engine burst accounting (diagnostics; deliberately not part of
@@ -96,13 +122,20 @@ struct CosimStats {
                             ///< publish, space-freeing pop, drain transition.
   u64 max_skew_cycles = 0;  ///< Largest clock lead a burst built over the
                             ///< slowest still-runnable core.
+  u64 parked_producer_bursts = 0;  ///< Relaxed bursts of a producer whose
+                                   ///< out-channels were all parked on a
+                                   ///< fabric waitlist (no consumer attached,
+                                   ///< so no pop can touch them — the burst
+                                   ///< runs free instead of falling back to
+                                   ///< the strict bound). Also counted in
+                                   ///< relaxed_bursts.
 };
 
 struct RunStats {
-  Cycle main_cycles = 0;       ///< Main-core cycles from start to HALT.
-  u64 main_instructions = 0;
+  Cycle main_cycles = 0;       ///< First producer's cycles from start to HALT.
+  u64 main_instructions = 0;   ///< First producer's retired instructions.
   Cycle completion_cycles = 0; ///< Until all checkers drained (detection done).
-  u64 segments_produced = 0;
+  u64 segments_produced = 0;   ///< Summed across every producer.
   u64 segments_verified = 0;
   u64 segments_failed = 0;
   u64 mem_entries = 0;
@@ -127,8 +160,15 @@ class VerifiedExecution final : public arch::TrapHandler {
 
   /// Install the program context on the main core and, when checkers are
   /// configured, execute the FlexStep setup sequence (G.Configure,
-  /// M.associate, M.check.enable) through the custom ISA.
+  /// M.associate, M.check.enable) through the custom ISA. Single-role
+  /// configs only — multi-producer topologies need one program per producer
+  /// (the prepare(vector) overload).
   void prepare(const isa::Program& program);
+
+  /// Multi-role prepare: programs[i] runs on roles[i].producer. Programs
+  /// must occupy disjoint code/data regions — producers share the flat
+  /// memory and the L2.
+  void prepare(const std::vector<isa::Program>& programs);
 
   /// Advance the co-simulation by one step (one instruction on the runnable
   /// core with the smallest local clock). Returns false once finished.
@@ -148,8 +188,12 @@ class VerifiedExecution final : public arch::TrapHandler {
   /// probes with execution at a granularity independent of the engine.
   bool advance(u64 instruction_budget);
 
-  /// Total instructions retired across the main core and all checkers.
+  /// Total instructions retired across all producers and checkers.
   u64 total_instret() const;
+
+  /// The normalized topology (config().roles, or the synthesized legacy
+  /// {{main_core, checkers}} binding).
+  const std::vector<RoleBinding>& roles() const { return roles_; }
 
   /// Run to completion (with the configured engine) and return the statistics.
   RunStats run();
@@ -193,21 +237,32 @@ class VerifiedExecution final : public arch::TrapHandler {
   void install_driver_wiring();
   arch::Core* pick_next_core();
   /// Local-clock bound up to which `chosen` would keep being picked by the
-  /// stepwise scheduler (smallest-cycle-first, main-core-then-checker-order
+  /// stepwise scheduler (smallest-cycle-first, producers-then-checkers-order
   /// tie-break), assuming no other core's state changes meanwhile.
   Cycle quantum_bound(const arch::Core& chosen) const;
   /// kQuantumBounded bound: relax the strict bound where provably invisible
   /// (see Engine::kQuantumBounded), shrinking `budget` to the producer's
-  /// guaranteed-headroom / skew window when the main core is chosen. Falls
-  /// back to quantum_bound() in the contended regime.
+  /// guaranteed-headroom / skew window when a producer is chosen. The
+  /// per-role lattice replaces the legacy global-main-clock rule: a producer
+  /// out of headroom is bounded only by the consumers attached to *its*
+  /// channels (or runs free while every out-channel is parked on a
+  /// waitlist); a checker is bounded by the producer feeding its *current*
+  /// in-channel.
   Cycle bounded_quantum(const arch::Core& chosen, u64& budget);
   void note_burst_skew(const arch::Core& chosen);
+  /// Role index of a producer core, -1 for non-producers / foreign cores.
+  i32 role_of(CoreId id) const;
+  bool all_producers_halted() const;
 
   Soc& soc_;
   VerifiedRunConfig config_;
   u64 skew_insts_ = 0;  ///< Resolved kQuantumBounded burst cap.
   CosimStats cosim_;
-  bool main_halted_ = false;
+  std::vector<RoleBinding> roles_;   ///< Normalized topology (>= 1 role).
+  std::vector<CoreId> checker_ids_;  ///< Unique checkers, first-appearance order.
+  std::vector<CoreId> sched_order_;  ///< Scheduler priority: producers, checkers.
+  std::vector<i32> core_role_;       ///< Core id -> producer role index or -1.
+  std::vector<bool> producer_halted_;  ///< Per role: task-exit seen.
   bool prepared_ = false;
   bool stalled_ = false;  ///< tolerate_stall: deadlock latched (DUE outcome).
 };

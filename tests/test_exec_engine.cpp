@@ -4,6 +4,7 @@
 // plain, dual-checker and triple-checker co-simulations, with OS ticks on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -838,6 +839,246 @@ TEST(ExecEngineBounded, OpenSegmentFaultFusedVsUnfusedIdentical) {
     EXPECT_EQ(injected, injected_bounded);
     expect_equal_relaxed(stepwise, bounded);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Contended role-based topologies: several producers sharing one checker
+// through the fabric waitlist. The arbitration (handoff ordering), the parked-
+// producer relaxation, snapshot/fork mid-waitlist and fault injection during
+// arbitration must all stay bit-identical to the stepwise reference.
+// ---------------------------------------------------------------------------
+
+/// One workload instance per producer at disjoint code/data regions (the data
+/// base is baked into the code, so producers cannot share an image).
+std::vector<isa::Program> role_programs(const char* name, std::size_t count,
+                                        u32 iterations) {
+  std::vector<isa::Program> programs;
+  for (std::size_t r = 0; r < count; ++r) {
+    workloads::BuildOptions options;
+    options.iterations_override = iterations;
+    options.code_base = isa::kDefaultCodeBase + r * 0x0011'0000;
+    options.data_base = 0x0800'0000 + r * 0x0011'0000;
+    programs.push_back(
+        workloads::build_workload(workloads::find_profile(name), options));
+  }
+  return programs;
+}
+
+/// collect() for an arbitrary role topology, plus the fabric arbitration log
+/// flattened for cross-engine comparison (handoffs happen between scheduling
+/// rounds, so the whole log is part of the deterministic outcome).
+Outcome collect_roles(Soc& soc, VerifiedExecution& exec) {
+  Outcome out;
+  out.stats = exec.stats();
+  out.main_state = soc.core(exec.roles().front().producer).capture_state();
+  std::vector<CoreId> checker_ids;
+  for (const soc::RoleBinding& role : exec.roles()) {
+    out.cycles.push_back(soc.core(role.producer).cycle());
+    out.instret.push_back(soc.core(role.producer).instret());
+    for (CoreId id : role.checkers) {
+      if (std::find(checker_ids.begin(), checker_ids.end(), id) ==
+          checker_ids.end()) {
+        checker_ids.push_back(id);
+      }
+    }
+  }
+  for (CoreId id : checker_ids) {
+    out.cycles.push_back(soc.core(id).cycle());
+    out.instret.push_back(soc.core(id).instret());
+    out.replayed.push_back(soc.unit(id).replayed_instructions());
+  }
+  out.detections = soc.fabric().reporter().detections();
+  out.attributed = soc.fabric().reporter().attributed_detections();
+  for (const auto& event : soc.fabric().reporter().events()) {
+    out.event_latencies.push_back(event.latency);
+  }
+  for (const auto& handoff : soc.fabric().handoff_events()) {
+    out.event_latencies.push_back(handoff.cycle);
+    out.event_latencies.push_back(handoff.checker);
+    out.event_latencies.push_back(handoff.from_main);
+    out.event_latencies.push_back(handoff.to_main);
+  }
+  return out;
+}
+
+Outcome run_roles(const std::vector<isa::Program>& programs,
+                  std::vector<soc::RoleBinding> roles, Engine engine,
+                  u32 cores, soc::CosimStats* cosim_out = nullptr) {
+  VerifiedRunConfig config;
+  config.roles = std::move(roles);
+  config.engine = engine;
+  Soc soc(SocConfig::paper_default(cores));
+  VerifiedExecution exec(soc, config);
+  exec.prepare(programs);
+  exec.run();
+  if (cosim_out != nullptr) *cosim_out = exec.cosim_stats();
+  return collect_roles(soc, exec);
+}
+
+TEST(ExecEngineContended, SharedCheckerIdenticalAcrossEngines) {
+  // Two producers, one shared checker: producer 1's channel parks on the
+  // waitlist until producer 0 exits and its stream drains. The quantum engine
+  // must match stepwise exactly; the bounded engine up to occupancy.
+  const auto programs = role_programs("swaptions", 2, 30);
+  const std::vector<soc::RoleBinding> roles = {{0, {2}}, {1, {2}}};
+  const auto stepwise = run_roles(programs, roles, Engine::kStepwise, 3);
+  const auto quantum = run_roles(programs, roles, Engine::kQuantum, 3);
+  soc::CosimStats cosim;
+  const auto bounded =
+      run_roles(programs, roles, Engine::kQuantumBounded, 3, &cosim);
+
+  ASSERT_GT(stepwise.stats.segments_produced, 6u);
+  // Both producers' segments were verified (the handoff really happened).
+  EXPECT_EQ(stepwise.stats.segments_verified, stepwise.stats.segments_produced);
+  expect_equal(stepwise, quantum);
+  expect_equal_relaxed(stepwise, bounded);
+
+  // Vacuousness guards: the parked producer ran relaxed bursts instead of
+  // dragging the SoC to the strict leapfrog.
+  EXPECT_GT(cosim.parked_producer_bursts, 0u);
+  EXPECT_GT(cosim.relaxed_bursts, cosim.strict_fallbacks);
+}
+
+TEST(ExecEngineContended, ThreeProducersHandoffOrderIsFifo) {
+  // Three producers contending for one checker: arbitration must hand the
+  // checker over in association (role) order — 0 -> 1 -> 2.
+  const auto programs = role_programs("swaptions", 3, 12);
+  const std::vector<soc::RoleBinding> roles = {{0, {3}}, {1, {3}}, {2, {3}}};
+  VerifiedRunConfig config;
+  config.roles = roles;
+  config.engine = Engine::kQuantumBounded;
+  Soc soc(SocConfig::paper_default(4));
+  VerifiedExecution exec(soc, config);
+  exec.prepare(programs);
+  // Mid-run the later producers are parked on the waitlist.
+  ASSERT_TRUE(exec.advance(20'000));
+  EXPECT_EQ(soc.fabric().waitlist_depth(3), 2u);
+  exec.run();
+
+  const auto& handoffs = soc.fabric().handoff_events();
+  ASSERT_EQ(handoffs.size(), 2u);
+  EXPECT_EQ(handoffs[0].checker, 3u);
+  EXPECT_EQ(handoffs[0].from_main, 0u);
+  EXPECT_EQ(handoffs[0].to_main, 1u);
+  EXPECT_EQ(handoffs[1].from_main, 1u);
+  EXPECT_EQ(handoffs[1].to_main, 2u);
+  EXPECT_LE(handoffs[0].cycle, handoffs[1].cycle);
+  EXPECT_EQ(soc.fabric().waitlist_depth(3), 0u);
+  // All three producers' work was verified through the single checker.
+  EXPECT_EQ(exec.stats().segments_verified, exec.stats().segments_produced);
+}
+
+TEST(ExecEngineContended, SnapshotForkMidWaitlistBitIdentical) {
+  // Capture while producer 1's channel sits on the waitlist (pre-handoff):
+  // run-on, fork and in-place restore must evolve bit-identically, including
+  // the arbitration the restored run still has ahead of it.
+  sim::Scenario scenario = sim::Scenario()
+                               .workload("swaptions")
+                               .iterations(30)
+                               .shared_checker(2)
+                               .engine(Engine::kQuantumBounded);
+  sim::Session session = scenario.build();
+  ASSERT_TRUE(session.advance(25'000));
+  ASSERT_GT(session.soc().fabric().waitlist_depth(2), 0u);  // mid-waitlist
+  ASSERT_EQ(session.arbitration_handoffs(), 0u);
+  const soc::Snapshot warm = session.snapshot();
+
+  sim::Session fork = session.fork(warm);
+  const soc::RunStats run_on = session.run();
+  const soc::RunStats forked = fork.run();
+  EXPECT_EQ(run_on, forked);
+  EXPECT_EQ(session.arbitration_handoffs(), fork.arbitration_handoffs());
+  EXPECT_GT(session.arbitration_handoffs(), 0u);  // the handoff happened later
+
+  session.restore(warm);
+  const soc::RunStats rerun = session.run();
+  EXPECT_EQ(run_on, rerun);
+
+  // And the whole thing still lands on the stepwise result.
+  sim::Session ref = sim::Scenario(scenario).engine(Engine::kStepwise).build();
+  const soc::RunStats stepwise = ref.run();
+  EXPECT_EQ(stepwise.main_cycles, run_on.main_cycles);
+  EXPECT_EQ(stepwise.completion_cycles, run_on.completion_cycles);
+  EXPECT_EQ(stepwise.segments_produced, run_on.segments_produced);
+  EXPECT_EQ(stepwise.segments_verified, run_on.segments_verified);
+  EXPECT_EQ(stepwise.segments_failed, run_on.segments_failed);
+  EXPECT_EQ(stepwise.backpressure_events, run_on.backpressure_events);
+}
+
+/// Sequence-targeted fault schedule against the PARKED producer's channel:
+/// corruptions land in entries queued while the channel waits on arbitration,
+/// so every verdict is rendered only after the handoff. Engine-independent by
+/// the same argument as run_seq_fault_schedule.
+Outcome run_waitlist_fault_schedule(const std::vector<isa::Program>& programs,
+                                    Engine engine, u64* injections_out) {
+  VerifiedRunConfig config;
+  config.roles = {{0, {2}}, {1, {2}}};
+  config.engine = engine;
+  Soc soc(SocConfig::paper_default(3));
+  VerifiedExecution exec(soc, config);
+  exec.prepare(programs);
+
+  // Denser than run_seq_fault_schedule's stride: while parked, the channel
+  // only exposes a capacity-wide seq window, so a coarse stride would land
+  // too few corruptions in the pre-handoff regime.
+  constexpr u64 kSeqStride = 1'501;
+  u64 next_seq = 200;
+  u64 injections = 0;
+  while (exec.advance(256)) {
+    auto channels = soc.fabric().channels();
+    if (channels.size() < 2) continue;
+    fs::Channel* ch = channels[1];  // producer 1 -> shared checker (parked)
+    if (ch->fault_pending() &&
+        ch->pending_fault().segment_end_seq != fs::kUnresolvedSegmentEnd &&
+        ch->last_popped_seq() > ch->pending_fault().segment_end_seq) {
+      ch->clear_fault();  // masked
+    }
+    if (!ch->fault_pending() && !ch->empty() && ch->front().seq <= next_seq &&
+        next_seq <= ch->back().seq) {
+      Rng rng(0x5EED ^ next_seq);
+      if (ch->inject_fault_at(static_cast<std::size_t>(next_seq - ch->front().seq),
+                              rng, soc.max_cycle())
+              .has_value()) {
+        ++injections;
+        next_seq += kSeqStride;
+      }
+    }
+  }
+  if (injections_out != nullptr) *injections_out = injections;
+  return collect_roles(soc, exec);
+}
+
+TEST(ExecEngineContended, FaultInjectionDuringArbitrationIdentical) {
+  const auto programs = role_programs("swaptions", 2, 60);
+  u64 injected = 0;
+  const auto stepwise =
+      run_waitlist_fault_schedule(programs, Engine::kStepwise, &injected);
+  ASSERT_GT(injected, 2u);
+  ASSERT_GT(stepwise.detections, 0u);
+  u64 injected_quantum = 0;
+  const auto quantum =
+      run_waitlist_fault_schedule(programs, Engine::kQuantum, &injected_quantum);
+  EXPECT_EQ(injected, injected_quantum);
+  expect_equal(stepwise, quantum);
+  u64 injected_bounded = 0;
+  const auto bounded = run_waitlist_fault_schedule(
+      programs, Engine::kQuantumBounded, &injected_bounded);
+  EXPECT_EQ(injected, injected_bounded);
+  expect_equal_relaxed(stepwise, bounded);
+}
+
+TEST(ExecEngineContended, PairsTopologyIdenticalAcrossEngines) {
+  // Independent producer/checker pairs on one SoC (the uncontended many-core
+  // shape of the fig8 sweep): per-role lattices must not couple the pairs.
+  const auto programs = role_programs("swaptions", 3, 20);
+  const std::vector<soc::RoleBinding> roles = {{0, {1}}, {2, {3}}, {4, {5}}};
+  const auto stepwise = run_roles(programs, roles, Engine::kStepwise, 6);
+  const auto quantum = run_roles(programs, roles, Engine::kQuantum, 6);
+  const auto bounded = run_roles(programs, roles, Engine::kQuantumBounded, 6);
+  ASSERT_GT(stepwise.stats.segments_produced, 9u);
+  EXPECT_EQ(stepwise.stats.segments_verified, stepwise.stats.segments_produced);
+  expect_equal(stepwise, quantum);
+  expect_equal_relaxed(stepwise, bounded);
 }
 
 TEST(ExecEngineBounded, FaultCampaignForkReexecutionParity) {

@@ -89,6 +89,41 @@ TEST(Fabric, PumpKeepsBusyCheckerAttached) {
   EXPECT_EQ(soc.unit(2).in_channel()->main_id(), 0u);
 }
 
+TEST(Fabric, WaitlistDepthTracksParkedChannels) {
+  Soc soc(small(4));
+  EXPECT_EQ(soc.fabric().waitlist_depth(3), 0u);
+  soc.fabric().associate(0, 0b1000);  // main 0 -> checker 3 (attached)
+  EXPECT_EQ(soc.fabric().waitlist_depth(3), 0u);
+  soc.fabric().associate(1, 0b1000);  // parked
+  soc.fabric().associate(2, 0b1000);  // parked
+  EXPECT_EQ(soc.fabric().waitlist_depth(3), 2u);
+  soc.fabric().dissociate(0);
+  soc.fabric().pump_assignments();
+  EXPECT_EQ(soc.fabric().waitlist_depth(3), 1u);
+}
+
+TEST(Fabric, HandoffEventsRecordArbitrationDecisions) {
+  Soc soc(small(4));
+  soc.fabric().associate(0, 0b1000);
+  soc.fabric().associate(1, 0b1000);
+  soc.fabric().associate(2, 0b1000);
+  EXPECT_TRUE(soc.fabric().handoff_events().empty());  // attach != handoff
+
+  soc.fabric().dissociate(0);
+  soc.fabric().pump_assignments();
+  soc.fabric().dissociate(1);
+  soc.fabric().pump_assignments();
+
+  const auto& handoffs = soc.fabric().handoff_events();
+  ASSERT_EQ(handoffs.size(), 2u);
+  EXPECT_EQ(handoffs[0].checker, 3u);
+  EXPECT_EQ(handoffs[0].from_main, 0u);
+  EXPECT_EQ(handoffs[0].to_main, 1u);
+  EXPECT_EQ(handoffs[1].checker, 3u);
+  EXPECT_EQ(handoffs[1].from_main, 1u);
+  EXPECT_EQ(handoffs[1].to_main, 2u);
+}
+
 TEST(Fabric, SequentialVerifiedRunsOnSharedChecker) {
   // End-to-end: two mains verified by the same checker, one after another.
   Soc soc(small(3));

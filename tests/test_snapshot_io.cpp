@@ -321,6 +321,31 @@ TEST(SnapshotWire, CampaignStatsAndVulnReportRoundTrip) {
   report2.check_invariant();
 }
 
+TEST(SnapshotWire, VersionSkewIsRejectedExactly) {
+  // v2 widened the driver section (exec_main_halted -> exec_halted_mask for
+  // role-based topologies). There are no migration shims: a v1 archive — or
+  // any version other than the current one — must be rejected with a
+  // structured kVersionSkew before any section is decoded.
+  static_assert(soc::kSnapshotFormatVersion == 2,
+                "bump this test (and re-check the skew matrix) when the "
+                "snapshot format changes again");
+
+  sim::Session session = warmed_session();
+  const soc::Snapshot snap = session.snapshot();
+
+  for (const u32 stale : {u32{1}, soc::kSnapshotFormatVersion + 1}) {
+    ArchiveWriter w(soc::kSnapshotAppTag, stale);
+    snap.serialize(w);
+    ArchiveReader r(w.buffer().data(), w.buffer().size(), soc::kSnapshotAppTag,
+                    soc::kSnapshotFormatVersion);
+    EXPECT_EQ(r.error().status, ArchiveStatus::kVersionSkew);
+    soc::Snapshot decoded;
+    decoded.deserialize(r);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.error().status, ArchiveStatus::kVersionSkew);
+  }
+}
+
 TEST(SnapshotWire, FileHelpersReportIoErrors) {
   std::vector<u8> out;
   const io::ArchiveError err = io::read_file("does_not_exist.fxar", out);
